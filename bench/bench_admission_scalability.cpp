@@ -1,0 +1,108 @@
+// Extension figure F2 (google-benchmark): per-request admission cost.
+// The paper's scalability claim in microbenchmark form — the
+// utilization-based decision costs O(route length) independent of the
+// established flow population, while a flow-aware (intserv-style) baseline
+// re-analyzes the population and scales with it.
+
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "admission/controller.hpp"
+#include "admission/intserv_baseline.hpp"
+#include "bench_common.hpp"
+#include "routing/route_selection.hpp"
+
+using namespace ubac;
+
+namespace {
+
+struct Setup {
+  net::Topology topo = net::mci_backbone();
+  net::ServerGraph graph{topo, 6u};
+  bench::VoipScenario scenario;
+  traffic::ClassSet classes = traffic::ClassSet::two_class(
+      scenario.bucket, scenario.deadline, 0.40);
+  std::vector<traffic::Demand> demands = traffic::all_ordered_pairs(topo);
+  admission::RoutingTable table;
+
+  Setup() {
+    const auto selection = routing::select_routes_shortest_path(
+        graph, 0.40, scenario.bucket, scenario.deadline, demands);
+    table = admission::RoutingTable(demands, selection.server_routes);
+  }
+};
+
+const Setup& setup() {
+  static const Setup instance;
+  return instance;
+}
+
+/// Pre-admit `population` flows round-robin over the demands.
+template <typename Controller>
+std::size_t preload(Controller& controller,
+                    const std::vector<traffic::Demand>& demands,
+                    std::int64_t population) {
+  std::size_t admitted = 0;
+  std::size_t i = 0;
+  // Cap attempts so saturated configurations terminate.
+  for (std::int64_t attempt = 0;
+       attempt < 4 * population && admitted < static_cast<std::size_t>(population);
+       ++attempt) {
+    const auto& d = demands[i++ % demands.size()];
+    if constexpr (std::is_same_v<Controller, admission::AdmissionController>) {
+      if (controller.request(d.src, d.dst, d.class_index).admitted())
+        ++admitted;
+    } else {
+      if (controller.request(d.src, d.dst, d.class_index) != 0) ++admitted;
+    }
+  }
+  return admitted;
+}
+
+void BM_UtilizationBasedAdmission(benchmark::State& state) {
+  const Setup& s = setup();
+  admission::AdmissionController controller(s.graph, s.classes, s.table);
+  preload(controller, s.demands, state.range(0));
+  // Steady state: admit + immediately release so the population is stable.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = s.demands[i++ % s.demands.size()];
+    const auto decision = controller.request(d.src, d.dst, d.class_index);
+    benchmark::DoNotOptimize(decision);
+    if (decision.admitted()) controller.release(decision.flow_id);
+  }
+  state.SetLabel("flows=" + std::to_string(controller.active_flows()));
+}
+
+void BM_IntservBaselineAdmission(benchmark::State& state) {
+  const Setup& s = setup();
+  admission::IntservBaselineController controller(s.graph, s.classes,
+                                                  s.table);
+  preload(controller, s.demands, state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& d = s.demands[i++ % s.demands.size()];
+    const auto id = controller.request(d.src, d.dst, d.class_index);
+    benchmark::DoNotOptimize(id);
+    if (id != 0) controller.release(id);
+  }
+  state.SetLabel("flows=" + std::to_string(controller.active_flows()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_UtilizationBasedAdmission)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_IntservBaselineAdmission)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

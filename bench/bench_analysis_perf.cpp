@@ -1,0 +1,89 @@
+// Performance microbenchmarks (google-benchmark) for the configuration
+// machinery itself: the fixed-point verification, the Section 5.2
+// heuristic, and k-shortest-path candidate generation. Configuration is
+// offline in the paper, but it must stay tractable for realistic ISP
+// backbones — these benches track that.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/fixed_point.hpp"
+#include "bench_common.hpp"
+#include "net/ksp.hpp"
+#include "net/shortest_path.hpp"
+#include "routing/route_selection.hpp"
+
+using namespace ubac;
+
+namespace {
+
+struct Setup {
+  net::Topology topo = net::mci_backbone();
+  net::ServerGraph graph{topo, 6u};
+  bench::VoipScenario scenario;
+  std::vector<traffic::Demand> demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> sp_routes;
+
+  Setup() {
+    for (const auto& d : demands)
+      sp_routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+  }
+};
+
+const Setup& setup() {
+  static const Setup instance;
+  return instance;
+}
+
+void BM_FixedPointVerification(benchmark::State& state) {
+  const Setup& s = setup();
+  const std::size_t route_count =
+      std::min<std::size_t>(state.range(0), s.sp_routes.size());
+  const std::vector<net::ServerPath> routes(
+      s.sp_routes.begin(), s.sp_routes.begin() + route_count);
+  for (auto _ : state) {
+    const auto sol = analysis::solve_two_class(
+        s.graph, 0.30, s.scenario.bucket, s.scenario.deadline, routes);
+    benchmark::DoNotOptimize(sol.status);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(route_count));
+}
+
+void BM_HeuristicRouteSelection(benchmark::State& state) {
+  const Setup& s = setup();
+  routing::HeuristicOptions opts;
+  opts.candidates_per_pair = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result = routing::select_routes_heuristic(
+        s.graph, 0.40, s.scenario.bucket, s.scenario.deadline, s.demands,
+        opts);
+    benchmark::DoNotOptimize(result.success);
+  }
+}
+
+void BM_KShortestPaths(benchmark::State& state) {
+  const Setup& s = setup();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    // Diameter pair: Boston (17) to Sacramento (1).
+    const auto paths = net::k_shortest_paths(s.topo, 17, 1, k);
+    benchmark::DoNotOptimize(paths.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FixedPointVerification)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(342)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_HeuristicRouteSelection)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KShortestPaths)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

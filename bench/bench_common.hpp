@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// \brief Shared scenario setup and reporting for the bench binaries.
+///
+/// Every bench reproduces one table or figure (see DESIGN.md's experiment
+/// index) and prints paper-style rows; when UBAC_BENCH_CSV is set the same
+/// rows are mirrored to CSV files in that directory.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/server_graph.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "traffic/workload.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace ubac::bench {
+
+/// The paper's Section 6 voice-over-IP scenario.
+struct VoipScenario {
+  traffic::LeakyBucket bucket{640.0, units::kbps(32)};  // T, rho
+  Seconds deadline = units::milliseconds(100);          // D
+  double fan_in = 6.0;                                  // N (MCI)
+  int diameter = 4;                                     // L (MCI)
+};
+
+inline void print_header(const std::string& title, const std::string& setup) {
+  std::printf("\n=== %s ===\n%s\n\n", title.c_str(), setup.c_str());
+}
+
+/// Print the table and optionally mirror it to $UBAC_BENCH_CSV/<name>.csv.
+inline void emit(const util::TextTable& table,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows,
+                 const std::string& csv_name) {
+  std::fputs(table.render().c_str(), stdout);
+  if (util::CsvWriter::enabled_by_env()) {
+    util::CsvWriter csv(util::CsvWriter::output_dir() + "/" + csv_name +
+                        ".csv");
+    csv.write_row(headers);
+    for (const auto& row : rows) csv.write_row(row);
+    std::printf("[csv written to %s/%s.csv]\n",
+                util::CsvWriter::output_dir().c_str(), csv_name.c_str());
+  }
+}
+
+}  // namespace ubac::bench

@@ -1,0 +1,144 @@
+// Extension figure E: the multi-class system of Section 5.4 / Theorem 5.
+// Two real-time classes (voice + video) over the MCI backbone on
+// shortest-path routes:
+//   (1) per-class end-to-end delay bounds as the voice share grows, and
+//   (2) the share trade-off frontier: for each voice share, the largest
+//       video share that keeps both deadlines safe.
+
+#include "analysis/multiclass.hpp"
+#include "bench_common.hpp"
+#include "net/shortest_path.hpp"
+#include "routing/multiclass_selection.hpp"
+
+using namespace ubac;
+
+namespace {
+
+traffic::ClassSet make_classes(double voice_share, double video_share) {
+  traffic::ClassSet classes;
+  classes.add(traffic::ServiceClass(
+      "voice", traffic::LeakyBucket(640.0, units::kbps(32)),
+      units::milliseconds(100), voice_share));
+  classes.add(traffic::ServiceClass(
+      "video", traffic::LeakyBucket(16000.0, units::mbps(1)),
+      units::milliseconds(200), video_share));
+  classes.add(traffic::ServiceClass("best-effort",
+                                    traffic::LeakyBucket(1.0, 1.0), 0.0, 0.0,
+                                    false));
+  return classes;
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+
+  // Both classes demand routes between all ordered pairs, on SP routes.
+  std::vector<traffic::Demand> demands;
+  std::vector<net::ServerPath> routes;
+  for (net::NodeId s = 0; s < topo.node_count(); ++s)
+    for (net::NodeId d = 0; d < topo.node_count(); ++d) {
+      if (s == d) continue;
+      const auto path = net::shortest_path(topo, s, d).value();
+      for (std::size_t cls = 0; cls < 2; ++cls) {
+        demands.push_back({s, d, cls});
+        routes.push_back(graph.map_path(path));
+      }
+    }
+
+  bench::print_header(
+      "Fig. E (extension): two real-time classes (Theorem 5)",
+      "MCI backbone, SP routes, voice (T=640b, 32 kb/s, D=100 ms, higher\n"
+      "priority) + video (T=16 kb, 1 Mb/s, D=200 ms) + best effort.");
+
+  // (1) Worst per-class end-to-end bound as voice share grows.
+  util::TextTable delays({"voice share", "video share", "status",
+                          "worst voice e2e", "worst video e2e"});
+  std::vector<std::vector<std::string>> delay_rows;
+  for (const double voice : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    const double video = 0.15;
+    const auto classes = make_classes(voice, video);
+    const auto sol =
+        analysis::solve_multiclass(graph, classes, demands, routes);
+    Seconds worst_voice = 0.0, worst_video = 0.0;
+    for (std::size_t r = 0; r < demands.size(); ++r) {
+      if (demands[r].class_index == 0)
+        worst_voice = std::max(worst_voice, sol.route_delay[r]);
+      else
+        worst_video = std::max(worst_video, sol.route_delay[r]);
+    }
+    delay_rows.push_back({util::TextTable::fmt(voice, 2),
+                          util::TextTable::fmt(video, 2),
+                          analysis::to_string(sol.status),
+                          util::TextTable::fmt_ms(worst_voice),
+                          util::TextTable::fmt_ms(worst_video)});
+    delays.add_row(delay_rows.back());
+  }
+  bench::emit(delays,
+              {"voice_share", "video_share", "status", "voice_e2e_ms",
+               "video_e2e_ms"},
+              delay_rows, "multiclass_delays");
+
+  // (2) Trade-off frontier.
+  std::printf("\nShare trade-off frontier (largest safe video share):\n\n");
+  util::TextTable frontier({"voice share", "max safe video share"});
+  std::vector<std::vector<std::string>> frontier_rows;
+  for (const double voice : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+    double best = 0.0;
+    for (double video = 0.02; voice + video < 0.95; video += 0.02) {
+      const auto sol = analysis::solve_multiclass(
+          graph, make_classes(voice, video), demands, routes);
+      if (sol.safe()) best = video;
+    }
+    frontier_rows.push_back(
+        {util::TextTable::fmt(voice, 2), util::TextTable::fmt(best, 2)});
+    frontier.add_row(frontier_rows.back());
+  }
+  bench::emit(frontier, {"voice_share", "max_video_share"}, frontier_rows,
+              "multiclass_frontier");
+
+  // (3) Section 5.4 algorithm variant: maximize the common share scale
+  // with multi-class *heuristic* route selection (vs fixed SP routes).
+  std::printf("\nShare-scale maximization (voice:video weight 1:1):\n\n");
+  const std::vector<routing::ClassTemplate> templates{
+      {"voice", traffic::LeakyBucket(640.0, units::kbps(32)),
+       units::milliseconds(100), 1.0},
+      {"video", traffic::LeakyBucket(16000.0, units::mbps(1)),
+       units::milliseconds(200), 1.0},
+  };
+  // Subsample demands so the probe count stays bench-friendly.
+  std::vector<traffic::Demand> sampled;
+  for (std::size_t i = 0; i < demands.size(); i += 9)
+    sampled.push_back(demands[i]);
+  routing::HeuristicOptions heuristic;
+  heuristic.candidates_per_pair = 2;
+
+  // SP-routed baseline frontier: largest safe scale with fixed SP routes.
+  double sp_scale = 0.0;
+  for (double scale = 0.02; scale < 0.49; scale += 0.01) {
+    std::vector<net::ServerPath> sp_routes;
+    for (const auto& d : sampled)
+      sp_routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+    const auto sol = analysis::solve_multiclass(
+        graph, routing::scaled_class_set(templates, scale), sampled,
+        sp_routes);
+    if (sol.safe()) sp_scale = scale;
+  }
+  const auto maximized = routing::maximize_share_scale(
+      graph, templates, sampled, 0.49, 0.01, heuristic);
+
+  util::TextTable scale_table({"selector", "max scale", "voice+video share"});
+  std::vector<std::vector<std::string>> scale_rows;
+  scale_rows.push_back({"SP routes", util::TextTable::fmt(sp_scale, 2),
+                        util::TextTable::fmt(2.0 * sp_scale, 2)});
+  scale_table.add_row(scale_rows.back());
+  scale_rows.push_back(
+      {"multiclass heuristic", util::TextTable::fmt(maximized.max_scale, 2),
+       util::TextTable::fmt(2.0 * maximized.max_scale, 2)});
+  scale_table.add_row(scale_rows.back());
+  bench::emit(scale_table, {"selector", "max_scale", "total_share"},
+              scale_rows, "multiclass_scale");
+  return 0;
+}

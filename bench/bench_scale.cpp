@@ -1,0 +1,61 @@
+// Extension figure N: configuration cost at scale. The paper's pitch is
+// that the expensive analysis happens once, offline; this bench shows the
+// offline cost itself stays tractable as the network grows — full
+// maximum-utilization searches (binary search x route selection x fixed
+// point) on random ISP-like graphs of increasing size, with wall time.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "net/shortest_path.hpp"
+#include "routing/max_util_search.hpp"
+
+using namespace ubac;
+
+int main() {
+  const bench::VoipScenario scenario;
+  bench::print_header(
+      "Fig. N (extension): configuration cost vs network size",
+      "Random connected graphs (avg degree 3.5), all-ordered-pairs voice\n"
+      "demands; full max-utilization search (SP and heuristic k=4) with\n"
+      "wall-clock time per search.");
+
+  util::TextTable table({"nodes", "demands", "links", "L", "SP alpha*",
+                         "SP time", "heuristic alpha*", "heuristic time"});
+  std::vector<std::vector<std::string>> rows;
+
+  for (const std::size_t nodes : {10, 20, 30, 40}) {
+    const auto topo = net::random_connected(nodes, 3.5, 42 + nodes);
+    const net::ServerGraph graph(topo);
+    const auto demands = traffic::all_ordered_pairs(topo);
+    const int l = net::diameter(topo);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto sp = routing::maximize_utilization_shortest_path(
+        graph, scenario.bucket, scenario.deadline, demands);
+    const auto t1 = std::chrono::steady_clock::now();
+    routing::HeuristicOptions opts;
+    opts.candidates_per_pair = 4;
+    const auto heuristic = routing::maximize_utilization_heuristic(
+        graph, scenario.bucket, scenario.deadline, demands, opts);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    auto ms = [](auto a, auto b) {
+      return util::TextTable::fmt(
+                 std::chrono::duration<double, std::milli>(b - a).count(),
+                 0) +
+             " ms";
+    };
+    rows.push_back({std::to_string(nodes), std::to_string(demands.size()),
+                    std::to_string(topo.link_count()), std::to_string(l),
+                    util::TextTable::fmt(sp.max_alpha, 3), ms(t0, t1),
+                    util::TextTable::fmt(heuristic.max_alpha, 3),
+                    ms(t1, t2)});
+    table.add_row(rows.back());
+  }
+  bench::emit(table,
+              {"nodes", "demands", "links", "diameter", "sp_alpha", "sp_ms",
+               "heuristic_alpha", "heuristic_ms"},
+              rows, "scale");
+  return 0;
+}

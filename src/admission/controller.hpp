@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file controller.hpp
+/// \brief Run-time utilization-based admission control (Section 4, item 2).
+///
+/// The whole point of the paper: once configuration has verified a safe
+/// utilization assignment, admitting a flow is a constant-time-per-hop
+/// bandwidth check — no per-flow analysis, no core router state. Per-flow
+/// state (the registry) lives only at the edge.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/routing_table.hpp"
+#include "net/server_graph.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/service_class.hpp"
+
+namespace ubac::admission {
+
+/// Why a request was rejected (or kAdmitted).
+enum class AdmissionOutcome {
+  kAdmitted,
+  kNoRoute,              ///< no configured route for (src, dst, class)
+  kUtilizationExceeded,  ///< some hop's class reservation is full
+  kBadClass,             ///< class index unknown or best-effort
+};
+
+const char* to_string(AdmissionOutcome outcome);
+
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kBadClass;
+  traffic::FlowId flow_id = 0;  ///< valid when admitted
+  /// Index of the first saturated hop (when kUtilizationExceeded).
+  std::size_t blocking_hop = 0;
+
+  bool admitted() const { return outcome == AdmissionOutcome::kAdmitted; }
+};
+
+/// Utilization-based admission controller over a configured network.
+class AdmissionController {
+ public:
+  AdmissionController(const net::ServerGraph& graph,
+                      const traffic::ClassSet& classes, RoutingTable table);
+
+  /// Admission test + reservation: O(route length) utilization checks.
+  AdmissionDecision request(net::NodeId src, net::NodeId dst,
+                            std::size_t class_index);
+
+  /// Tear down an admitted flow, freeing its reservation on every hop.
+  /// Returns false when the id is unknown (double release).
+  bool release(traffic::FlowId id);
+
+  /// Current reserved-rate fraction of class `class_index`'s share on a
+  /// server: reserved / (alpha * C). In [0, 1].
+  double class_utilization(net::ServerId server, std::size_t class_index) const;
+
+  /// Reserved rate of a class on a server, bits/s.
+  BitsPerSecond reserved_rate(net::ServerId server,
+                              std::size_t class_index) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  const traffic::Flow* find_flow(traffic::FlowId id) const;
+
+ private:
+  const net::ServerGraph* graph_;
+  const traffic::ClassSet* classes_;
+  RoutingTable table_;
+  /// reserved_[class][server]: admitted rate (bits/s).
+  std::vector<std::vector<BitsPerSecond>> reserved_;
+  std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
+  traffic::FlowId next_id_ = 1;
+};
+
+}  // namespace ubac::admission

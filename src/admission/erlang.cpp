@@ -1,0 +1,46 @@
+#include "admission/erlang.hpp"
+
+#include <stdexcept>
+
+namespace ubac::admission {
+
+double erlang_b_blocking(double erlangs, std::size_t circuits) {
+  if (erlangs < 0.0)
+    throw std::invalid_argument("erlang_b_blocking: negative load");
+  if (erlangs == 0.0) return circuits == 0 ? 1.0 : 0.0;
+  double b = 1.0;  // B(E, 0)
+  for (std::size_t k = 1; k <= circuits; ++k) {
+    const double kb = static_cast<double>(k);
+    b = erlangs * b / (kb + erlangs * b);
+  }
+  return b;
+}
+
+std::size_t erlang_b_dimension(double erlangs, double blocking_target) {
+  if (blocking_target <= 0.0 || blocking_target >= 1.0)
+    throw std::invalid_argument("erlang_b_dimension: target in (0,1)");
+  if (erlangs < 0.0)
+    throw std::invalid_argument("erlang_b_dimension: negative load");
+  double b = 1.0;
+  std::size_t c = 0;
+  while (b > blocking_target) {
+    ++c;
+    const double kb = static_cast<double>(c);
+    b = erlangs * b / (kb + erlangs * b);
+    if (c > 100'000'000)
+      throw std::runtime_error("erlang_b_dimension: runaway");
+  }
+  return c;
+}
+
+double route_acceptance_estimate(const std::vector<double>& link_blocking) {
+  double acceptance = 1.0;
+  for (double b : link_blocking) {
+    if (b < 0.0 || b > 1.0)
+      throw std::invalid_argument("route_acceptance_estimate: b in [0,1]");
+    acceptance *= 1.0 - b;
+  }
+  return acceptance;
+}
+
+}  // namespace ubac::admission

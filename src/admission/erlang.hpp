@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file erlang.hpp
+/// \brief Erlang-B analytics for flow-level admission behaviour.
+///
+/// A single link admitting at most c simultaneous flows under Poisson
+/// arrivals and exponential holding is exactly the M/M/c/c loss system,
+/// so the measured admit ratio of the load driver can be checked against
+/// the Erlang-B blocking formula. For multi-hop networks this becomes the
+/// classical reduced-load approximation; we provide the single-link exact
+/// form plus a per-route product-form estimate.
+
+#include <cstddef>
+#include <vector>
+
+namespace ubac::admission {
+
+/// Erlang-B blocking probability B(E, c) for offered load E erlangs and c
+/// circuits, computed with the numerically stable recurrence
+/// B(E, 0) = 1, B(E, k) = E*B(E,k-1) / (k + E*B(E,k-1)).
+/// Requires E >= 0. B(0, c) == 0 for c >= 1.
+double erlang_b_blocking(double erlangs, std::size_t circuits);
+
+/// Smallest circuit count whose Erlang-B blocking is <= target.
+/// Requires 0 < target < 1.
+std::size_t erlang_b_dimension(double erlangs, double blocking_target);
+
+/// Product-form (link-independence) estimate of the end-to-end acceptance
+/// probability of a route crossing links with the given blocking
+/// probabilities: prod (1 - b_i).
+double route_acceptance_estimate(const std::vector<double>& link_blocking);
+
+}  // namespace ubac::admission

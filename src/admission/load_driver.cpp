@@ -1,0 +1,75 @@
+#include "admission/load_driver.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ubac::admission {
+
+LoadStats run_poisson_load(AdmissionController& controller,
+                           const std::vector<traffic::Demand>& demands,
+                           const LoadDriverConfig& config) {
+  if (demands.empty())
+    throw std::invalid_argument("run_poisson_load: no demands");
+  if (config.arrival_rate <= 0.0 || config.mean_holding <= 0.0 ||
+      config.duration <= 0.0)
+    throw std::invalid_argument("run_poisson_load: bad config");
+
+  util::Xoshiro256 rng(config.seed);
+  LoadStats stats;
+
+  // Departure events: (time, flow id), min-heap on time.
+  using Departure = std::pair<Seconds, traffic::FlowId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  Seconds now = 0.0;
+  Seconds next_arrival = rng.exponential(1.0 / config.arrival_rate);
+  std::size_t active = 0;
+  double active_time_integral = 0.0;
+  Seconds last_event = 0.0;
+
+  auto advance = [&](Seconds to) {
+    active_time_integral += static_cast<double>(active) * (to - last_event);
+    last_event = to;
+  };
+
+  while (next_arrival < config.duration || !departures.empty()) {
+    const bool do_departure =
+        !departures.empty() && (departures.top().first <= next_arrival ||
+                                next_arrival >= config.duration);
+    if (do_departure) {
+      const auto [t, id] = departures.top();
+      departures.pop();
+      now = t;
+      advance(now);
+      controller.release(id);
+      --active;
+      continue;
+    }
+    if (next_arrival >= config.duration) break;
+    now = next_arrival;
+    advance(now);
+    ++stats.offered;
+    const auto& demand =
+        demands[rng.uniform_index(demands.size())];
+    const AdmissionDecision decision =
+        controller.request(demand.src, demand.dst, demand.class_index);
+    if (decision.admitted()) {
+      ++stats.admitted;
+      ++active;
+      stats.peak_active = std::max(stats.peak_active, active);
+      departures.emplace(now + rng.exponential(config.mean_holding),
+                         decision.flow_id);
+    } else {
+      ++stats.rejected;
+    }
+    next_arrival = now + rng.exponential(1.0 / config.arrival_rate);
+  }
+  advance(now);
+  stats.mean_active = now > 0.0 ? active_time_integral / now : 0.0;
+  return stats;
+}
+
+}  // namespace ubac::admission

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file load_driver.hpp
+/// \brief Poisson flow-level load generator for admission experiments.
+///
+/// Flow requests arrive as a Poisson process, pick a random demand
+/// (source/destination pair) and hold for an exponential duration when
+/// admitted. Measures admission ratio and the time-average number of
+/// carried flows — the flow-level view of the system the paper targets
+/// (hundreds of thousands of flow arrivals, constant-cost decisions).
+
+#include <cstdint>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "traffic/flow.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace ubac::admission {
+
+struct LoadDriverConfig {
+  double arrival_rate = 100.0;   ///< flow requests per second, network-wide
+  Seconds mean_holding = 60.0;   ///< mean flow lifetime (1/mu)
+  Seconds duration = 3600.0;     ///< simulated horizon
+  std::uint64_t seed = 1;
+};
+
+struct LoadStats {
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  double mean_active = 0.0;  ///< time-average carried flows
+  std::size_t peak_active = 0;
+
+  double admit_ratio() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(admitted) /
+                              static_cast<double>(offered);
+  }
+};
+
+/// Drive `controller` with Poisson arrivals over the demand set.
+/// Deterministic for a given seed.
+LoadStats run_poisson_load(AdmissionController& controller,
+                           const std::vector<traffic::Demand>& demands,
+                           const LoadDriverConfig& config);
+
+}  // namespace ubac::admission

@@ -1,0 +1,81 @@
+#include "admission/reduced_load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "admission/erlang.hpp"
+
+namespace ubac::admission {
+
+ReducedLoadResult solve_reduced_load(const ReducedLoadInput& input,
+                                     const ReducedLoadOptions& options) {
+  if (input.offered_erlangs.size() != input.routes.size())
+    throw std::invalid_argument("reduced_load: offered/routes mismatch");
+  const std::size_t servers = input.circuits.size();
+  for (const auto& route : input.routes) {
+    if (route.empty())
+      throw std::invalid_argument("reduced_load: empty route");
+    for (const net::ServerId s : route)
+      if (s >= servers)
+        throw std::out_of_range("reduced_load: bad server in route");
+  }
+  for (const double a : input.offered_erlangs)
+    if (a < 0.0)
+      throw std::invalid_argument("reduced_load: negative offered load");
+  if (options.damping <= 0.0 || options.damping > 1.0)
+    throw std::invalid_argument("reduced_load: damping in (0,1]");
+
+  ReducedLoadResult result;
+  result.link_blocking.assign(servers, 0.0);
+  std::vector<double> offered(servers, 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    std::fill(offered.begin(), offered.end(), 0.0);
+
+    // Thinned offered load per link.
+    for (std::size_t r = 0; r < input.routes.size(); ++r) {
+      const auto& route = input.routes[r];
+      // Product over the whole route, divided out per link (guarding the
+      // L == 1 case by recomputing exclusive products directly).
+      for (std::size_t j = 0; j < route.size(); ++j) {
+        double thin = 1.0;
+        for (std::size_t k = 0; k < route.size(); ++k) {
+          if (k == j) continue;
+          thin *= 1.0 - result.link_blocking[route[k]];
+        }
+        offered[route[j]] += input.offered_erlangs[r] * thin;
+      }
+    }
+
+    double max_change = 0.0;
+    for (std::size_t s = 0; s < servers; ++s) {
+      const double update = erlang_b_blocking(offered[s], input.circuits[s]);
+      const double next = options.damping * update +
+                          (1.0 - options.damping) * result.link_blocking[s];
+      max_change = std::max(max_change,
+                            std::abs(next - result.link_blocking[s]));
+      result.link_blocking[s] = next;
+    }
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.demand_acceptance.resize(input.routes.size());
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t r = 0; r < input.routes.size(); ++r) {
+    double acceptance = 1.0;
+    for (const net::ServerId s : input.routes[r])
+      acceptance *= 1.0 - result.link_blocking[s];
+    result.demand_acceptance[r] = acceptance;
+    weighted += acceptance * input.offered_erlangs[r];
+    total += input.offered_erlangs[r];
+  }
+  result.overall_acceptance = total > 0.0 ? weighted / total : 1.0;
+  return result;
+}
+
+}  // namespace ubac::admission

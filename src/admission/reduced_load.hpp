@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file reduced_load.hpp
+/// \brief Erlang reduced-load (fixed-point) approximation for the network.
+///
+/// Under utilization-based admission every link behaves like an M/M/c/c
+/// loss system with c = its class flow limit. For a whole network with
+/// routed demands, the classical Erlang fixed point estimates per-link
+/// blocking: link j sees the offered load of every route through it,
+/// thinned by the blocking of the route's *other* links,
+///
+///   A_j = sum_{routes r owning j} a_r * prod_{k in r, k != j} (1 - L_k)
+///   L_j = ErlangB(A_j, c_j),
+///
+/// iterated to convergence. This predicts the admission probability the
+/// Poisson load driver measures, giving an analytic cross-check for the
+/// flow-level experiments (bench_admission_runtime).
+
+#include <cstddef>
+#include <vector>
+
+#include "net/path.hpp"
+
+namespace ubac::admission {
+
+struct ReducedLoadInput {
+  /// Offered load per demand, in erlangs (arrival rate * mean holding).
+  std::vector<double> offered_erlangs;
+  /// Route per demand (aligned), at link-server granularity.
+  std::vector<net::ServerPath> routes;
+  /// Flow capacity (circuits) per server.
+  std::vector<std::size_t> circuits;
+};
+
+struct ReducedLoadResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> link_blocking;       ///< L_j per server
+  std::vector<double> demand_acceptance;   ///< product form per demand
+  /// Offered-load-weighted network acceptance probability.
+  double overall_acceptance = 0.0;
+};
+
+struct ReducedLoadOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-10;
+  double damping = 0.5;  ///< new = damping*update + (1-damping)*old
+};
+
+ReducedLoadResult solve_reduced_load(const ReducedLoadInput& input,
+                                     const ReducedLoadOptions& options = {});
+
+}  // namespace ubac::admission

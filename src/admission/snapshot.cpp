@@ -1,0 +1,83 @@
+#include "admission/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace ubac::admission {
+
+std::vector<LinkUtilization> UtilizationSnapshot::top(
+    std::size_t class_index, std::size_t count) const {
+  const auto& all = per_class.at(class_index);
+  return {all.begin(),
+          all.begin() + static_cast<long>(std::min(count, all.size()))};
+}
+
+double UtilizationSnapshot::mean_utilization(std::size_t class_index) const {
+  const auto& all = per_class.at(class_index);
+  if (all.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& link : all) total += link.utilization;
+  return total / static_cast<double>(all.size());
+}
+
+UtilizationSnapshot take_snapshot(const AdmissionController& controller,
+                                  const net::ServerGraph& graph,
+                                  const traffic::ClassSet& classes) {
+  UtilizationSnapshot snapshot;
+  snapshot.active_flows = controller.active_flows();
+  snapshot.per_class.resize(classes.size());
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    if (!classes.at(cls).realtime) continue;
+    auto& rows = snapshot.per_class[cls];
+    rows.reserve(graph.size());
+    for (net::ServerId s = 0; s < graph.size(); ++s)
+      rows.push_back(LinkUtilization{s, controller.class_utilization(s, cls),
+                                     controller.reserved_rate(s, cls)});
+    std::sort(rows.begin(), rows.end(),
+              [](const LinkUtilization& a, const LinkUtilization& b) {
+                if (a.utilization != b.utilization)
+                  return a.utilization > b.utilization;
+                return a.server < b.server;
+              });
+  }
+  return snapshot;
+}
+
+std::string render_snapshot(const UtilizationSnapshot& snapshot,
+                            const net::ServerGraph& graph,
+                            const traffic::ClassSet& classes,
+                            std::size_t count) {
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "active flows: %zu\n",
+                snapshot.active_flows);
+  out += line;
+  const net::Topology& topo = graph.topology();
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    if (!classes.at(cls).realtime) continue;
+    std::snprintf(line, sizeof(line),
+                  "class '%s': mean share utilization %.1f%%\n",
+                  classes.at(cls).name.c_str(),
+                  100.0 * snapshot.mean_utilization(cls));
+    out += line;
+    util::TextTable table({"link", "share used", "reserved"},
+                          {util::Align::kLeft, util::Align::kRight,
+                           util::Align::kRight});
+    for (const auto& row : snapshot.top(cls, count)) {
+      const auto& server = graph.server(row.server);
+      char reserved[32];
+      std::snprintf(reserved, sizeof(reserved), "%.1f Mb/s",
+                    row.reserved / 1e6);
+      table.add_row({topo.node_name(server.from) + "->" +
+                         topo.node_name(server.to),
+                     util::TextTable::fmt_percent(row.utilization, 1),
+                     reserved});
+    }
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace ubac::admission

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// \brief Point-in-time utilization views of a running controller.
+///
+/// Operators watch link utilization, not flow tables; this summarizes a
+/// controller's per-link class reservations into the tables dashboards
+/// and the admission_control_sim example display.
+
+#include <string>
+#include <vector>
+
+#include "admission/controller.hpp"
+
+namespace ubac::admission {
+
+struct LinkUtilization {
+  net::ServerId server;
+  double utilization;       ///< reserved / (alpha * C), in [0, 1]
+  BitsPerSecond reserved;   ///< absolute reserved rate
+};
+
+struct UtilizationSnapshot {
+  std::size_t active_flows = 0;
+  /// Per real-time class, every server's utilization sorted descending.
+  std::vector<std::vector<LinkUtilization>> per_class;
+
+  /// Hottest links of a class (post-sort prefix).
+  std::vector<LinkUtilization> top(std::size_t class_index,
+                                   std::size_t count) const;
+
+  /// Mean utilization of a class over all servers.
+  double mean_utilization(std::size_t class_index) const;
+};
+
+/// Capture a snapshot of `controller` over `graph`.
+UtilizationSnapshot take_snapshot(const AdmissionController& controller,
+                                  const net::ServerGraph& graph,
+                                  const traffic::ClassSet& classes);
+
+/// Render the snapshot (top `count` links per real-time class).
+std::string render_snapshot(const UtilizationSnapshot& snapshot,
+                            const net::ServerGraph& graph,
+                            const traffic::ClassSet& classes,
+                            std::size_t count = 5);
+
+}  // namespace ubac::admission

@@ -1,0 +1,80 @@
+#include "admission/statistical_controller.hpp"
+
+#include "analysis/statistical.hpp"
+
+namespace ubac::admission {
+
+StatisticalAdmissionController::StatisticalAdmissionController(
+    const net::ServerGraph& graph, const traffic::ClassSet& classes,
+    RoutingTable table, const StatisticalPolicy& policy)
+    : graph_(&graph), classes_(&classes), table_(std::move(table)),
+      limits_(classes.size(), std::vector<std::size_t>(graph.size(), 0)),
+      counts_(classes.size(), std::vector<std::size_t>(graph.size(), 0)) {
+  for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+    if (!classes.at(cls).realtime) continue;
+    const auto& c = classes.at(cls);
+    for (net::ServerId s = 0; s < graph.size(); ++s)
+      limits_[cls][s] = analysis::statistical_flow_limit(
+          c.share, graph.server(s).capacity, c.bucket.rate, policy.activity,
+          policy.epsilon);
+  }
+}
+
+AdmissionDecision StatisticalAdmissionController::request(
+    net::NodeId src, net::NodeId dst, std::size_t class_index) {
+  AdmissionDecision decision;
+  if (class_index >= classes_->size() ||
+      !classes_->at(class_index).realtime) {
+    decision.outcome = AdmissionOutcome::kBadClass;
+    return decision;
+  }
+  const auto route = table_.lookup(src, dst, class_index);
+  if (!route) {
+    decision.outcome = AdmissionOutcome::kNoRoute;
+    return decision;
+  }
+  auto& counts = counts_[class_index];
+  const auto& limits = limits_[class_index];
+  for (std::size_t hop = 0; hop < route->size(); ++hop) {
+    const net::ServerId s = (*route)[hop];
+    if (counts[s] + 1 > limits[s]) {
+      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
+      decision.blocking_hop = hop;
+      return decision;
+    }
+  }
+  for (const net::ServerId s : *route) ++counts[s];
+  traffic::Flow flow{next_id_++, class_index, src, dst, *route};
+  decision.outcome = AdmissionOutcome::kAdmitted;
+  decision.flow_id = flow.id;
+  flows_.emplace(flow.id, std::move(flow));
+  return decision;
+}
+
+bool StatisticalAdmissionController::release(traffic::FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  auto& counts = counts_[it->second.class_index];
+  for (const net::ServerId s : it->second.route)
+    if (counts[s] > 0) --counts[s];
+  flows_.erase(it);
+  return true;
+}
+
+std::size_t StatisticalAdmissionController::flow_limit(
+    net::ServerId server, std::size_t class_index) const {
+  return limits_.at(class_index).at(server);
+}
+
+std::size_t StatisticalAdmissionController::flow_count(
+    net::ServerId server, std::size_t class_index) const {
+  return counts_.at(class_index).at(server);
+}
+
+const traffic::Flow* StatisticalAdmissionController::find_flow(
+    traffic::FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ubac::admission

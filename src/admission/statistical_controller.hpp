@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file statistical_controller.hpp
+/// \brief Statistical variant of the run-time admission controller.
+///
+/// Same interface and per-hop cost as AdmissionController, but the
+/// per-link limit is a *flow count* derived from the Chernoff overbooking
+/// analysis (analysis/statistical.hpp) instead of the deterministic
+/// peak-rate reservation alpha*C/rho. Guarantees become probabilistic:
+/// the instantaneous aggregate of admitted flows exceeds the class share
+/// with probability <= epsilon on every link (and the delay guarantee
+/// holds whenever it does not).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/routing_table.hpp"
+#include "net/server_graph.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/service_class.hpp"
+
+namespace ubac::admission {
+
+struct StatisticalPolicy {
+  double activity = 0.4;   ///< on/off activity factor of a flow
+  double epsilon = 1e-6;   ///< per-link overload probability target
+};
+
+class StatisticalAdmissionController {
+ public:
+  StatisticalAdmissionController(const net::ServerGraph& graph,
+                                 const traffic::ClassSet& classes,
+                                 RoutingTable table,
+                                 const StatisticalPolicy& policy);
+
+  AdmissionDecision request(net::NodeId src, net::NodeId dst,
+                            std::size_t class_index);
+  bool release(traffic::FlowId id);
+
+  /// Flow-count limit of a class on a server under the policy.
+  std::size_t flow_limit(net::ServerId server, std::size_t class_index) const;
+
+  /// Admitted flow count of a class on a server.
+  std::size_t flow_count(net::ServerId server, std::size_t class_index) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+  const traffic::Flow* find_flow(traffic::FlowId id) const;
+
+ private:
+  const net::ServerGraph* graph_;
+  const traffic::ClassSet* classes_;
+  RoutingTable table_;
+  /// limits_[class][server] and counts_[class][server], flows not rates.
+  std::vector<std::vector<std::size_t>> limits_;
+  std::vector<std::vector<std::size_t>> counts_;
+  std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
+  traffic::FlowId next_id_ = 1;
+};
+
+}  // namespace ubac::admission

@@ -1,0 +1,65 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/delay_bound.hpp"
+
+namespace ubac::analysis {
+
+namespace {
+void check_common(double fan_in, int diameter, Seconds deadline) {
+  if (fan_in <= 1.0)
+    throw std::invalid_argument("bounds: fan-in must be > 1");
+  if (diameter < 1)
+    throw std::invalid_argument("bounds: diameter must be >= 1");
+  if (deadline <= 0.0)
+    throw std::invalid_argument("bounds: deadline must be > 0");
+}
+}  // namespace
+
+double alpha_lower_bound(double fan_in, int diameter,
+                         const traffic::LeakyBucket& bucket,
+                         Seconds deadline) {
+  check_common(fan_in, diameter, deadline);
+  const double l = diameter;
+  const double burst_ratio =
+      bucket.burst / (bucket.rate * deadline);  // T / (rho * D)
+  const double raw =
+      fan_in / ((fan_in - 1.0) * (l * burst_ratio + (l - 1.0)) + 1.0);
+  // Utilization cannot exceed 1; outside the paper's regime (short paths,
+  // loose deadlines) the closed form is vacuous above that.
+  return std::min(1.0, raw);
+}
+
+double alpha_upper_bound(double fan_in, int diameter,
+                         const traffic::LeakyBucket& bucket,
+                         Seconds deadline) {
+  check_common(fan_in, diameter, deadline);
+  const double dpt = deadline * bucket.rate / bucket.burst;  // D*rho/T
+  const double g = std::pow(dpt + 1.0, 1.0 / static_cast<double>(diameter));
+  // When g - 1 >= 1 the beta constraint never binds (beta <= 1 always) and
+  // the only remaining ceiling is full utilization.
+  return std::min(1.0, fan_in * (g - 1.0) / (fan_in + g - 2.0));
+}
+
+Seconds uniform_per_hop_delay(double alpha, double fan_in, int diameter,
+                              const traffic::LeakyBucket& bucket) {
+  if (diameter < 1)
+    throw std::invalid_argument("uniform_per_hop_delay: diameter >= 1");
+  const double b = beta(alpha, fan_in);
+  const double gain = b * static_cast<double>(diameter - 1);
+  if (gain >= 1.0) return std::numeric_limits<double>::infinity();
+  return b * (bucket.burst / bucket.rate) / (1.0 - gain);
+}
+
+Seconds feed_forward_path_delay(double alpha, double fan_in, int hops,
+                                const traffic::LeakyBucket& bucket) {
+  if (hops < 0)
+    throw std::invalid_argument("feed_forward_path_delay: hops >= 0");
+  const double b = beta(alpha, fan_in);
+  return (bucket.burst / bucket.rate) *
+         (std::pow(1.0 + b, static_cast<double>(hops)) - 1.0);
+}
+
+}  // namespace ubac::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file bounds.hpp
+/// \brief Theorem 4: closed-form bounds on the maximum safe utilization.
+///
+/// For a two-class network of diameter L with fan-in N per router, leaky
+/// bucket (T, rho) and deadline D, the maximum utilization alpha* that any
+/// route selection can safely sustain satisfies
+///
+///   alpha_LB = N / ((N-1) * (L*T/(rho*D) + (L-1)) + 1)
+///   alpha_UB = N*(g - 1) / (N + g - 2),  g = (D*rho/T + 1)^(1/L)
+///   alpha_LB <= alpha* <= alpha_UB.
+///
+/// The lower bound is topology independent (any route selection whose
+/// longest route has <= L hops is safe at alpha_LB); the upper bound comes
+/// from the best-case feed-forward delay growth along a length-L path.
+/// Both match the paper's Table 1 values (0.30 and 0.61) for the MCI
+/// scenario, which validates this reconstruction of the partially garbled
+/// Equation 15.
+
+#include <stdexcept>
+
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+/// Topology-independent lower bound on alpha* (safe for any routes with at
+/// most `diameter` hops). Requires diameter >= 1, fan_in > 1.
+double alpha_lower_bound(double fan_in, int diameter,
+                         const traffic::LeakyBucket& bucket, Seconds deadline);
+
+/// Upper bound on alpha*: above it even the most favourable (feed-forward)
+/// routing violates the deadline on a diameter-length path.
+double alpha_upper_bound(double fan_in, int diameter,
+                         const traffic::LeakyBucket& bucket, Seconds deadline);
+
+/// The uniform per-hop delay used in the lower-bound derivation (Eq. 17):
+/// d = beta*T/rho / (1 - beta*(L-1)); +infinity when beta*(L-1) >= 1.
+Seconds uniform_per_hop_delay(double alpha, double fan_in, int diameter,
+                              const traffic::LeakyBucket& bucket);
+
+/// End-to-end delay of the best-case feed-forward chain of `hops` servers
+/// (Eq. 20 summed): (T/rho) * ((1+beta)^hops - 1).
+Seconds feed_forward_path_delay(double alpha, double fan_in, int hops,
+                                const traffic::LeakyBucket& bucket);
+
+}  // namespace ubac::analysis

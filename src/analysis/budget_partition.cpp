@@ -1,0 +1,93 @@
+#include "analysis/budget_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/delay_bound.hpp"
+
+namespace ubac::analysis {
+
+BudgetVerification verify_with_budgets(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    std::span<const net::ServerPath> routes, BudgetRule rule) {
+  if (deadline <= 0.0)
+    throw std::invalid_argument("verify_with_budgets: deadline must be > 0");
+  const std::size_t servers = graph.size();
+  for (const auto& route : routes)
+    for (const net::ServerId s : route)
+      if (s >= servers)
+        throw std::out_of_range("verify_with_budgets: bad server in route");
+
+  BudgetVerification result;
+  result.server_budget.assign(servers,
+                              std::numeric_limits<double>::infinity());
+  result.server_delay.assign(servers, 0.0);
+  result.violating_server = servers;
+
+  std::vector<char> used(servers, 0);
+  std::size_t longest = 0;
+  for (const auto& route : routes) {
+    longest = std::max(longest, route.size());
+    for (const net::ServerId s : route) used[s] = 1;
+  }
+  if (longest == 0) {
+    result.safe = true;
+    return result;
+  }
+
+  // --- Assign per-server budgets. ---
+  if (rule == BudgetRule::kEqual) {
+    const Seconds budget = deadline / static_cast<double>(longest);
+    for (net::ServerId s = 0; s < servers; ++s)
+      if (used[s]) result.server_budget[s] = budget;
+  } else {
+    // Proportional to the zero-jitter Theorem 3 delay of each hop; the
+    // committed per-server budget is the tightest demand over routes.
+    for (const auto& route : routes) {
+      Seconds total_weight = 0.0;
+      std::vector<Seconds> weight(route.size());
+      for (std::size_t i = 0; i < route.size(); ++i) {
+        weight[i] =
+            theorem3_delay(alpha, graph.server(route[i]).fan_in, bucket, 0.0);
+        total_weight += weight[i];
+      }
+      if (total_weight <= 0.0) continue;
+      for (std::size_t i = 0; i < route.size(); ++i) {
+        const Seconds share = deadline * weight[i] / total_weight;
+        result.server_budget[route[i]] =
+            std::min(result.server_budget[route[i]], share);
+      }
+    }
+  }
+
+  // --- Verify each used server locally. ---
+  // Upstream jitter bound: the sum of *budgets* of the hops before k, the
+  // defining decoupling of the approach.
+  std::vector<Seconds> upstream(servers, 0.0);
+  for (const auto& route : routes) {
+    Seconds prefix = 0.0;
+    for (const net::ServerId s : route) {
+      upstream[s] = std::max(upstream[s], prefix);
+      prefix += result.server_budget[s];
+    }
+  }
+
+  result.safe = true;
+  for (net::ServerId s = 0; s < servers; ++s) {
+    if (!used[s]) {
+      result.server_budget[s] = 0.0;
+      continue;
+    }
+    result.server_delay[s] =
+        theorem3_delay(alpha, graph.server(s).fan_in, bucket, upstream[s]);
+    if (result.server_delay[s] > result.server_budget[s] && result.safe) {
+      result.safe = false;
+      result.violating_server = s;
+    }
+  }
+  return result;
+}
+
+}  // namespace ubac::analysis

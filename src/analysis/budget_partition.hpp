@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file budget_partition.hpp
+/// \brief Per-hop deadline partitioning — the classical baseline the
+/// paper's holistic fixed point improves upon.
+///
+/// Pre-diffserv systems (NetEx-style admission, Section 2) often divided
+/// the end-to-end deadline D into fixed per-hop budgets b_k and verified
+/// each server locally: the server's Theorem 3 delay, with upstream
+/// jitter bounded by the *budgets* of the upstream hops, must fit its own
+/// budget. This decouples the servers (no fixed point needed) at the cost
+/// of pessimism: the budget must hold on every route through the server
+/// simultaneously, and slack on one hop cannot be reused on another.
+///
+/// Two partitioning rules are provided:
+///  * kEqual        — b = D / H, H = the longest route's hop count;
+///  * kProportional — per-route budgets proportional to each hop's
+///                    zero-jitter delay, with the per-server budget the
+///                    minimum over routes through it.
+///
+/// The bench compares the maximum utilization admitted by each rule
+/// against the holistic fixed point.
+
+#include <span>
+#include <vector>
+
+#include "net/server_graph.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+enum class BudgetRule { kEqual, kProportional };
+
+struct BudgetVerification {
+  bool safe = false;
+  std::vector<Seconds> server_budget;  ///< assigned per-server budget
+  std::vector<Seconds> server_delay;   ///< Theorem 3 delay under budgets
+  /// Index of the first server whose delay exceeds its budget (when
+  /// unsafe); size() of the graph otherwise.
+  std::size_t violating_server = 0;
+};
+
+/// Verify a utilization assignment with per-hop budget partitioning
+/// instead of the holistic fixed point. Routes at server granularity; all
+/// routes share `deadline`.
+BudgetVerification verify_with_budgets(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    std::span<const net::ServerPath> routes,
+    BudgetRule rule = BudgetRule::kEqual);
+
+}  // namespace ubac::analysis

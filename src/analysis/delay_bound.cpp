@@ -1,0 +1,49 @@
+#include "analysis/delay_bound.hpp"
+
+namespace ubac::analysis {
+
+namespace {
+void check_alpha_n(double alpha, double fan_in) {
+  if (!(alpha > 0.0) || alpha > 1.0)
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  if (fan_in < 1.0)
+    throw std::invalid_argument("fan-in must be >= 1");
+}
+}  // namespace
+
+double beta(double alpha, double fan_in) {
+  check_alpha_n(alpha, fan_in);
+  return alpha * (fan_in - 1.0) / (fan_in - alpha);
+}
+
+double alpha_for_beta(double beta_value, double fan_in) {
+  if (beta_value < 0.0)
+    throw std::invalid_argument("beta must be non-negative");
+  if (fan_in <= 1.0)
+    throw std::invalid_argument("fan-in must be > 1 to invert beta");
+  return beta_value * fan_in / (fan_in - 1.0 + beta_value);
+}
+
+Seconds theorem3_delay(double alpha, double fan_in,
+                       const traffic::LeakyBucket& bucket,
+                       Seconds upstream_delay) {
+  if (upstream_delay < 0.0)
+    throw std::invalid_argument("upstream delay must be >= 0");
+  return beta(alpha, fan_in) * (bucket.burst / bucket.rate + upstream_delay);
+}
+
+Seconds theorem3_delay_two_term(double alpha, double fan_in,
+                                const traffic::LeakyBucket& bucket,
+                                Seconds upstream_delay) {
+  check_alpha_n(alpha, fan_in);
+  if (upstream_delay < 0.0)
+    throw std::invalid_argument("upstream delay must be >= 0");
+  const double effective_burst =
+      bucket.burst + bucket.rate * upstream_delay;  // T + rho*Y
+  const double first = effective_burst * alpha / bucket.rate;
+  const double second = (alpha - 1.0) * alpha * effective_burst /
+                        (bucket.rate * (fan_in - alpha));
+  return first + second;
+}
+
+}  // namespace ubac::analysis

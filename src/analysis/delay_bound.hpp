@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file delay_bound.hpp
+/// \brief Closed-form per-server worst-case delay bounds (Theorems 1-3).
+///
+/// For a link server with fan-in N and capacity C serving a real-time
+/// class limited to utilization alpha, with per-flow leaky bucket (T, rho)
+/// and worst upstream queueing delay Y, Theorem 3 bounds the server's
+/// worst-case queueing delay by
+///
+///   d <= (T + rho*Y) * alpha/rho + (alpha - 1) * alpha*(T + rho*Y) / (rho*(N - alpha))
+///      =  beta(alpha, N) * (T/rho + Y),
+///
+/// where beta(alpha, N) = alpha*(N - 1)/(N - alpha). The delay bound is
+/// independent of the run-time flow population — that is what makes
+/// utilization-based admission control possible.
+
+#include <stdexcept>
+
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+/// beta(alpha, N) = alpha*(N-1)/(N-alpha); the per-hop delay multiplier of
+/// Theorem 3. Monotonically increasing in both alpha (0,1] and N (>= 1);
+/// beta < 1 for alpha < 1, and beta == 0 when N == 1 (a single input link
+/// at line rate cannot overload the output).
+double beta(double alpha, double fan_in);
+
+/// Inverse of beta in alpha for fixed N: the utilization that yields a
+/// given per-hop multiplier. alpha = beta*N / (N - 1 + beta).
+double alpha_for_beta(double beta_value, double fan_in);
+
+/// Theorem 3: worst-case queueing delay at one server.
+/// `upstream_delay` is Y_k, the largest total queueing delay any flow
+/// through this server may have accumulated upstream (Equation 6).
+Seconds theorem3_delay(double alpha, double fan_in,
+                       const traffic::LeakyBucket& bucket,
+                       Seconds upstream_delay);
+
+/// The two-term form of Equation 10, kept for cross-checking the
+/// simplification (tests assert it equals theorem3_delay to fp accuracy).
+Seconds theorem3_delay_two_term(double alpha, double fan_in,
+                                const traffic::LeakyBucket& bucket,
+                                Seconds upstream_delay);
+
+}  // namespace ubac::analysis

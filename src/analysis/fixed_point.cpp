@@ -1,0 +1,115 @@
+#include "analysis/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/delay_bound.hpp"
+#include "util/log.hpp"
+
+namespace ubac::analysis {
+
+const char* to_string(FeasibilityStatus status) {
+  switch (status) {
+    case FeasibilityStatus::kSafe: return "safe";
+    case FeasibilityStatus::kDeadlineViolated: return "deadline-violated";
+    case FeasibilityStatus::kNoConvergence: return "no-convergence";
+  }
+  return "?";
+}
+
+Seconds DelaySolution::worst_route_delay() const {
+  Seconds worst = 0.0;
+  for (Seconds d : route_delay) worst = std::max(worst, d);
+  return worst;
+}
+
+DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
+                              const traffic::LeakyBucket& bucket,
+                              Seconds deadline,
+                              std::span<const net::ServerPath> routes,
+                              const FixedPointOptions& options,
+                              const std::vector<Seconds>* warm_start) {
+  if (deadline <= 0.0)
+    throw std::invalid_argument("solve_two_class: deadline must be > 0");
+  const std::size_t servers = graph.size();
+
+  // Per-server beta factor; servers unused by any route keep delay 0.
+  std::vector<double> beta_k(servers, 0.0);
+  std::vector<char> used(servers, 0);
+  for (const auto& route : routes)
+    for (net::ServerId s : route) {
+      if (s >= servers) throw std::out_of_range("route references bad server");
+      used[s] = 1;
+    }
+  for (net::ServerId s = 0; s < servers; ++s)
+    if (used[s]) beta_k[s] = beta(alpha, graph.server(s).fan_in);
+
+  const Seconds base = bucket.burst / bucket.rate;  // T / rho
+
+  DelaySolution sol;
+  sol.server_delay.assign(servers, 0.0);
+  if (warm_start) {
+    if (warm_start->size() != servers)
+      throw std::invalid_argument("warm_start size mismatch");
+    sol.server_delay = *warm_start;
+  }
+  sol.route_delay.assign(routes.size(), 0.0);
+
+  std::vector<Seconds> upstream(servers, 0.0);
+  std::vector<Seconds> next(servers, 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    sol.iterations = iter;
+
+    // Y_k: max over routes through k of the delay accumulated strictly
+    // before k (Eq. 6), under the current iterate.
+    std::fill(upstream.begin(), upstream.end(), 0.0);
+    bool violated = false;
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      Seconds prefix = 0.0;
+      for (net::ServerId s : routes[r]) {
+        upstream[s] = std::max(upstream[s], prefix);
+        prefix += sol.server_delay[s];
+      }
+      sol.route_delay[r] = prefix;
+      if (prefix > deadline) violated = true;
+    }
+    if (violated) {
+      // Iterates are lower bounds of the least fixed point, so exceeding
+      // the deadline now proves the configuration unsafe.
+      sol.status = FeasibilityStatus::kDeadlineViolated;
+      return sol;
+    }
+
+    // d_k <- beta_k * (T/rho + Y_k)   (Theorem 3)
+    Seconds max_change = 0.0;
+    for (net::ServerId s = 0; s < servers; ++s) {
+      next[s] = used[s] ? beta_k[s] * (base + upstream[s]) : 0.0;
+      max_change = std::max(max_change, std::abs(next[s] - sol.server_delay[s]));
+    }
+    sol.server_delay.swap(next);
+
+    if (max_change < options.tolerance) {
+      // Converged; recompute route sums under the fixed point and accept.
+      bool ok = true;
+      for (std::size_t r = 0; r < routes.size(); ++r) {
+        Seconds total = 0.0;
+        for (net::ServerId s : routes[r]) total += sol.server_delay[s];
+        sol.route_delay[r] = total;
+        ok = ok && total <= deadline;
+      }
+      sol.status = ok ? FeasibilityStatus::kSafe
+                      : FeasibilityStatus::kDeadlineViolated;
+      return sol;
+    }
+  }
+
+  UBAC_LOG_DEBUG << "fixed point: no convergence after "
+                 << options.max_iterations << " iterations (alpha=" << alpha
+                 << ")";
+  sol.status = FeasibilityStatus::kNoConvergence;
+  return sol;
+}
+
+}  // namespace ubac::analysis

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file fixed_point.hpp
+/// \brief Iterative solution of the coupled delay equations (Section 5.1.1).
+///
+/// Per-server delay bounds depend on upstream delays (through Y_k, Eq. 6)
+/// and vice versa, giving the vector equation d = Z(d) (Eq. 14). Z is
+/// monotone in d and we iterate upward from d = 0, so the iteration
+/// converges to the *least* fixed point when one exists. Three sound
+/// outcomes:
+///
+///  * kSafe               — converged and every route meets its deadline;
+///  * kDeadlineViolated   — some route's end-to-end sum exceeded its
+///                          deadline at an iterate; since iterates are
+///                          lower bounds of the fixed point, the
+///                          configuration is provably unsafe;
+///  * kNoConvergence      — the iteration cap was hit without either of
+///                          the above (delays growing without bound, i.e.
+///                          the feedback loop gain is >= 1); treated as
+///                          unsafe.
+
+#include <span>
+#include <vector>
+
+#include "net/server_graph.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+enum class FeasibilityStatus { kSafe, kDeadlineViolated, kNoConvergence };
+
+const char* to_string(FeasibilityStatus status);
+
+struct FixedPointOptions {
+  int max_iterations = 500;
+  Seconds tolerance = 1e-12;  ///< convergence threshold on max delay change
+};
+
+struct DelaySolution {
+  FeasibilityStatus status = FeasibilityStatus::kNoConvergence;
+  std::vector<Seconds> server_delay;  ///< d_k per server (valid iff kSafe)
+  std::vector<Seconds> route_delay;   ///< end-to-end bound per route
+  int iterations = 0;
+
+  bool safe() const { return status == FeasibilityStatus::kSafe; }
+
+  /// Largest end-to-end delay over all routes (0 when there are none).
+  Seconds worst_route_delay() const;
+};
+
+/// Solve the two-class system (one real-time class + best effort) of
+/// Theorem 3 over the given routes (link-server granularity, one route per
+/// demand). All routes share the class deadline.
+///
+/// `warm_start`, when given, must be a known lower bound of the least
+/// fixed point — e.g. the solution for a subset of these routes at the
+/// same alpha (adding routes can only increase delays). It accelerates the
+/// incremental re-verifications performed by route selection.
+DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
+                              const traffic::LeakyBucket& bucket,
+                              Seconds deadline,
+                              std::span<const net::ServerPath> routes,
+                              const FixedPointOptions& options = {},
+                              const std::vector<Seconds>* warm_start = nullptr);
+
+}  // namespace ubac::analysis

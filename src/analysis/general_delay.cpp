@@ -1,0 +1,44 @@
+#include "analysis/general_delay.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ubac::analysis {
+
+Seconds general_delay(BitsPerSecond capacity,
+                      const std::vector<traffic::TrafficFunction>& per_input) {
+  if (capacity <= 0.0)
+    throw std::invalid_argument("general_delay: capacity must be > 0");
+  traffic::TrafficFunction total;
+  for (const auto& f : per_input) total += f;
+  if (total.terminal_rate() > capacity)
+    return std::numeric_limits<double>::infinity();
+  return total.max_delay(capacity);
+}
+
+Seconds general_delay_uniform_flows(
+    BitsPerSecond capacity, BitsPerSecond input_rate,
+    const traffic::LeakyBucket& bucket, Seconds upstream_delay,
+    const std::vector<int>& flows_per_input) {
+  std::vector<traffic::TrafficFunction> inputs;
+  inputs.reserve(flows_per_input.size());
+  for (int n : flows_per_input) {
+    if (n < 0)
+      throw std::invalid_argument("general_delay_uniform_flows: n < 0");
+    if (n == 0) {
+      inputs.emplace_back();  // zero function
+      continue;
+    }
+    // Lemma 1: the aggregate of n identical jittered flows on one input is
+    // F_j(I) = min{ line*I, n*(T + rho*Y) + n*rho*I }, which is the
+    // envelope of a single leaky bucket with scaled parameters.
+    const traffic::LeakyBucket aggregate(
+        static_cast<double>(n) * (bucket.burst + bucket.rate * upstream_delay),
+        static_cast<double>(n) * bucket.rate);
+    inputs.push_back(
+        traffic::TrafficFunction::from_leaky_bucket(aggregate, input_rate));
+  }
+  return general_delay(capacity, inputs);
+}
+
+}  // namespace ubac::analysis

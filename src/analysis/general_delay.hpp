@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file general_delay.hpp
+/// \brief The general (flow-aware) delay formula, Equation 3.
+///
+/// When the flow population at a server is known explicitly, the
+/// worst-case queueing delay under class-based static priority for the
+/// top class is
+///
+///   d = (1/C) * max_{I>0} ( sum_j F_j(I) - C*I ),
+///
+/// where F_j is the aggregated constraint function of the real-time
+/// traffic on input link j. The paper's contribution is to *remove* the
+/// dependency on the flow population (Theorems 1-3); this module keeps the
+/// general formula so tests and the intserv-style baseline can check that
+/// the population-independent bound dominates every admissible population.
+
+#include <vector>
+
+#include "traffic/traffic_function.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+/// Worst-case delay of a server of rate `capacity` whose inputs carry the
+/// given aggregated envelopes. Each input's envelope is additionally
+/// capped at its physical line rate `input_rate * I` (Lemma 1 does the
+/// same). Returns +infinity when the total sustained rate exceeds the
+/// capacity.
+Seconds general_delay(BitsPerSecond capacity,
+                      const std::vector<traffic::TrafficFunction>& per_input);
+
+/// Convenience for homogeneous populations: `flows_per_input[j]` identical
+/// flows with leaky bucket `bucket` and upstream jitter `upstream_delay`
+/// arrive on input j; every input has line rate `input_rate`. This is the
+/// exact setting of Theorem 2 (worst-case distribution of n_{k,j}).
+Seconds general_delay_uniform_flows(
+    BitsPerSecond capacity, BitsPerSecond input_rate,
+    const traffic::LeakyBucket& bucket, Seconds upstream_delay,
+    const std::vector<int>& flows_per_input);
+
+}  // namespace ubac::analysis

@@ -1,0 +1,82 @@
+#include "analysis/statistical.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ubac::analysis {
+
+double bernoulli_kl(double q, double p) {
+  if (q <= 0.0 || q >= 1.0 || p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("bernoulli_kl: arguments must be in (0,1)");
+  return q * std::log(q / p) + (1.0 - q) * std::log((1.0 - q) / (1.0 - p));
+}
+
+double binomial_tail_bound(std::size_t n, double p, std::size_t k) {
+  if (n == 0) throw std::invalid_argument("binomial_tail_bound: n == 0");
+  if (p <= 0.0 || p >= 1.0)
+    throw std::invalid_argument("binomial_tail_bound: p must be in (0,1)");
+  if (k > n) return 0.0;  // impossible event
+  const double q = static_cast<double>(k) / static_cast<double>(n);
+  if (q <= p) return 1.0;  // at or below the mean: bound is vacuous
+  if (q >= 1.0) {
+    // P[all n on] = p^n exactly; use it rather than KL at the boundary.
+    return std::pow(p, static_cast<double>(n));
+  }
+  return std::exp(-static_cast<double>(n) * bernoulli_kl(q, p));
+}
+
+std::size_t statistical_flow_limit(double alpha, BitsPerSecond capacity,
+                                   BitsPerSecond peak_rate, double activity,
+                                   double epsilon) {
+  if (!(alpha > 0.0) || alpha > 1.0)
+    throw std::invalid_argument("statistical_flow_limit: bad alpha");
+  if (capacity <= 0.0 || peak_rate <= 0.0 || peak_rate > capacity)
+    throw std::invalid_argument("statistical_flow_limit: bad rates");
+  if (activity <= 0.0 || activity >= 1.0)
+    throw std::invalid_argument("statistical_flow_limit: activity in (0,1)");
+  if (epsilon <= 0.0 || epsilon >= 1.0)
+    throw std::invalid_argument("statistical_flow_limit: epsilon in (0,1)");
+
+  // Deterministic (peak-rate) limit: always admissible — even with every
+  // flow simultaneously on, the share holds.
+  const auto deterministic =
+      static_cast<std::size_t>(alpha * capacity / peak_rate);
+
+  // A flow set of size n violates the share when more than
+  // k(n) = floor(alpha*C/rho) flows are on simultaneously.
+  const auto threshold = deterministic;
+
+  // The admissible-overload probability is monotone increasing in n, so
+  // scan upward geometrically then binary-search the boundary.
+  auto safe = [&](std::size_t n) {
+    if (n <= threshold) return true;
+    return binomial_tail_bound(n, activity, threshold + 1) <= epsilon;
+  };
+
+  std::size_t lo = deterministic;          // known safe
+  std::size_t hi = deterministic ? deterministic : 1;
+  while (safe(hi)) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (std::size_t{1} << 40)) break;  // absurd upper guard
+  }
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    (safe(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double overbooking_factor(double alpha, BitsPerSecond capacity,
+                          BitsPerSecond peak_rate, double activity,
+                          double epsilon) {
+  const auto deterministic =
+      static_cast<std::size_t>(alpha * capacity / peak_rate);
+  if (deterministic == 0) return 1.0;
+  const auto statistical = statistical_flow_limit(alpha, capacity, peak_rate,
+                                                  activity, epsilon);
+  return static_cast<double>(statistical) /
+         static_cast<double>(deterministic);
+}
+
+}  // namespace ubac::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file statistical.hpp
+/// \brief Statistical admission control (the paper's Section 7 outlook).
+///
+/// Deterministic utilization-based admission reserves each flow's *peak*
+/// rate, so a link carries at most alpha*C/rho flows. Voice sources,
+/// however, are on/off: a flow transmits at its peak rate only during
+/// talk spurts (activity factor p ~ 0.4). Statistical admission exploits
+/// multiplexing: admit n flows as long as the probability that the
+/// *instantaneous* aggregate rate exceeds the class share stays below a
+/// target epsilon,
+///
+///   P[ rho * Binomial(n, p)  >  alpha * C ]  <=  epsilon.
+///
+/// We bound the tail with the Chernoff–Hoeffding / KL-divergence bound
+///   P[Bin(n,p) >= k] <= exp(-n * D(k/n || p)),  k/n > p,
+/// which is distribution-exact in the exponent, and find the largest safe
+/// n by monotone search. The resulting admission limit replaces the
+/// deterministic alpha*C/rho in the controller; everything else (routes,
+/// per-hop test, core statelessness) is unchanged.
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+
+/// Bernoulli KL divergence D(q || p) in nats, for q, p in (0,1).
+double bernoulli_kl(double q, double p);
+
+/// Chernoff upper bound on P[Binomial(n, p) >= k].
+/// Exact 1.0 when k <= n*p (the bound is vacuous below the mean).
+double binomial_tail_bound(std::size_t n, double p, std::size_t k);
+
+/// Largest n such that P[rho * Bin(n, p) > alpha * C] <= epsilon under the
+/// Chernoff bound. Requires 0 < activity < 1, 0 < epsilon < 1.
+/// Always >= the deterministic limit floor(alpha*C/rho); equality when
+/// epsilon is so small that no overbooking is tolerable.
+std::size_t statistical_flow_limit(double alpha, BitsPerSecond capacity,
+                                   BitsPerSecond peak_rate, double activity,
+                                   double epsilon);
+
+/// Overbooking factor: statistical limit / deterministic limit (>= 1).
+double overbooking_factor(double alpha, BitsPerSecond capacity,
+                          BitsPerSecond peak_rate, double activity,
+                          double epsilon);
+
+}  // namespace ubac::analysis

@@ -1,0 +1,41 @@
+#include "analysis/verification.hpp"
+
+namespace ubac::analysis {
+
+VerificationReport verify_safe_utilization_servers(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::ServerPath>& routes,
+    const FixedPointOptions& options) {
+  const DelaySolution sol =
+      solve_two_class(graph, alpha, bucket, deadline, routes, options);
+
+  VerificationReport report;
+  report.status = sol.status;
+  report.safe = sol.safe();
+  report.server_delay = sol.server_delay;
+  report.route_delay = sol.route_delay;
+  report.iterations = sol.iterations;
+  for (std::size_t r = 0; r < report.route_delay.size(); ++r) {
+    if (report.route_delay[r] >= report.worst_route_delay) {
+      report.worst_route_delay = report.route_delay[r];
+      report.worst_route = r;
+    }
+  }
+  return report;
+}
+
+VerificationReport verify_safe_utilization(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::NodePath>& routes,
+    const FixedPointOptions& options) {
+  std::vector<net::ServerPath> server_routes;
+  server_routes.reserve(routes.size());
+  for (const auto& route : routes)
+    server_routes.push_back(graph.map_path(route));
+  return verify_safe_utilization_servers(graph, alpha, bucket, deadline,
+                                         server_routes, options);
+}
+
+}  // namespace ubac::analysis

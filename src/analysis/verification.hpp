@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file verification.hpp
+/// \brief Verification of a safe utilization assignment (Fig. 2).
+///
+/// Configuration type 1 in Section 5: given topology, routes and a
+/// utilization assignment, decide whether every class's end-to-end
+/// deadline is guaranteed along every route, for *any* run-time flow
+/// population that respects the per-link utilization limits.
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/fixed_point.hpp"
+#include "net/server_graph.hpp"
+#include "traffic/leaky_bucket.hpp"
+
+namespace ubac::analysis {
+
+struct VerificationReport {
+  bool safe = false;
+  FeasibilityStatus status = FeasibilityStatus::kNoConvergence;
+  std::vector<Seconds> server_delay;  ///< per-server bound d_k
+  std::vector<Seconds> route_delay;   ///< per-route end-to-end bound
+  std::size_t worst_route = 0;        ///< index of the slowest route
+  Seconds worst_route_delay = 0.0;
+  int iterations = 0;
+};
+
+/// Run the Fig. 2 algorithm for the two-class system: map router-level
+/// routes onto link servers, solve the delay fixed point at utilization
+/// `alpha`, and compare end-to-end bounds against the deadline.
+VerificationReport verify_safe_utilization(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::NodePath>& routes,
+    const FixedPointOptions& options = {});
+
+/// Same, for routes already at link-server granularity.
+VerificationReport verify_safe_utilization_servers(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::ServerPath>& routes,
+    const FixedPointOptions& options = {});
+
+}  // namespace ubac::analysis

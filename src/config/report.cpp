@@ -1,0 +1,81 @@
+#include "config/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/metrics.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace ubac::config {
+
+std::string describe(const NetworkConfig& config,
+                     const net::ServerGraph& graph,
+                     const analysis::VerificationReport& report,
+                     const ReportOptions& options) {
+  const net::Topology& topo = graph.topology();
+  std::string out;
+  char line[256];
+
+  std::snprintf(line, sizeof(line),
+                "configuration: alpha=%.3f, %zu demands, deadline %.1f ms\n",
+                config.alpha, config.demands.size(),
+                units::to_ms(config.deadline));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "traffic class: T=%.0f bits, rho=%.1f kb/s  ->  "
+                "%.0f flows per 100 Mb/s link at this alpha\n",
+                config.bucket.burst, config.bucket.rate / 1e3,
+                config.alpha * 100e6 / config.bucket.rate);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "verification: %s after %d iterations; worst route bound "
+                "%.2f ms (route #%zu)\n",
+                report.safe ? "SAFE" : "UNSAFE", report.iterations,
+                units::to_ms(report.worst_route_delay), report.worst_route);
+  out += line;
+
+  if (!report.route_delay.empty()) {
+    auto sorted = report.route_delay;
+    std::sort(sorted.begin(), sorted.end());
+    std::snprintf(line, sizeof(line),
+                  "route delay bounds: median %.2f ms, p90 %.2f ms, "
+                  "max %.2f ms\n",
+                  units::to_ms(sorted[sorted.size() / 2]),
+                  units::to_ms(sorted[sorted.size() * 9 / 10]),
+                  units::to_ms(sorted.back()));
+    out += line;
+    if (options.include_histogram && sorted.size() > 4) {
+      util::Histogram histogram(0.0, units::to_ms(config.deadline), 10);
+      for (Seconds d : report.route_delay) histogram.add(units::to_ms(d));
+      out += "route delay histogram (ms):\n";
+      out += histogram.render(40);
+    }
+  }
+
+  // Hottest links by committed route count.
+  const auto load = net::link_route_load(topo, config.routes);
+  std::vector<net::LinkId> ranked(topo.link_count());
+  for (net::LinkId id = 0; id < topo.link_count(); ++id) ranked[id] = id;
+  std::sort(ranked.begin(), ranked.end(), [&](net::LinkId a, net::LinkId b) {
+    if (load[a] != load[b]) return load[a] > load[b];
+    return a < b;
+  });
+  util::TextTable table({"hot link", "routes", "delay bound"},
+                        {util::Align::kLeft, util::Align::kRight,
+                         util::Align::kRight});
+  for (std::size_t i = 0; i < options.top_links && i < ranked.size(); ++i) {
+    const auto& l = topo.link(ranked[i]);
+    table.add_row({topo.node_name(l.from) + "->" + topo.node_name(l.to),
+                   std::to_string(load[ranked[i]]),
+                   util::TextTable::fmt_ms(
+                       ranked[i] < report.server_delay.size()
+                           ? report.server_delay[ranked[i]]
+                           : 0.0)});
+  }
+  out += table.render();
+  return out;
+}
+
+}  // namespace ubac::config

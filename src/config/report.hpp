@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Human-readable summaries of committed configurations.
+///
+/// Examples and operational tooling all need the same digest of a
+/// configuration: the utilization and what it buys (flows per link), the
+/// route-delay profile against the deadline, and where the load and delay
+/// concentrate. This renders it once, consistently.
+
+#include <string>
+
+#include "analysis/verification.hpp"
+#include "config/configurator.hpp"
+#include "net/server_graph.hpp"
+
+namespace ubac::config {
+
+struct ReportOptions {
+  std::size_t top_links = 5;     ///< hottest links to list
+  bool include_histogram = true; ///< route-delay histogram
+};
+
+/// Render a multi-line text report for a committed configuration and its
+/// verification result (the report must correspond to the same config).
+std::string describe(const NetworkConfig& config,
+                     const net::ServerGraph& graph,
+                     const analysis::VerificationReport& report,
+                     const ReportOptions& options = {});
+
+}  // namespace ubac::config

@@ -1,0 +1,115 @@
+#include "net/ksp.hpp"
+
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace ubac::net {
+
+namespace {
+
+/// BFS shortest path that ignores banned nodes and banned directed links.
+/// Deterministic lowest-NodeId tie-breaking, like shortest_path().
+std::optional<NodePath> restricted_shortest_path(
+    const Topology& topo, NodeId src, NodeId dst,
+    const std::vector<char>& banned_node,
+    const std::set<std::pair<NodeId, NodeId>>& banned_link) {
+  if (banned_node[src] || banned_node[dst]) return std::nullopt;
+  if (src == dst) return NodePath{src};
+  std::vector<int> dist(topo.node_count(), -1);
+  std::vector<NodeId> parent(topo.node_count(), 0);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : topo.neighbors(u)) {
+      if (banned_node[v] || dist[v] != -1) continue;
+      if (banned_link.count({u, v})) continue;
+      dist[v] = dist[u] + 1;
+      parent[v] = u;
+      if (v == dst) {
+        NodePath path{dst};
+        NodeId cur = dst;
+        while (cur != src) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return std::nullopt;
+}
+
+struct PathOrder {
+  bool operator()(const NodePath& a, const NodePath& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  }
+};
+
+}  // namespace
+
+std::vector<NodePath> k_shortest_paths(const Topology& topo, NodeId src,
+                                       NodeId dst, std::size_t k) {
+  topo.check_node(src);
+  topo.check_node(dst);
+  if (src == dst) throw std::invalid_argument("k_shortest_paths: src == dst");
+  if (k == 0) throw std::invalid_argument("k_shortest_paths: k must be >= 1");
+
+  std::vector<NodePath> result;
+  const auto first = shortest_path(topo, src, dst);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Candidate pool, ordered; std::set gives dedup + deterministic min.
+  std::set<NodePath, PathOrder> candidates;
+
+  while (result.size() < k) {
+    const NodePath& prev = result.back();
+    // For each spur node in the last found path...
+    for (std::size_t i = 0; i + 1 < prev.size(); ++i) {
+      const NodeId spur = prev[i];
+      const NodePath root(prev.begin(), prev.begin() + static_cast<long>(i) + 1);
+
+      std::set<std::pair<NodeId, NodeId>> banned_link;
+      for (const NodePath& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          if (p.size() > i + 1) banned_link.insert({p[i], p[i + 1]});
+        }
+      }
+      for (const NodePath& p : candidates) {
+        if (p.size() > i + 1 &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_link.insert({p[i], p[i + 1]});
+        }
+      }
+
+      std::vector<char> banned_node(topo.node_count(), 0);
+      for (std::size_t j = 0; j < i; ++j) banned_node[prev[j]] = 1;
+
+      const auto spur_path = restricted_shortest_path(topo, spur, dst,
+                                                      banned_node, banned_link);
+      if (!spur_path) continue;
+      NodePath total = root;
+      total.insert(total.end(), spur_path->begin() + 1, spur_path->end());
+      // Skip if already selected.
+      if (std::find(result.begin(), result.end(), total) == result.end())
+        candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace ubac::net

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file ksp.hpp
+/// \brief Yen's k-shortest loopless paths (hop-count metric).
+///
+/// The route-selection heuristic of Section 5.2 needs "a group of
+/// candidate routes" per source/destination pair; we generate them as the
+/// k shortest simple paths, ordered by (hop count, lexicographic node
+/// sequence) so runs are reproducible.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace ubac::net {
+
+/// Up to `k` shortest simple paths src->dst by hop count, deterministic
+/// order. Fewer are returned when the graph has fewer simple paths.
+/// Requires src != dst and k >= 1.
+std::vector<NodePath> k_shortest_paths(const Topology& topo, NodeId src,
+                                       NodeId dst, std::size_t k);
+
+}  // namespace ubac::net

@@ -1,0 +1,72 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/shortest_path.hpp"
+
+namespace ubac::net {
+
+DegreeProfile degree_profile(const Topology& topo) {
+  DegreeProfile profile;
+  if (topo.node_count() == 0) return profile;
+  profile.min_degree = topo.out_degree(0);
+  double total = 0.0;
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    const std::size_t d = topo.out_degree(n);
+    profile.min_degree = std::min(profile.min_degree, d);
+    profile.max_degree = std::max(profile.max_degree, d);
+    total += static_cast<double>(d);
+    if (d >= profile.histogram.size()) profile.histogram.resize(d + 1, 0);
+    ++profile.histogram[d];
+  }
+  profile.mean_degree = total / static_cast<double>(topo.node_count());
+  return profile;
+}
+
+double average_path_length(const Topology& topo) {
+  if (topo.node_count() < 2)
+    throw std::invalid_argument("average_path_length: need >= 2 nodes");
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId s = 0; s < topo.node_count(); ++s) {
+    const auto dist = bfs_hops(topo, s);
+    for (NodeId d = 0; d < topo.node_count(); ++d) {
+      if (s == d) continue;
+      if (dist[d] == kUnreachable)
+        throw std::runtime_error("average_path_length: disconnected");
+      total += dist[d];
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+std::vector<std::size_t> link_betweenness(const Topology& topo) {
+  std::vector<NodePath> routes;
+  routes.reserve(topo.node_count() * topo.node_count());
+  for (NodeId s = 0; s < topo.node_count(); ++s)
+    for (NodeId d = 0; d < topo.node_count(); ++d) {
+      if (s == d) continue;
+      const auto path = shortest_path(topo, s, d);
+      if (path) routes.push_back(*path);
+    }
+  return link_route_load(topo, routes);
+}
+
+std::vector<std::size_t> link_route_load(const Topology& topo,
+                                         const std::vector<NodePath>& routes) {
+  std::vector<std::size_t> load(topo.link_count(), 0);
+  for (const auto& route : routes) {
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      const auto link = topo.find_link(route[i], route[i + 1]);
+      if (!link)
+        throw std::invalid_argument("link_route_load: route uses a missing "
+                                    "link");
+      ++load[*link];
+    }
+  }
+  return load;
+}
+
+}  // namespace ubac::net

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Structural topology metrics used by the experiment analyses.
+///
+/// The Table 1 numbers are shaped by where routes concentrate; these
+/// metrics (degree profile, average path length, per-link shortest-path
+/// betweenness) let the benches explain *which* links limit the maximum
+/// utilization and how topology structure drives the SP/heuristic gap.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace ubac::net {
+
+struct DegreeProfile {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// histogram[d] = number of routers with out-degree d.
+  std::vector<std::size_t> histogram;
+};
+
+DegreeProfile degree_profile(const Topology& topo);
+
+/// Mean hop distance over all ordered reachable pairs. Throws when the
+/// topology is disconnected.
+double average_path_length(const Topology& topo);
+
+/// Shortest-path betweenness per directed link: the number of ordered
+/// (src, dst) pairs whose deterministic BFS shortest path (the same one
+/// shortest_path() returns) crosses the link. Indexed by LinkId.
+std::vector<std::size_t> link_betweenness(const Topology& topo);
+
+/// Number of routes in `routes` crossing each directed link (LinkId ==
+/// ServerId indexing). Useful for bottleneck tables of a configuration.
+std::vector<std::size_t> link_route_load(const Topology& topo,
+                                         const std::vector<NodePath>& routes);
+
+}  // namespace ubac::net

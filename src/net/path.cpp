@@ -1,0 +1,22 @@
+#include "net/path.hpp"
+
+#include <unordered_set>
+
+namespace ubac::net {
+
+bool is_simple(const NodePath& path) {
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : path)
+    if (!seen.insert(n).second) return false;
+  return true;
+}
+
+bool is_valid_path(const Topology& topo, const NodePath& path) {
+  for (NodeId n : path)
+    if (n >= topo.node_count()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!topo.find_link(path[i], path[i + 1])) return false;
+  return true;
+}
+
+}  // namespace ubac::net

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file path.hpp
+/// \brief Path types shared between routing and analysis.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace ubac::net {
+
+/// A route at router granularity: sequence of NodeIds, consecutive nodes
+/// connected by a directed link.
+using NodePath = std::vector<NodeId>;
+
+/// Identifier of a link server (index into a ServerGraph).
+using ServerId = std::uint32_t;
+
+/// A route at link-server granularity: the servers a packet queues at, in
+/// order (one per directed link of the node path).
+using ServerPath = std::vector<ServerId>;
+
+/// True when the path has no repeated node (loopless).
+bool is_simple(const NodePath& path);
+
+/// True when every consecutive node pair is connected in `topo`.
+bool is_valid_path(const Topology& topo, const NodePath& path);
+
+/// Hop count (#links) of a node path; 0 for empty/singleton paths.
+inline std::size_t hop_count(const NodePath& path) {
+  return path.size() < 2 ? 0 : path.size() - 1;
+}
+
+}  // namespace ubac::net

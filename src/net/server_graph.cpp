@@ -1,0 +1,53 @@
+#include "net/server_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ubac::net {
+
+ServerGraph::ServerGraph(const Topology& topo,
+                         std::optional<std::uint32_t> uniform_n)
+    : topo_(&topo) {
+  build(FanInMode::kUniform, uniform_n);
+}
+
+ServerGraph::ServerGraph(const Topology& topo, FanInMode mode) : topo_(&topo) {
+  build(mode, std::nullopt);
+}
+
+void ServerGraph::build(FanInMode mode,
+                        std::optional<std::uint32_t> uniform_n) {
+  std::uint32_t n_uniform = 0;
+  if (mode == FanInMode::kUniform) {
+    n_uniform = uniform_n.value_or(
+        static_cast<std::uint32_t>(topo_->max_in_degree()));
+    if (n_uniform < 1)
+      throw std::invalid_argument("ServerGraph: uniform N must be >= 1");
+  }
+  servers_.reserve(topo_->link_count());
+  for (LinkId id = 0; id < topo_->link_count(); ++id) {
+    const DirectedLink& link = topo_->link(id);
+    std::uint32_t fan_in =
+        mode == FanInMode::kUniform
+            ? n_uniform
+            : static_cast<std::uint32_t>(topo_->in_degree(link.from)) + 1;
+    servers_.push_back(
+        LinkServer{id, link.from, link.to, link.capacity, fan_in});
+  }
+}
+
+ServerPath ServerGraph::map_path(const NodePath& path) const {
+  ServerPath servers;
+  if (path.size() < 2) return servers;
+  servers.reserve(path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = topo_->find_link(path[i], path[i + 1]);
+    if (!link)
+      throw std::invalid_argument("map_path: no link between consecutive "
+                                  "path nodes");
+    servers.push_back(server_for_link(*link));
+  }
+  return servers;
+}
+
+}  // namespace ubac::net

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file server_graph.hpp
+/// \brief The link-server model of Section 3.
+///
+/// For delay computation the paper models a router as a set of output
+/// *link servers*: every directed link of the topology becomes one server
+/// where packets may queue. A router-level route maps to the sequence of
+/// link servers it traverses.
+///
+/// Each server carries a fan-in N — the number of input links over which
+/// competing traffic may arrive at the router that owns the server. The
+/// paper assumes a uniform N per network (N = 6 for the MCI backbone);
+/// `FanInMode::kPerRouter` is a tighter refinement using the owning
+/// router's actual in-degree plus one aggregate host ingress link.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace ubac::net {
+
+/// How server fan-in (the paper's N) is derived.
+enum class FanInMode {
+  kUniform,    ///< every server uses the same N (paper mode)
+  kPerRouter,  ///< N = in_degree(owning router) + 1 host ingress
+};
+
+/// One queueing point: the output buffer in front of a directed link.
+struct LinkServer {
+  LinkId link;              ///< underlying directed link
+  NodeId from;              ///< router owning this output link
+  NodeId to;                ///< downstream router
+  BitsPerSecond capacity;   ///< service rate C of the server
+  std::uint32_t fan_in;     ///< the paper's N for this server
+};
+
+/// Immutable view of a Topology as a graph of link servers. ServerIds are
+/// identical to LinkIds (dense, deterministic), which makes mapping cheap.
+class ServerGraph {
+ public:
+  /// Paper mode: uniform fan-in. When `uniform_n` is empty the topology's
+  /// maximum in-degree is used (what the paper quotes as N for MCI).
+  explicit ServerGraph(const Topology& topo,
+                       std::optional<std::uint32_t> uniform_n = std::nullopt);
+
+  /// Refined mode: per-router fan-in.
+  ServerGraph(const Topology& topo, FanInMode mode);
+
+  std::size_t size() const { return servers_.size(); }
+  const LinkServer& server(ServerId id) const { return servers_.at(id); }
+  const Topology& topology() const { return *topo_; }
+
+  /// Server sitting on a given directed link.
+  ServerId server_for_link(LinkId link) const { return link; }
+
+  /// Map a router-level path to the ordered list of servers traversed.
+  /// Throws std::invalid_argument if a hop has no link.
+  ServerPath map_path(const NodePath& path) const;
+
+ private:
+  void build(FanInMode mode, std::optional<std::uint32_t> uniform_n);
+
+  const Topology* topo_;
+  std::vector<LinkServer> servers_;
+};
+
+}  // namespace ubac::net

@@ -1,0 +1,147 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ubac::net {
+
+std::vector<int> bfs_hops(const Topology& topo, NodeId src) {
+  topo.check_node(src);
+  std::vector<int> dist(topo.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : topo.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<NodePath> shortest_path(const Topology& topo, NodeId src,
+                                      NodeId dst) {
+  topo.check_node(src);
+  topo.check_node(dst);
+  if (src == dst) return NodePath{src};
+  // BFS with parent tracking; neighbors() returns ascending ids, so the
+  // first parent recorded is the lowest-id one on a shortest path.
+  std::vector<int> dist(topo.node_count(), kUnreachable);
+  std::vector<NodeId> parent(topo.node_count(), 0);
+  std::queue<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : topo.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        parent[v] = u;
+        if (v == dst) {
+          NodePath path{dst};
+          NodeId cur = dst;
+          while (cur != src) {
+            cur = parent[cur];
+            path.push_back(cur);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        frontier.push(v);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Topology& topo) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(topo.node_count());
+  for (NodeId src = 0; src < topo.node_count(); ++src)
+    dist.push_back(bfs_hops(topo, src));
+  return dist;
+}
+
+bool is_strongly_connected(const Topology& topo) {
+  if (topo.node_count() == 0) return true;
+  for (NodeId src = 0; src < topo.node_count(); ++src) {
+    const auto dist = bfs_hops(topo, src);
+    for (int d : dist)
+      if (d == kUnreachable) return false;
+  }
+  return true;
+}
+
+std::optional<NodePath> dijkstra_path(
+    const Topology& topo, NodeId src, NodeId dst,
+    const std::vector<double>& link_weight) {
+  topo.check_node(src);
+  topo.check_node(dst);
+  if (link_weight.size() != topo.link_count())
+    throw std::invalid_argument("dijkstra_path: weight vector size mismatch");
+  for (double w : link_weight)
+    if (!(w > 0.0))
+      throw std::invalid_argument("dijkstra_path: weights must be positive");
+  if (src == dst) return NodePath{src};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(topo.node_count(), kInf);
+  std::vector<NodeId> parent(topo.node_count(), 0);
+  std::vector<char> done(topo.node_count(), 0);
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = 1;
+    if (u == dst) break;
+    for (LinkId id : topo.out_links(u)) {
+      const DirectedLink& link = topo.link(id);
+      const double nd = d + link_weight[id];
+      // Strict improvement, or equal cost with a lower-id predecessor,
+      // keeps the choice deterministic.
+      if (nd < dist[link.to] ||
+          (nd == dist[link.to] && !done[link.to] && u < parent[link.to])) {
+        dist[link.to] = nd;
+        parent[link.to] = u;
+        heap.emplace(nd, link.to);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return std::nullopt;
+  NodePath path{dst};
+  NodeId cur = dst;
+  while (cur != src) {
+    cur = parent[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int diameter(const Topology& topo) {
+  if (topo.node_count() == 0) return 0;
+  int best = 0;
+  for (NodeId src = 0; src < topo.node_count(); ++src) {
+    const auto dist = bfs_hops(topo, src);
+    for (int d : dist) {
+      if (d == kUnreachable)
+        throw std::runtime_error("diameter: topology is disconnected");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace ubac::net

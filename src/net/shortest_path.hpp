@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file shortest_path.hpp
+/// \brief Hop-count shortest paths, distance matrices and graph metrics.
+///
+/// All tie-breaking is deterministic (prefer lower NodeId), so the
+/// shortest-path baseline in the experiments is reproducible.
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace ubac::net {
+
+/// Hop distances from `src` to every node; kUnreachable when disconnected.
+inline constexpr int kUnreachable = -1;
+std::vector<int> bfs_hops(const Topology& topo, NodeId src);
+
+/// One shortest path (by hop count) src->dst, lowest-NodeId tie-breaking.
+/// Empty when unreachable. A path from a node to itself is {src}.
+std::optional<NodePath> shortest_path(const Topology& topo, NodeId src,
+                                      NodeId dst);
+
+/// All-pairs hop distances, indexed [src][dst].
+std::vector<std::vector<int>> all_pairs_hops(const Topology& topo);
+
+/// True when every node can reach every other node over directed links.
+bool is_strongly_connected(const Topology& topo);
+
+/// Diameter: maximum over all reachable pairs of the shortest hop
+/// distance. Throws std::runtime_error when the graph is disconnected.
+int diameter(const Topology& topo);
+
+/// Dijkstra over per-directed-link weights (indexed by LinkId; all
+/// weights must be positive). Deterministic tie-breaking (lower total
+/// weight, then lower predecessor NodeId). Empty when unreachable.
+std::optional<NodePath> dijkstra_path(const Topology& topo, NodeId src,
+                                      NodeId dst,
+                                      const std::vector<double>& link_weight);
+
+}  // namespace ubac::net

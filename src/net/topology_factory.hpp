@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file topology_factory.hpp
+/// \brief Canned topologies, including the paper's MCI backbone (Fig. 4).
+
+#include <cstdint>
+
+#include "net/graph.hpp"
+#include "util/units.hpp"
+
+namespace ubac::net {
+
+/// Default link capacity used by the factory (the paper's 100 Mb/s).
+inline constexpr BitsPerSecond kDefaultCapacity = 100e6;
+
+/// The MCI ISP backbone used in Section 6 (Fig. 4): 19 routers, 39 duplex
+/// links, diameter 4, maximum router degree 6, all links 100 Mb/s. The
+/// paper reproduces the map as a raster image; this encoding preserves the
+/// stated invariants (L = 4, N = 6) which are what the analysis depends on.
+Topology mci_backbone(BitsPerSecond capacity = kDefaultCapacity);
+
+/// Ring of n >= 3 routers.
+Topology ring(std::size_t n, BitsPerSecond capacity = kDefaultCapacity);
+
+/// Line (chain) of n >= 2 routers; worst-case diameter for its size.
+Topology line(std::size_t n, BitsPerSecond capacity = kDefaultCapacity);
+
+/// Star: one hub plus `leaves` >= 2 spokes.
+Topology star(std::size_t leaves, BitsPerSecond capacity = kDefaultCapacity);
+
+/// Complete graph on n >= 2 routers (diameter 1).
+Topology full_mesh(std::size_t n, BitsPerSecond capacity = kDefaultCapacity);
+
+/// rows x cols grid (rows, cols >= 2).
+Topology grid(std::size_t rows, std::size_t cols,
+              BitsPerSecond capacity = kDefaultCapacity);
+
+/// Balanced tree with branching factor `arity` >= 2 and `depth` >= 1
+/// levels below the root.
+Topology balanced_tree(std::size_t arity, std::size_t depth,
+                       BitsPerSecond capacity = kDefaultCapacity);
+
+/// Random connected graph: a random spanning tree plus extra random links
+/// until the average degree target is met. Deterministic for a given seed.
+Topology random_connected(std::size_t n, double avg_degree,
+                          std::uint64_t seed,
+                          BitsPerSecond capacity = kDefaultCapacity);
+
+}  // namespace ubac::net

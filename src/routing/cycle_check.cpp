@@ -1,0 +1,53 @@
+#include "routing/cycle_check.hpp"
+
+#include <queue>
+
+namespace ubac::routing {
+
+RouteDependencyGraph::RouteDependencyGraph(std::size_t server_count)
+    : server_count_(server_count) {}
+
+void RouteDependencyGraph::add_route(const net::ServerPath& route) {
+  for (std::size_t i = 0; i + 1 < route.size(); ++i)
+    edges_.insert({route[i], route[i + 1]});
+}
+
+bool RouteDependencyGraph::stays_acyclic(const net::ServerPath& route) const {
+  std::set<std::pair<net::ServerId, net::ServerId>> extra;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const std::pair<net::ServerId, net::ServerId> e{route[i], route[i + 1]};
+    if (!edges_.count(e)) extra.insert(e);
+  }
+  return acyclic_with(extra);
+}
+
+bool RouteDependencyGraph::is_acyclic() const { return acyclic_with({}); }
+
+bool RouteDependencyGraph::acyclic_with(
+    const std::set<std::pair<net::ServerId, net::ServerId>>& extra) const {
+  // Kahn's algorithm over the union of edges_ and extra.
+  std::vector<std::vector<net::ServerId>> adj(server_count_);
+  std::vector<int> in_degree(server_count_, 0);
+  auto add_edge = [&](const std::pair<net::ServerId, net::ServerId>& e) {
+    adj[e.first].push_back(e.second);
+    ++in_degree[e.second];
+  };
+  for (const auto& e : edges_) add_edge(e);
+  for (const auto& e : extra) add_edge(e);
+
+  std::queue<net::ServerId> ready;
+  for (std::size_t v = 0; v < server_count_; ++v)
+    if (in_degree[v] == 0) ready.push(static_cast<net::ServerId>(v));
+
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const net::ServerId v = ready.front();
+    ready.pop();
+    ++processed;
+    for (net::ServerId w : adj[v])
+      if (--in_degree[w] == 0) ready.push(w);
+  }
+  return processed == server_count_;
+}
+
+}  // namespace ubac::routing

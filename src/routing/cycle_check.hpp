@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file cycle_check.hpp
+/// \brief Route dependency graph and acyclicity test (heuristic rule 2).
+///
+/// Section 5.2: candidate routes are preferred when they form a noncyclic
+/// graph with the existing routes, because cycles feed queueing delay back
+/// on itself and inflate the fixed point. The dependency graph has one
+/// node per link server and a directed edge a->b whenever some committed
+/// route visits server a immediately before server b.
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/path.hpp"
+
+namespace ubac::routing {
+
+/// Incremental dependency graph over `server_count` link servers.
+class RouteDependencyGraph {
+ public:
+  explicit RouteDependencyGraph(std::size_t server_count);
+
+  /// Register a committed route's consecutive-server edges.
+  void add_route(const net::ServerPath& route);
+
+  /// Would the graph stay acyclic after adding this route's edges?
+  /// (Does not modify the graph.)
+  bool stays_acyclic(const net::ServerPath& route) const;
+
+  /// Is the current graph acyclic?
+  bool is_acyclic() const;
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  bool acyclic_with(const std::set<std::pair<net::ServerId,
+                                             net::ServerId>>& extra) const;
+
+  std::size_t server_count_;
+  std::set<std::pair<net::ServerId, net::ServerId>> edges_;
+};
+
+}  // namespace ubac::routing

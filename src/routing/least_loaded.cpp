@@ -1,0 +1,66 @@
+#include "routing/least_loaded.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/shortest_path.hpp"
+
+namespace ubac::routing {
+
+RouteSelectionResult select_routes_least_loaded(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<traffic::Demand>& demands,
+    const LeastLoadedOptions& options) {
+  const net::Topology& topo = graph.topology();
+  if (options.penalty < 0.0)
+    throw std::invalid_argument("least_loaded: penalty must be >= 0");
+  for (const auto& d : demands) {
+    topo.check_node(d.src);
+    topo.check_node(d.dst);
+    if (d.src == d.dst)
+      throw std::invalid_argument("least_loaded: demand with src == dst");
+  }
+
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.order_by_distance) {
+    const auto hops = net::all_pairs_hops(topo);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+      const int da = hops[demands[a].src][demands[a].dst];
+      const int db = hops[demands[b].src][demands[b].dst];
+      if (da != db) return da > db;
+      if (demands[a].src != demands[b].src) return demands[a].src < demands[b].src;
+      return demands[a].dst < demands[b].dst;
+    });
+  }
+
+  RouteSelectionResult result;
+  result.routes.assign(demands.size(), {});
+  result.server_routes.assign(demands.size(), {});
+
+  std::vector<double> weight(topo.link_count(), 1.0);
+  for (const std::size_t index : order) {
+    const traffic::Demand& demand = demands[index];
+    const auto path =
+        net::dijkstra_path(topo, demand.src, demand.dst, weight);
+    if (!path) {
+      result.failed_demand = index;
+      return result;
+    }
+    result.routes[index] = *path;
+    result.server_routes[index] = graph.map_path(*path);
+    for (std::size_t i = 0; i + 1 < path->size(); ++i)
+      weight[*topo.find_link((*path)[i], (*path)[i + 1])] += options.penalty;
+  }
+
+  result.solution = analysis::solve_two_class(graph, alpha, bucket, deadline,
+                                              result.server_routes,
+                                              options.fixed_point);
+  result.success = result.solution.safe();
+  return result;
+}
+
+}  // namespace ubac::routing

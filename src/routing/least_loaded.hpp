@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file least_loaded.hpp
+/// \brief Load-adaptive routing baseline.
+///
+/// A stronger comparison point than plain shortest-path for the Table 1
+/// experiment: demands are routed one at a time (largest distance first)
+/// over Dijkstra with congestion-dependent link weights
+///
+///   w(link) = 1 + penalty * routes_already_on(link),
+///
+/// which spreads routes away from hot links without any delay analysis in
+/// the loop. The resulting route set is then verified like any other.
+/// This isolates how much of the Section 5.2 heuristic's advantage comes
+/// from mere load spreading versus from delay-aware candidate selection.
+
+#include <vector>
+
+#include "routing/route_selection.hpp"
+
+namespace ubac::routing {
+
+struct LeastLoadedOptions {
+  double penalty = 0.5;          ///< weight increment per carried route
+  bool order_by_distance = true; ///< long demands first (like rule 1)
+  analysis::FixedPointOptions fixed_point;
+};
+
+/// Route all demands with congestion-adaptive Dijkstra, then verify the
+/// set at `alpha`.
+RouteSelectionResult select_routes_least_loaded(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<traffic::Demand>& demands,
+    const LeastLoadedOptions& options = {});
+
+}  // namespace ubac::routing

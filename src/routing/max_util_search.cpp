@@ -1,0 +1,109 @@
+#include "routing/max_util_search.hpp"
+
+#include <stdexcept>
+
+#include "net/shortest_path.hpp"
+#include "util/log.hpp"
+
+namespace ubac::routing {
+
+MaxUtilResult maximize_utilization(double fan_in, int diameter,
+                                   const traffic::LeakyBucket& bucket,
+                                   Seconds deadline,
+                                   const RouteSelector& selector,
+                                   const MaxUtilOptions& options) {
+  if (options.resolution <= 0.0)
+    throw std::invalid_argument("maximize_utilization: bad resolution");
+
+  MaxUtilResult result;
+  result.theorem4_lower =
+      analysis::alpha_lower_bound(fan_in, diameter, bucket, deadline);
+  result.theorem4_upper =
+      analysis::alpha_upper_bound(fan_in, diameter, bucket, deadline);
+
+  double lo = options.search_lo >= 0.0 ? options.search_lo
+                                       : result.theorem4_lower;
+  double hi = options.search_hi >= 0.0 ? options.search_hi
+                                       : result.theorem4_upper;
+  if (lo > hi) throw std::invalid_argument("maximize_utilization: lo > hi");
+
+  auto probe = [&](double alpha) {
+    ++result.probes;
+    RouteSelectionResult r = selector(alpha);
+    UBAC_LOG_INFO << "max-util probe alpha=" << alpha
+                  << " -> " << (r.success ? "feasible" : "infeasible");
+    return r;
+  };
+
+  // The Theorem 4 lower bound should always be feasible for selectors that
+  // keep routes within the diameter; verify rather than assume, and fall
+  // back to searching below it if needed.
+  RouteSelectionResult at_lo = probe(lo);
+  if (!at_lo.success) {
+    UBAC_LOG_WARN << "selector infeasible at the Theorem 4 lower bound "
+                  << lo << "; searching below it";
+    hi = lo;
+    lo = 0.0;
+    result.any_feasible = false;
+  } else {
+    result.any_feasible = true;
+    result.max_alpha = lo;
+    result.best = std::move(at_lo);
+  }
+
+  while (hi - lo > options.resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= 0.0) break;
+    RouteSelectionResult r = probe(mid);
+    if (r.success) {
+      lo = mid;
+      result.any_feasible = true;
+      result.max_alpha = mid;
+      result.best = std::move(r);
+    } else {
+      hi = mid;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+double uniform_fan_in(const net::ServerGraph& graph) {
+  if (graph.size() == 0)
+    throw std::invalid_argument("maximize_utilization: empty graph");
+  return graph.server(0).fan_in;
+}
+
+}  // namespace
+
+MaxUtilResult maximize_utilization_heuristic(
+    const net::ServerGraph& graph, const traffic::LeakyBucket& bucket,
+    Seconds deadline, const std::vector<traffic::Demand>& demands,
+    const HeuristicOptions& heuristic, const MaxUtilOptions& options) {
+  const int l = net::diameter(graph.topology());
+  return maximize_utilization(
+      uniform_fan_in(graph), l, bucket, deadline,
+      [&](double alpha) {
+        return select_routes_heuristic(graph, alpha, bucket, deadline,
+                                       demands, heuristic);
+      },
+      options);
+}
+
+MaxUtilResult maximize_utilization_shortest_path(
+    const net::ServerGraph& graph, const traffic::LeakyBucket& bucket,
+    Seconds deadline, const std::vector<traffic::Demand>& demands,
+    const analysis::FixedPointOptions& fixed_point,
+    const MaxUtilOptions& options) {
+  const int l = net::diameter(graph.topology());
+  return maximize_utilization(
+      uniform_fan_in(graph), l, bucket, deadline,
+      [&](double alpha) {
+        return select_routes_shortest_path(graph, alpha, bucket, deadline,
+                                           demands, fixed_point);
+      },
+      options);
+}
+
+}  // namespace ubac::routing

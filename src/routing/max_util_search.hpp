@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file max_util_search.hpp
+/// \brief Maximizing utilization by safe route selection (Section 5.3).
+///
+/// Binary search on the assigned utilization alpha, initialized with the
+/// Theorem 4 bounds. Each probe runs a route selector (the Section 5.2
+/// heuristic, or the SP baseline) and keeps the upper/lower half of the
+/// interval depending on feasibility. The search stops when the interval
+/// shrinks below `resolution`.
+
+#include <functional>
+
+#include "analysis/bounds.hpp"
+#include "routing/route_selection.hpp"
+
+namespace ubac::routing {
+
+/// A route selector probed at a given utilization.
+using RouteSelector =
+    std::function<RouteSelectionResult(double alpha)>;
+
+struct MaxUtilOptions {
+  double resolution = 0.005;  ///< paper reports two significant digits
+  /// Search-interval override; when negative, Theorem 4 bounds are used.
+  double search_lo = -1.0;
+  double search_hi = -1.0;
+};
+
+struct MaxUtilResult {
+  double max_alpha = 0.0;           ///< largest alpha found feasible
+  bool any_feasible = false;        ///< false when even the low end failed
+  RouteSelectionResult best;        ///< routes at max_alpha
+  int probes = 0;                   ///< selector invocations
+  double theorem4_lower = 0.0;      ///< bounds used to seed the search
+  double theorem4_upper = 0.0;
+};
+
+/// Maximize alpha for an arbitrary selector. `fan_in` and `diameter` seed
+/// the Theorem 4 interval.
+MaxUtilResult maximize_utilization(double fan_in, int diameter,
+                                   const traffic::LeakyBucket& bucket,
+                                   Seconds deadline,
+                                   const RouteSelector& selector,
+                                   const MaxUtilOptions& options = {});
+
+/// Convenience wrappers for the two selectors compared in Table 1.
+MaxUtilResult maximize_utilization_heuristic(
+    const net::ServerGraph& graph, const traffic::LeakyBucket& bucket,
+    Seconds deadline, const std::vector<traffic::Demand>& demands,
+    const HeuristicOptions& heuristic = {},
+    const MaxUtilOptions& options = {});
+
+MaxUtilResult maximize_utilization_shortest_path(
+    const net::ServerGraph& graph, const traffic::LeakyBucket& bucket,
+    Seconds deadline, const std::vector<traffic::Demand>& demands,
+    const analysis::FixedPointOptions& fixed_point = {},
+    const MaxUtilOptions& options = {});
+
+}  // namespace ubac::routing

@@ -1,0 +1,249 @@
+#include "routing/route_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "net/ksp.hpp"
+#include "net/shortest_path.hpp"
+#include "routing/cycle_check.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace ubac::routing {
+
+namespace {
+
+void check_demands(const net::Topology& topo,
+                   const std::vector<traffic::Demand>& demands) {
+  for (const auto& d : demands) {
+    topo.check_node(d.src);
+    topo.check_node(d.dst);
+    if (d.src == d.dst)
+      throw std::invalid_argument("route selection: demand with src == dst");
+  }
+}
+
+/// Shared core of the Section 5.2 heuristic: route `demands` one by one,
+/// never disturbing `pinned` routes. Returns routes aligned with
+/// `demands`; the final solution covers pinned + demands in that order.
+RouteSelectionResult heuristic_core(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::ServerPath>& pinned,
+    const std::vector<traffic::Demand>& demands,
+    const HeuristicOptions& options) {
+  const net::Topology& topo = graph.topology();
+  check_demands(topo, demands);
+  if (options.candidates_per_pair == 0)
+    throw std::invalid_argument("heuristic: candidates_per_pair must be >= 1");
+
+  RouteSelectionResult result;
+  result.routes.assign(demands.size(), {});
+  result.server_routes.assign(demands.size(), {});
+
+  // The pinned set must itself be feasible at alpha before we extend it.
+  analysis::DelaySolution pinned_solution;
+  if (!pinned.empty()) {
+    pinned_solution = analysis::solve_two_class(graph, alpha, bucket,
+                                                deadline, pinned,
+                                                options.fixed_point);
+    if (!pinned_solution.safe()) {
+      result.solution = std::move(pinned_solution);
+      return result;
+    }
+  }
+
+  // Rule (1): order pairs by decreasing shortest-path distance. A
+  // non-zero jitter seed randomizes the order among equal distances
+  // (restart support); the sort key then drops the (src, dst) tiebreak.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (options.order_jitter_seed != 0) {
+    util::Xoshiro256 rng(options.order_jitter_seed);
+    rng.shuffle(order);
+  }
+  if (options.order_by_distance) {
+    const auto hops = net::all_pairs_hops(topo);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+      const int da = hops[demands[a].src][demands[a].dst];
+      const int db = hops[demands[b].src][demands[b].dst];
+      if (da != db) return da > db;
+      if (options.order_jitter_seed != 0) return false;  // keep shuffle
+      if (demands[a].src != demands[b].src) return demands[a].src < demands[b].src;
+      return demands[a].dst < demands[b].dst;
+    });
+  }
+
+  RouteDependencyGraph dependency(graph.size());
+  for (const auto& route : pinned) dependency.add_route(route);
+
+  std::vector<net::ServerPath> committed = pinned;
+  committed.reserve(pinned.size() + demands.size());
+  // Delay vector of the committed set: a valid warm start (lower bound of
+  // the fixed point) for every "committed + candidate" evaluation.
+  std::vector<Seconds> committed_delays =
+      pinned.empty() ? std::vector<Seconds>(graph.size(), 0.0)
+                     : pinned_solution.server_delay;
+
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t demand_index = order[rank];
+    const traffic::Demand& demand = demands[demand_index];
+
+    auto candidates = net::k_shortest_paths(
+        topo, demand.src, demand.dst, options.candidates_per_pair);
+    if (!options.forbidden_servers.empty()) {
+      std::erase_if(candidates, [&](const net::NodePath& path) {
+        const net::ServerPath servers = graph.map_path(path);
+        for (const net::ServerId bad : options.forbidden_servers)
+          if (std::find(servers.begin(), servers.end(), bad) != servers.end())
+            return true;
+        return false;
+      });
+    }
+    if (candidates.empty()) {
+      result.failed_demand = demand_index;
+      return result;
+    }
+
+    // Rule (2): try acyclicity-preserving candidates first.
+    std::vector<const net::NodePath*> preferred, fallback;
+    std::vector<net::ServerPath> candidate_servers(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      candidate_servers[c] = graph.map_path(candidates[c]);
+      const bool acyclic =
+          !options.prefer_acyclic || dependency.stays_acyclic(candidate_servers[c]);
+      (acyclic ? preferred : fallback).push_back(&candidates[c]);
+    }
+
+    struct Best {
+      std::size_t candidate = 0;
+      Seconds own_delay = 0.0;
+      analysis::DelaySolution solution;
+      bool found = false;
+    };
+
+    auto try_group = [&](const std::vector<const net::NodePath*>& group) {
+      Best best;
+      for (const net::NodePath* path : group) {
+        const auto c = static_cast<std::size_t>(path - candidates.data());
+        committed.push_back(candidate_servers[c]);
+        analysis::DelaySolution sol = analysis::solve_two_class(
+            graph, alpha, bucket, deadline, committed, options.fixed_point,
+            &committed_delays);
+        committed.pop_back();
+        if (!sol.safe()) continue;
+        const Seconds own = sol.route_delay.back();
+        if (!best.found || own < best.own_delay) {
+          best.found = true;
+          best.candidate = c;
+          best.own_delay = own;
+          best.solution = std::move(sol);
+        }
+        // Rule (3) off => accept the first feasible candidate.
+        if (!options.pick_min_delay) break;
+      }
+      return best;
+    };
+
+    Best best = try_group(preferred);
+    if (!best.found && options.prefer_acyclic) best = try_group(fallback);
+    if (!best.found) {
+      // No backtracking: declare failure (Section 5.2).
+      result.failed_demand = demand_index;
+      UBAC_LOG_DEBUG << "heuristic: no safe route for demand " << demand_index
+                     << " (" << topo.node_name(demand.src) << "->"
+                     << topo.node_name(demand.dst) << ") at alpha=" << alpha;
+      return result;
+    }
+
+    result.routes[demand_index] = candidates[best.candidate];
+    result.server_routes[demand_index] = candidate_servers[best.candidate];
+    dependency.add_route(candidate_servers[best.candidate]);
+    committed.push_back(candidate_servers[best.candidate]);
+    committed_delays = best.solution.server_delay;
+  }
+
+  // Final cold verification of the committed set (pinned first, then new
+  // routes in input-demand order).
+  std::vector<net::ServerPath> all = pinned;
+  for (const auto& route : result.server_routes) all.push_back(route);
+  result.solution = analysis::solve_two_class(graph, alpha, bucket, deadline,
+                                              all, options.fixed_point);
+  result.success = result.solution.safe();
+  if (!result.success) {
+    // Should not happen (cold solve of the same set the warm solves
+    // accepted); surface loudly if it ever does.
+    UBAC_LOG_WARN << "heuristic: committed set failed final verification at "
+                     "alpha=" << alpha;
+  }
+  return result;
+}
+
+}  // namespace
+
+RouteSelectionResult select_routes_shortest_path(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<traffic::Demand>& demands,
+    const analysis::FixedPointOptions& options) {
+  const net::Topology& topo = graph.topology();
+  check_demands(topo, demands);
+
+  RouteSelectionResult result;
+  result.routes.reserve(demands.size());
+  result.server_routes.reserve(demands.size());
+  for (const auto& d : demands) {
+    auto path = net::shortest_path(topo, d.src, d.dst);
+    if (!path) {
+      result.failed_demand = static_cast<std::size_t>(&d - demands.data());
+      return result;
+    }
+    result.routes.push_back(std::move(*path));
+    result.server_routes.push_back(graph.map_path(result.routes.back()));
+  }
+  result.solution = analysis::solve_two_class(graph, alpha, bucket, deadline,
+                                              result.server_routes, options);
+  result.success = result.solution.safe();
+  return result;
+}
+
+RouteSelectionResult select_routes_heuristic(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<traffic::Demand>& demands,
+    const HeuristicOptions& options) {
+  return heuristic_core(graph, alpha, bucket, deadline, {}, demands, options);
+}
+
+RouteSelectionResult select_routes_heuristic_restarts(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<traffic::Demand>& demands, int restarts,
+    const HeuristicOptions& options) {
+  if (restarts < 1)
+    throw std::invalid_argument("heuristic restarts: need >= 1");
+  RouteSelectionResult last;
+  for (int r = 0; r < restarts; ++r) {
+    HeuristicOptions attempt = options;
+    // Restart 0 keeps the caller's (usually deterministic) order.
+    if (r > 0) attempt.order_jitter_seed = options.order_jitter_seed + r;
+    last = heuristic_core(graph, alpha, bucket, deadline, {}, demands,
+                          attempt);
+    if (last.success) return last;
+  }
+  return last;
+}
+
+RouteSelectionResult select_routes_heuristic_incremental(
+    const net::ServerGraph& graph, double alpha,
+    const traffic::LeakyBucket& bucket, Seconds deadline,
+    const std::vector<net::ServerPath>& pinned,
+    const std::vector<traffic::Demand>& new_demands,
+    const HeuristicOptions& options) {
+  return heuristic_core(graph, alpha, bucket, deadline, pinned, new_demands,
+                        options);
+}
+
+}  // namespace ubac::routing

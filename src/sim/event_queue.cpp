@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ubac::sim {
+
+void EventQueue::schedule(SimTime when, Action action) {
+  if (when < now_)
+    throw std::logic_error("EventQueue: scheduling into the past");
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is the usual
+  // idiom, but copying the small wrapper is safer — the Action itself is
+  // moved below.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.when;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!heap_.empty() && heap_.top().when <= horizon) run_next();
+  if (now_ < horizon) now_ = horizon;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace ubac::sim

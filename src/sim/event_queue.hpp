@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// \brief Deterministic discrete-event core.
+///
+/// Events at equal timestamps fire in scheduling order (a monotone
+/// sequence number breaks ties), so simulations are bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace ubac::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Schedule `action` at absolute time `when` (>= now).
+  void schedule(SimTime when, Action action);
+
+  /// Schedule `action` `delay` after now.
+  void schedule_in(SimTime delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Pop and execute the earliest event. False when the queue is empty.
+  bool run_next();
+
+  /// Run events up to and including `horizon`; later events stay queued.
+  void run_until(SimTime horizon);
+
+  /// Run until the queue drains.
+  void run_all();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ubac::sim

@@ -1,0 +1,264 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ubac::sim {
+
+NetworkSim::NetworkSim(const net::ServerGraph& graph,
+                       const traffic::ClassSet& classes,
+                       SchedulingPolicy policy)
+    : graph_(&graph), classes_(&classes), policy_(policy) {
+  servers_.resize(graph.size());
+  for (auto& s : servers_) {
+    s.queue_per_class.resize(classes.size());
+    s.deficit.assign(classes.size(), 0.0);
+  }
+  results_.class_delay.resize(classes.size());
+  results_.server_max_sojourn.assign(graph.size(), 0.0);
+}
+
+double NetworkSim::drr_quantum(std::size_t class_index) const {
+  // Quantum proportional to the class's bandwidth share; best effort gets
+  // whatever the real-time classes leave. Scaled by a 12 kb reference
+  // packet so one round visit usually releases at least one packet.
+  constexpr double kReference = 12000.0;
+  const traffic::ServiceClass& cls = classes_->at(class_index);
+  double weight = cls.realtime ? cls.share
+                               : std::max(0.05, 1.0 - classes_->total_share());
+  return std::max(640.0, weight * kReference);
+}
+
+std::uint32_t NetworkSim::add_flow(net::ServerPath route,
+                                   std::size_t class_index,
+                                   const SourceConfig& source) {
+  if (ran_) throw std::logic_error("NetworkSim: add_flow after run");
+  if (route.empty()) throw std::invalid_argument("NetworkSim: empty route");
+  for (net::ServerId s : route)
+    if (s >= graph_->size())
+      throw std::out_of_range("NetworkSim: bad server in route");
+  if (class_index >= classes_->size())
+    throw std::invalid_argument("NetworkSim: bad class");
+  if (source.stop <= source.start)
+    throw std::invalid_argument("NetworkSim: source stop must be > start");
+  if (source.packet_size <= 0.0)
+    throw std::invalid_argument("NetworkSim: bad packet size");
+  if (source.model == SourceModel::kPoisson && source.poisson_rate <= 0.0)
+    throw std::invalid_argument("NetworkSim: poisson_rate required");
+  if (source.model == SourceModel::kOnOff &&
+      (source.on_mean <= 0.0 || source.off_mean <= 0.0))
+    throw std::invalid_argument("NetworkSim: on/off means required");
+  const traffic::ServiceClass& cls = classes_->at(class_index);
+  if (source.packet_size > cls.bucket.burst)
+    throw std::invalid_argument(
+        "NetworkSim: packet larger than class burst never conforms");
+
+  flows_.push_back(FlowState{
+      std::move(route), class_index, source,
+      traffic::TokenBucketPolicer(cls.bucket, to_seconds(source.start)),
+      /*emitted=*/0, /*line_free=*/0, /*on_until=*/-1, /*taps=*/{}});
+  flow_rng_.emplace_back(source.seed + flows_.size());
+  results_.flow_delay.emplace_back();
+  return static_cast<std::uint32_t>(flows_.size() - 1);
+}
+
+SimResults NetworkSim::run(Seconds horizon) {
+  if (ran_) throw std::logic_error("NetworkSim: run called twice");
+  ran_ = true;
+  for (std::uint32_t f = 0; f < flows_.size(); ++f) {
+    const SimTime start = flows_[f].source.start;
+    queue_.schedule(start, [this, f] { schedule_source(f); });
+  }
+  queue_.run_until(to_sim_time(horizon));
+  return std::move(results_);
+}
+
+void NetworkSim::schedule_source(std::uint32_t flow_index) {
+  FlowState& flow = flows_[flow_index];
+  const Seconds now = to_seconds(queue_.now());
+  Seconds next = 0.0;
+
+  switch (flow.source.model) {
+    case SourceModel::kGreedy:
+      next = flow.policer.earliest_conformance(flow.source.packet_size, now);
+      break;
+    case SourceModel::kCbr: {
+      const traffic::ServiceClass& cls = classes_->at(flow.class_index);
+      const Seconds period = flow.source.packet_size / cls.bucket.rate;
+      next = to_seconds(flow.source.start) +
+             static_cast<double>(flow.emitted) * period;
+      next = std::max(next, flow.policer.earliest_conformance(
+                                flow.source.packet_size, now));
+      break;
+    }
+    case SourceModel::kPoisson: {
+      const Seconds gap =
+          flow_rng_[flow_index].exponential(1.0 / flow.source.poisson_rate);
+      next = std::max(now + gap, flow.policer.earliest_conformance(
+                                     flow.source.packet_size, now + gap));
+      break;
+    }
+    case SourceModel::kOnOff: {
+      const traffic::ServiceClass& cls = classes_->at(flow.class_index);
+      const Seconds period = flow.source.packet_size / cls.bucket.rate;
+      if (queue_.now() >= flow.on_until) {
+        // Current spurt over (or none yet): idle for an exponential
+        // silence, then start a new exponential talk spurt.
+        auto& rng = flow_rng_[flow_index];
+        const Seconds off = rng.exponential(flow.source.off_mean);
+        const Seconds spurt = rng.exponential(flow.source.on_mean);
+        const Seconds start = now + off;
+        flow.on_until = to_sim_time(start + spurt);
+        next = start;
+      } else {
+        next = now + period;  // peak-rate CBR within the spurt
+      }
+      next = std::max(
+          next, flow.policer.earliest_conformance(flow.source.packet_size,
+                                                  next));
+      break;
+    }
+  }
+
+  SimTime when = std::max(to_sim_time(next), queue_.now());
+  when = std::max(when, flow.line_free);  // host access link pacing
+  if (when >= flow.source.stop) return;   // source horizon reached
+  queue_.schedule(when, [this, flow_index] { emit_packet(flow_index); });
+}
+
+void NetworkSim::emit_packet(std::uint32_t flow_index) {
+  FlowState& flow = flows_[flow_index];
+  const Seconds now = to_seconds(queue_.now());
+  if (!flow.policer.conforms(flow.source.packet_size, now)) {
+    // Rounding edge: to_sim_time() may land one tick before the true
+    // conformance instant. Retry strictly later (never at the same
+    // timestamp, which would loop forever).
+    const Seconds at =
+        flow.policer.earliest_conformance(flow.source.packet_size, now);
+    const SimTime when =
+        std::max(queue_.now() + 1, to_sim_time(at) + 1);
+    if (when >= flow.source.stop) return;
+    queue_.schedule(when, [this, flow_index] { emit_packet(flow_index); });
+    return;
+  }
+  ++flow.emitted;
+  flow.line_free =
+      queue_.now() + transmission_time(flow.source.packet_size,
+                                       graph_->server(flow.route.front()).capacity);
+  PacketRef packet{next_packet_id_++, flow_index, 0, queue_.now(),
+                   queue_.now()};
+  packet_arrival(packet, flow.route.front());
+  schedule_source(flow_index);
+}
+
+std::uint32_t NetworkSim::add_tap(std::uint32_t flow, std::uint32_t hop) {
+  if (ran_) throw std::logic_error("NetworkSim: add_tap after run");
+  if (flow >= flows_.size()) throw std::out_of_range("NetworkSim: bad flow");
+  if (hop >= flows_[flow].route.size())
+    throw std::out_of_range("NetworkSim: bad hop");
+  const auto tap_id = static_cast<std::uint32_t>(results_.tap_arrivals.size());
+  results_.tap_arrivals.emplace_back();
+  flows_[flow].taps.emplace_back(hop, tap_id);
+  return tap_id;
+}
+
+void NetworkSim::attach_trace(TraceRecorder* recorder) {
+  if (ran_) throw std::logic_error("NetworkSim: attach_trace after run");
+  trace_ = recorder;
+}
+
+void NetworkSim::packet_arrival(PacketRef packet, net::ServerId server) {
+  packet.arrived_at_server = queue_.now();
+  for (const auto& [hop, tap_id] : flows_[packet.flow].taps)
+    if (hop == packet.hop)
+      results_.tap_arrivals[tap_id].push_back(queue_.now());
+  ServerState& state = servers_[server];
+  state.queue_per_class[flows_[packet.flow].class_index].push_back(packet);
+  if (!state.busy) try_transmit(server);
+}
+
+void NetworkSim::try_transmit(net::ServerId server) {
+  ServerState& state = servers_[server];
+  std::deque<PacketRef>* chosen = nullptr;
+  if (policy_ == SchedulingPolicy::kStaticPriority) {
+    // Highest-priority (lowest index) non-empty class queue.
+    for (auto& class_queue : state.queue_per_class) {
+      if (!class_queue.empty()) {
+        chosen = &class_queue;
+        break;
+      }
+    }
+  } else if (policy_ == SchedulingPolicy::kFifo) {
+    // FIFO across classes: earliest arrival among the queue fronts (each
+    // queue is FIFO, so the global earliest is one of the fronts).
+    for (auto& class_queue : state.queue_per_class) {
+      if (class_queue.empty()) continue;
+      if (!chosen || class_queue.front().arrived_at_server <
+                         chosen->front().arrived_at_server)
+        chosen = &class_queue;
+    }
+  } else {
+    // Deficit round robin: the pointer "visits" a class and serves its
+    // packets while the accumulated byte credit covers them; when the
+    // head no longer fits (or the queue empties), the pointer moves on
+    // and the *next* class is credited one quantum. This is classic DRR:
+    // credit is granted once per visit, not once per packet.
+    bool any = false;
+    for (const auto& class_queue : state.queue_per_class)
+      if (!class_queue.empty()) any = true;
+    if (any) {
+      const std::size_t num_classes = state.queue_per_class.size();
+      for (;;) {
+        auto& class_queue = state.queue_per_class[state.drr_ptr];
+        if (!class_queue.empty()) {
+          const Bits head =
+              flows_[class_queue.front().flow].source.packet_size;
+          if (state.deficit[state.drr_ptr] >= head) {
+            state.deficit[state.drr_ptr] -= head;
+            chosen = &class_queue;
+            break;
+          }
+        } else {
+          state.deficit[state.drr_ptr] = 0.0;  // classic DRR reset
+        }
+        state.drr_ptr = (state.drr_ptr + 1) % num_classes;
+        state.deficit[state.drr_ptr] += drr_quantum(state.drr_ptr);
+      }
+    }
+  }
+  if (!chosen) {
+    state.busy = false;
+    return;
+  }
+  const PacketRef packet = chosen->front();
+  chosen->pop_front();
+  state.busy = true;
+  const SimTime tx = transmission_time(flows_[packet.flow].source.packet_size,
+                                       graph_->server(server).capacity);
+  queue_.schedule_in(
+      tx, [this, packet, server] { transmission_done(packet, server); });
+}
+
+void NetworkSim::transmission_done(PacketRef packet, net::ServerId server) {
+  const Seconds sojourn = to_seconds(queue_.now() - packet.arrived_at_server);
+  results_.server_max_sojourn[server] =
+      std::max(results_.server_max_sojourn[server], sojourn);
+  if (trace_)
+    trace_->record(HopRecord{packet.id, packet.flow, packet.hop, server,
+                             packet.arrived_at_server, queue_.now()});
+
+  const FlowState& flow = flows_[packet.flow];
+  if (packet.hop + 1 < flow.route.size()) {
+    PacketRef next = packet;
+    ++next.hop;
+    packet_arrival(next, flow.route[next.hop]);
+  } else {
+    const Seconds delay = to_seconds(queue_.now() - packet.created);
+    results_.class_delay[flow.class_index].add(delay);
+    results_.flow_delay[packet.flow].add(delay);
+    ++results_.packets_delivered;
+  }
+  try_transmit(server);
+}
+
+}  // namespace ubac::sim

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file network_sim.hpp
+/// \brief Packet-level network simulator with class-based static priority.
+///
+/// Realizes the paper's forwarding model (Section 4, item 3): each link
+/// server transmits packets in class-priority order, FIFO within a class,
+/// non-preemptively. Sources are leaky-bucket policed. The simulator's
+/// purpose is validation: measured end-to-end delays must stay below the
+/// configuration-time bounds (up to per-hop packetization slack, since the
+/// analysis is a fluid model — see DESIGN.md).
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/server_graph.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "traffic/service_class.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ubac::sim {
+
+/// Output-link scheduling discipline.
+enum class SchedulingPolicy {
+  kStaticPriority,  ///< the paper's class-based static priority (default)
+  kFifo,            ///< class-blind FIFO — the negative baseline: real-time
+                    ///< packets wait behind best-effort bursts
+  kDeficitRoundRobin,  ///< class-based WFQ approximation (DRR): each class
+                       ///< gets bandwidth in proportion to its share
+};
+
+/// How a source paces its packets (always leaky-bucket conformant).
+enum class SourceModel {
+  kGreedy,   ///< emit as early as the bucket allows (worst-case probing)
+  kCbr,      ///< one packet every packet_size/rate seconds
+  kPoisson,  ///< Poisson candidates shaped through the bucket
+  kOnOff,    ///< exponential talk spurts at peak rate, silent otherwise
+};
+
+struct SourceConfig {
+  SourceModel model = SourceModel::kGreedy;
+  Bits packet_size = 640.0;
+  SimTime start = 0;
+  SimTime stop = 0;            ///< emission horizon (exclusive); required > start
+  double poisson_rate = 0.0;   ///< packets/s for kPoisson
+  Seconds on_mean = 0.0;       ///< mean talk-spurt length for kOnOff
+  Seconds off_mean = 0.0;      ///< mean silence length for kOnOff
+  std::uint64_t seed = 1;      ///< per-source RNG stream (kPoisson/kOnOff)
+};
+
+/// Per-flow and per-class end-to-end results.
+struct SimResults {
+  std::vector<util::Samples> class_delay;          ///< [class] e2e seconds
+  std::vector<util::Samples> flow_delay;           ///< [flow] e2e seconds
+  std::vector<Seconds> server_max_sojourn;         ///< [server] worst sojourn
+  std::uint64_t packets_delivered = 0;
+  /// Arrival timestamps recorded by add_tap(), indexed by tap id. Used to
+  /// check measured traffic against constraint-function envelopes
+  /// (Theorem 1 validation).
+  std::vector<std::vector<SimTime>> tap_arrivals;
+};
+
+class NetworkSim {
+ public:
+  NetworkSim(const net::ServerGraph& graph, const traffic::ClassSet& classes,
+             SchedulingPolicy policy = SchedulingPolicy::kStaticPriority);
+
+  /// Register a flow; returns its index. The route must be non-empty.
+  std::uint32_t add_flow(net::ServerPath route, std::size_t class_index,
+                         const SourceConfig& source);
+
+  /// Record the arrival time of every packet of `flow` at hop `hop` of its
+  /// route (0 = first server). Returns the tap id into
+  /// SimResults::tap_arrivals. Must be called before run().
+  std::uint32_t add_tap(std::uint32_t flow, std::uint32_t hop);
+
+  /// Attach a per-packet hop-trace recorder (not owned; must outlive
+  /// run()). Call before run().
+  void attach_trace(TraceRecorder* recorder);
+
+  /// Run to `horizon` (sim seconds) and collect results. Call once.
+  SimResults run(Seconds horizon);
+
+ private:
+  struct FlowState {
+    net::ServerPath route;
+    std::size_t class_index;
+    SourceConfig source;
+    traffic::TokenBucketPolicer policer;
+    std::uint64_t emitted = 0;
+    /// Host access link free time: emission is paced at the first server's
+    /// line rate so bursts respect the per-input envelope min{C*I, T+rho*I}.
+    SimTime line_free = 0;
+    /// kOnOff: end of the current talk spurt (< 0 before the first one).
+    SimTime on_until = -1;
+    /// (hop, tap id) pairs registered by add_tap().
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> taps;
+  };
+
+  struct PacketRef {
+    std::uint64_t id;
+    std::uint32_t flow;
+    std::uint32_t hop;
+    SimTime created;
+    SimTime arrived_at_server;
+  };
+
+  struct ServerState {
+    std::vector<std::deque<PacketRef>> queue_per_class;
+    bool busy = false;
+    // DRR state: byte credit per class and the round-robin pointer.
+    std::vector<double> deficit;
+    std::size_t drr_ptr = 0;
+  };
+
+  double drr_quantum(std::size_t class_index) const;
+  void schedule_source(std::uint32_t flow_index);
+  void emit_packet(std::uint32_t flow_index);
+  void packet_arrival(PacketRef packet, net::ServerId server);
+  void try_transmit(net::ServerId server);
+  void transmission_done(PacketRef packet, net::ServerId server);
+
+  const net::ServerGraph* graph_;
+  const traffic::ClassSet* classes_;
+  SchedulingPolicy policy_;
+  EventQueue queue_;
+  std::vector<FlowState> flows_;
+  std::vector<ServerState> servers_;
+  std::vector<util::Xoshiro256> flow_rng_;
+  SimResults results_;
+  TraceRecorder* trace_ = nullptr;
+  std::uint64_t next_packet_id_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ubac::sim

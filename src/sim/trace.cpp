@@ -1,0 +1,46 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace ubac::sim {
+
+void TraceRecorder::record(const HopRecord& rec) {
+  if (records_.size() >= max_records_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<util::OnlineStats> TraceRecorder::sojourn_by_hop() const {
+  std::vector<util::OnlineStats> stats;
+  for (const HopRecord& rec : records_) {
+    if (rec.hop >= stats.size()) stats.resize(rec.hop + 1);
+    stats[rec.hop].add(to_seconds(rec.departed - rec.arrived));
+  }
+  return stats;
+}
+
+std::vector<util::OnlineStats> TraceRecorder::sojourn_by_server(
+    std::size_t server_count) const {
+  std::vector<util::OnlineStats> stats(server_count);
+  for (const HopRecord& rec : records_)
+    if (rec.server < server_count)
+      stats[rec.server].add(to_seconds(rec.departed - rec.arrived));
+  return stats;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::string out = "packet,flow,hop,server,arrived_s,departed_s\n";
+  char line[160];
+  for (const HopRecord& rec : records_) {
+    std::snprintf(line, sizeof(line), "%llu,%u,%u,%u,%.9f,%.9f\n",
+                  static_cast<unsigned long long>(rec.packet), rec.flow,
+                  rec.hop, rec.server, to_seconds(rec.arrived),
+                  to_seconds(rec.departed));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ubac::sim

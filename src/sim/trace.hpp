@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Per-packet hop traces and delay decomposition.
+///
+/// When attached to a NetworkSim (before run()), a TraceRecorder captures
+/// one record per (packet, hop): arrival at the server and transmission
+/// completion. Traces support CSV export for offline inspection and a
+/// per-hop delay decomposition summary — where along its route a class's
+/// delay actually accrues (queueing concentrates on the bottleneck hop,
+/// which the analytic per-server bounds mirror).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/path.hpp"
+#include "sim/sim_time.hpp"
+#include "util/stats.hpp"
+
+namespace ubac::sim {
+
+struct HopRecord {
+  std::uint64_t packet;     ///< per-recorder packet sequence number
+  std::uint32_t flow;
+  std::uint32_t hop;        ///< position on the flow's route
+  net::ServerId server;
+  SimTime arrived;
+  SimTime departed;         ///< transmission completed
+};
+
+class TraceRecorder {
+ public:
+  /// Cap on records kept (protects memory on long runs); further records
+  /// are counted but dropped.
+  explicit TraceRecorder(std::size_t max_records = 1'000'000)
+      : max_records_(max_records) {}
+
+  void record(const HopRecord& record);
+
+  const std::vector<HopRecord>& records() const { return records_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Sojourn (departed - arrived) statistics per hop index, across all
+  /// recorded flows. Index = hop position.
+  std::vector<util::OnlineStats> sojourn_by_hop() const;
+
+  /// Sojourn statistics per server.
+  std::vector<util::OnlineStats> sojourn_by_server(
+      std::size_t server_count) const;
+
+  /// RFC-4180 CSV dump (header + one line per record).
+  std::string to_csv() const;
+
+ private:
+  std::size_t max_records_;
+  std::vector<HopRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ubac::sim

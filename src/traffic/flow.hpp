@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file flow.hpp
+/// \brief Flows and configuration-time traffic demands.
+///
+/// At configuration time the inputs are *demands*: (source, destination,
+/// class) triples for which routes must be selected and whose deadline
+/// must hold for any run-time flow population admitted under the
+/// utilization limits. At run time, *flows* are individual policed streams
+/// admitted onto a demand's route.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+
+namespace ubac::traffic {
+
+using FlowId = std::uint64_t;
+
+/// A configuration-time demand: traffic of `class_index` will flow from
+/// `src` to `dst` and needs a route.
+struct Demand {
+  net::NodeId src;
+  net::NodeId dst;
+  std::size_t class_index;
+
+  friend bool operator==(const Demand&, const Demand&) = default;
+};
+
+/// A run-time flow admitted onto the network.
+struct Flow {
+  FlowId id;
+  std::size_t class_index;
+  net::NodeId src;
+  net::NodeId dst;
+  net::ServerPath route;  ///< link servers the flow traverses
+};
+
+}  // namespace ubac::traffic

@@ -1,0 +1,44 @@
+#include "traffic/leaky_bucket.hpp"
+
+#include <algorithm>
+
+namespace ubac::traffic {
+
+Bits LeakyBucket::max_traffic(Seconds interval, BitsPerSecond line_rate) const {
+  if (interval <= 0.0) return 0.0;
+  return std::min(line_rate * interval, burst + rate * interval);
+}
+
+Seconds LeakyBucket::knee(BitsPerSecond line_rate) const {
+  if (line_rate <= rate) return 0.0;
+  return burst / (line_rate - rate);
+}
+
+void TokenBucketPolicer::refill(Seconds now) {
+  if (now < last_time_) throw std::logic_error("TokenBucketPolicer: time ran backwards");
+  tokens_ = std::min(profile_.burst, tokens_ + profile_.rate * (now - last_time_));
+  last_time_ = now;
+}
+
+bool TokenBucketPolicer::conforms(Bits size, Seconds now) {
+  refill(now);
+  if (size > tokens_) return false;
+  tokens_ -= size;
+  return true;
+}
+
+Seconds TokenBucketPolicer::earliest_conformance(Bits size, Seconds now) const {
+  if (size > profile_.burst)
+    throw std::invalid_argument("packet larger than burst never conforms");
+  const Bits available = tokens_at(now);
+  if (size <= available) return now;
+  return now + (size - available) / profile_.rate;
+}
+
+Bits TokenBucketPolicer::tokens_at(Seconds now) const {
+  if (now < last_time_) throw std::logic_error("TokenBucketPolicer: time ran backwards");
+  return std::min(profile_.burst,
+                  tokens_ + profile_.rate * (now - last_time_));
+}
+
+}  // namespace ubac::traffic

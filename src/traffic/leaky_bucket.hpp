@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file leaky_bucket.hpp
+/// \brief Leaky-bucket traffic descriptors and a token-bucket policer.
+///
+/// The paper assumes every real-time source is policed by a leaky bucket
+/// with burst size T (bits) and average rate rho (bits/s): the traffic it
+/// can emit in any interval of length I is bounded by
+/// min{C * I, T + rho * I} (Section 3).
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace ubac::traffic {
+
+/// (T, rho) descriptor of a policed source.
+struct LeakyBucket {
+  Bits burst;           ///< T: maximum burst size in bits
+  BitsPerSecond rate;   ///< rho: sustained average rate
+
+  LeakyBucket(Bits burst_bits, BitsPerSecond rate_bps)
+      : burst(burst_bits), rate(rate_bps) {
+    if (burst < 0.0) throw std::invalid_argument("LeakyBucket: burst < 0");
+    if (rate <= 0.0) throw std::invalid_argument("LeakyBucket: rate <= 0");
+  }
+
+  /// Maximum traffic (bits) the source can emit in an interval of length
+  /// `interval`, when attached to a link of capacity `line_rate`:
+  /// min{C*I, T + rho*I}.
+  Bits max_traffic(Seconds interval, BitsPerSecond line_rate) const;
+
+  /// Time for the bucket constraint min{C*I, T + rho*I} to switch from the
+  /// line-rate segment to the sustained-rate segment: T / (C - rho).
+  /// Returns 0 when line_rate <= rate (the constraint is the line itself).
+  Seconds knee(BitsPerSecond line_rate) const;
+};
+
+/// Stateful token-bucket policer used by the simulator and edge policing:
+/// a packet of `size` bits conforms at time t iff the bucket holds enough
+/// tokens; tokens refill at `rate` up to `burst`.
+class TokenBucketPolicer {
+ public:
+  explicit TokenBucketPolicer(const LeakyBucket& profile,
+                              Seconds start_time = 0.0)
+      : profile_(profile), tokens_(profile.burst), last_time_(start_time) {}
+
+  /// True (and consume tokens) iff a packet of `size` bits conforms at
+  /// time `now`. Time must be non-decreasing across calls.
+  bool conforms(Bits size, Seconds now);
+
+  /// Earliest time >= now at which a packet of `size` bits would conform.
+  /// Requires size <= burst (a larger packet never conforms).
+  Seconds earliest_conformance(Bits size, Seconds now) const;
+
+  Bits tokens_at(Seconds now) const;
+
+ private:
+  void refill(Seconds now);
+
+  LeakyBucket profile_;
+  Bits tokens_;
+  Seconds last_time_;
+};
+
+}  // namespace ubac::traffic

@@ -1,0 +1,46 @@
+#include "traffic/service_class.hpp"
+
+namespace ubac::traffic {
+
+std::size_t ClassSet::add(ServiceClass cls) {
+  if (cls.realtime) {
+    const double total = total_share() + cls.share;
+    if (total >= 1.0)
+      throw std::invalid_argument(
+          "ClassSet: total real-time share must stay below 1");
+  }
+  classes_.push_back(std::move(cls));
+  return classes_.size() - 1;
+}
+
+double ClassSet::cumulative_share(std::size_t i) const {
+  if (i >= classes_.size()) throw std::out_of_range("ClassSet: bad index");
+  double total = 0.0;
+  for (std::size_t l = 0; l <= i; ++l)
+    if (classes_[l].realtime) total += classes_[l].share;
+  return total;
+}
+
+double ClassSet::total_share() const {
+  double total = 0.0;
+  for (const auto& c : classes_)
+    if (c.realtime) total += c.share;
+  return total;
+}
+
+std::vector<std::size_t> ClassSet::realtime_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < classes_.size(); ++i)
+    if (classes_[i].realtime) out.push_back(i);
+  return out;
+}
+
+ClassSet ClassSet::two_class(LeakyBucket rt_bucket, Seconds deadline,
+                             double share) {
+  ClassSet set;
+  set.add(ServiceClass("realtime", rt_bucket, deadline, share, true));
+  set.add(ServiceClass("best-effort", LeakyBucket(0.0, 1.0), 0.0, 0.0, false));
+  return set;
+}
+
+}  // namespace ubac::traffic

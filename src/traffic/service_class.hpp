@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file service_class.hpp
+/// \brief DiffServ-style service classes (Section 3, "Classes of Service").
+///
+/// Flows are partitioned into classes; traffic spec (leaky bucket), QoS
+/// requirement (end-to-end deadline D) and bandwidth share (alpha) are all
+/// per class. Class order encodes static priority: index 0 is served
+/// first. A trailing best-effort class has no deadline and no reservation.
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::traffic {
+
+/// One traffic class. Real-time classes carry a deadline and a bandwidth
+/// share; the best-effort class is modelled by realtime == false.
+struct ServiceClass {
+  std::string name;
+  LeakyBucket bucket;     ///< per-flow (T, rho) at the network entrance
+  Seconds deadline;       ///< end-to-end deadline D (ignored if !realtime)
+  double share;           ///< alpha: fraction of each link reserved
+  bool realtime = true;
+
+  ServiceClass(std::string class_name, LeakyBucket lb, Seconds d, double alpha,
+               bool rt = true)
+      : name(std::move(class_name)), bucket(lb), deadline(d), share(alpha),
+        realtime(rt) {
+    if (rt) {
+      if (d <= 0.0) throw std::invalid_argument("ServiceClass: deadline <= 0");
+      if (alpha <= 0.0 || alpha >= 1.0)
+        throw std::invalid_argument("ServiceClass: share outside (0,1)");
+    }
+  }
+};
+
+/// Ordered set of classes; index == static priority (0 highest). Validates
+/// that total real-time reservation stays below 1.
+class ClassSet {
+ public:
+  ClassSet() = default;
+
+  /// Append a class at the next (lower) priority. Returns its index.
+  std::size_t add(ServiceClass cls);
+
+  std::size_t size() const { return classes_.size(); }
+  const ServiceClass& at(std::size_t i) const { return classes_.at(i); }
+
+  /// Sum of shares of real-time classes with priority <= i (i.e. classes
+  /// 0..i that are real-time).
+  double cumulative_share(std::size_t i) const;
+
+  /// Sum of all real-time shares.
+  double total_share() const;
+
+  /// Indices of real-time classes, in priority order.
+  std::vector<std::size_t> realtime_indices() const;
+
+  /// Convenience: the paper's base scenario — one real-time class (voice)
+  /// plus best effort.
+  static ClassSet two_class(LeakyBucket rt_bucket, Seconds deadline,
+                            double share);
+
+ private:
+  std::vector<ServiceClass> classes_;
+};
+
+}  // namespace ubac::traffic

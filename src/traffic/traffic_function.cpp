@@ -1,0 +1,141 @@
+#include "traffic/traffic_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ubac::traffic {
+
+namespace {
+constexpr double kSlopeTol = 1e-9;
+}
+
+TrafficFunction::TrafficFunction() : points_{{0.0, 0.0}}, final_slope_(0.0) {}
+
+TrafficFunction::TrafficFunction(std::vector<Point> points,
+                                 BitsPerSecond final_slope)
+    : points_(std::move(points)), final_slope_(final_slope) {
+  check_invariants();
+}
+
+void TrafficFunction::check_invariants() const {
+  if (points_.empty() || points_.front().x != 0.0)
+    throw std::logic_error("TrafficFunction: first breakpoint must be x=0");
+  double prev_slope = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double dx = points_[i + 1].x - points_[i].x;
+    if (dx <= 0.0)
+      throw std::logic_error("TrafficFunction: breakpoints not increasing");
+    const double slope = (points_[i + 1].y - points_[i].y) / dx;
+    if (slope > prev_slope + kSlopeTol)
+      throw std::logic_error("TrafficFunction: not concave");
+    if (slope < -kSlopeTol)
+      throw std::logic_error("TrafficFunction: decreasing");
+    prev_slope = slope;
+  }
+  if (final_slope_ > prev_slope + kSlopeTol)
+    throw std::logic_error("TrafficFunction: terminal slope breaks concavity");
+  if (final_slope_ < 0.0)
+    throw std::logic_error("TrafficFunction: negative terminal slope");
+  if (points_.front().y < 0.0)
+    throw std::logic_error("TrafficFunction: negative value");
+}
+
+TrafficFunction TrafficFunction::affine(Bits b, BitsPerSecond r) {
+  if (b < 0.0 || r < 0.0)
+    throw std::invalid_argument("TrafficFunction::affine: negative parameter");
+  return TrafficFunction({{0.0, b}}, r);
+}
+
+TrafficFunction TrafficFunction::from_leaky_bucket(const LeakyBucket& lb,
+                                                   BitsPerSecond line_rate) {
+  return jittered(lb, 0.0, line_rate);
+}
+
+TrafficFunction TrafficFunction::jittered(const LeakyBucket& lb,
+                                          Seconds upstream_delay,
+                                          BitsPerSecond line_rate) {
+  if (upstream_delay < 0.0)
+    throw std::invalid_argument("jittered: negative upstream delay");
+  if (line_rate <= 0.0)
+    throw std::invalid_argument("jittered: non-positive line rate");
+  const Bits effective_burst = lb.burst + lb.rate * upstream_delay;
+  if (line_rate <= lb.rate || effective_burst == 0.0) {
+    // The line itself is the binding constraint.
+    return TrafficFunction({{0.0, 0.0}}, line_rate);
+  }
+  const Seconds knee = effective_burst / (line_rate - lb.rate);
+  return TrafficFunction({{0.0, 0.0}, {knee, line_rate * knee}}, lb.rate);
+}
+
+Bits TrafficFunction::eval(Seconds interval) const {
+  if (interval < 0.0)
+    throw std::invalid_argument("TrafficFunction::eval: negative interval");
+  // Find last breakpoint with x <= interval.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), interval,
+      [](Seconds v, const Point& p) { return v < p.x; });
+  --it;  // safe: points_[0].x == 0 <= interval
+  const double slope = (it + 1 == points_.end())
+                           ? final_slope_
+                           : (it[1].y - it[0].y) / (it[1].x - it[0].x);
+  return it->y + slope * (interval - it->x);
+}
+
+TrafficFunction TrafficFunction::operator+(const TrafficFunction& other) const {
+  std::vector<Point> merged;
+  merged.reserve(points_.size() + other.points_.size());
+  std::vector<Seconds> xs;
+  xs.reserve(points_.size() + other.points_.size());
+  for (const Point& p : points_) xs.push_back(p.x);
+  for (const Point& p : other.points_) xs.push_back(p.x);
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  for (Seconds x : xs) merged.push_back({x, eval(x) + other.eval(x)});
+  return TrafficFunction(std::move(merged),
+                         final_slope_ + other.final_slope_);
+}
+
+TrafficFunction& TrafficFunction::operator+=(const TrafficFunction& other) {
+  *this = *this + other;
+  return *this;
+}
+
+TrafficFunction TrafficFunction::scaled(double factor) const {
+  if (factor < 0.0)
+    throw std::invalid_argument("TrafficFunction::scaled: negative factor");
+  std::vector<Point> pts = points_;
+  for (Point& p : pts) p.y *= factor;
+  return TrafficFunction(std::move(pts), final_slope_ * factor);
+}
+
+TrafficFunction TrafficFunction::shifted_left(Seconds delta) const {
+  if (delta < 0.0)
+    throw std::invalid_argument("shifted_left: negative delta");
+  if (delta == 0.0) return *this;
+  std::vector<Point> pts;
+  pts.push_back({0.0, eval(delta)});
+  for (const Point& p : points_)
+    if (p.x > delta) pts.push_back({p.x - delta, p.y});
+  return TrafficFunction(std::move(pts), final_slope_);
+}
+
+Bits TrafficFunction::max_backlog(BitsPerSecond service_rate) const {
+  if (service_rate <= 0.0)
+    throw std::invalid_argument("max_backlog: non-positive service rate");
+  if (final_slope_ > service_rate)
+    return std::numeric_limits<double>::infinity();
+  // Concave F minus a line is concave; the sup over a piecewise-linear
+  // concave function is attained at a breakpoint.
+  Bits best = 0.0;
+  for (const Point& p : points_)
+    best = std::max(best, p.y - service_rate * p.x);
+  return best;
+}
+
+Seconds TrafficFunction::max_delay(BitsPerSecond service_rate) const {
+  return max_backlog(service_rate) / service_rate;
+}
+
+}  // namespace ubac::traffic

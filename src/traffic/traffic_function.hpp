@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file traffic_function.hpp
+/// \brief Piecewise-linear concave traffic constraint functions (Cruz).
+///
+/// A traffic constraint function F(I) bounds the traffic a stream can emit
+/// in any interval of length I (Definition 2 in the paper). Everything the
+/// analysis needs — leaky-bucket envelopes min{C*I, T + rho*I}, jitter
+/// shifts F(I + Y) (Theorem 1), aggregation by sum, and the busy-period
+/// delay sup_I (F(I) - C*I)/C (Equation 3) — stays inside the class of
+/// non-decreasing concave piecewise-linear functions, which this type
+/// models exactly with breakpoints plus a terminal slope.
+
+#include <cstddef>
+#include <vector>
+
+#include "traffic/leaky_bucket.hpp"
+#include "util/units.hpp"
+
+namespace ubac::traffic {
+
+/// Non-decreasing concave piecewise-linear function on [0, inf).
+/// Invariants: breakpoints strictly increasing in x starting at x = 0,
+/// segment slopes non-increasing (concavity), values non-negative.
+class TrafficFunction {
+ public:
+  struct Point {
+    Seconds x;
+    Bits y;
+  };
+
+  /// The zero function.
+  TrafficFunction();
+
+  /// Affine function b + r*I (b, r >= 0).
+  static TrafficFunction affine(Bits b, BitsPerSecond r);
+
+  /// Leaky-bucket envelope clipped by the access line rate:
+  /// min{line_rate * I, T + rho * I}.
+  static TrafficFunction from_leaky_bucket(const LeakyBucket& lb,
+                                           BitsPerSecond line_rate);
+
+  /// Theorem 1's jittered per-flow bound H_k(I) = min{C*I, T + rho*Y + rho*I}
+  /// for a flow that has accumulated queueing delay at most Y upstream.
+  static TrafficFunction jittered(const LeakyBucket& lb, Seconds upstream_delay,
+                                  BitsPerSecond line_rate);
+
+  Bits eval(Seconds interval) const;
+
+  /// Pointwise sum (aggregation of streams, Equation 2).
+  TrafficFunction operator+(const TrafficFunction& other) const;
+  TrafficFunction& operator+=(const TrafficFunction& other);
+
+  /// Pointwise scale by a non-negative factor (n identical flows).
+  TrafficFunction scaled(double factor) const;
+
+  /// Horizontal left-shift: returns g with g(I) = this(I + delta), delta>=0.
+  /// This is how upstream jitter enters a constraint function (Theorem 2.1
+  /// of Cruz, used in the proof of Theorem 1).
+  TrafficFunction shifted_left(Seconds delta) const;
+
+  /// sup_{I >= 0} (F(I) - service_rate * I), the worst-case backlog of a
+  /// work-conserving server of that rate fed by this envelope. Returns
+  /// +infinity when the terminal slope exceeds the service rate (unstable).
+  Bits max_backlog(BitsPerSecond service_rate) const;
+
+  /// max_backlog / service_rate: Equation 3's worst-case queueing delay.
+  Seconds max_delay(BitsPerSecond service_rate) const;
+
+  /// Terminal (long-run) slope — the sustained rate of the stream.
+  BitsPerSecond terminal_rate() const { return final_slope_; }
+
+  const std::vector<Point>& breakpoints() const { return points_; }
+
+ private:
+  TrafficFunction(std::vector<Point> points, BitsPerSecond final_slope);
+  void check_invariants() const;
+
+  std::vector<Point> points_;      // first point always at x = 0
+  BitsPerSecond final_slope_;
+};
+
+}  // namespace ubac::traffic

@@ -1,0 +1,45 @@
+#include "traffic/workload.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ubac::traffic {
+
+std::vector<Demand> all_ordered_pairs(const net::Topology& topo,
+                                      std::size_t class_index) {
+  std::vector<Demand> demands;
+  const auto n = static_cast<net::NodeId>(topo.node_count());
+  demands.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (net::NodeId s = 0; s < n; ++s)
+    for (net::NodeId t = 0; t < n; ++t)
+      if (s != t) demands.push_back({s, t, class_index});
+  return demands;
+}
+
+std::vector<Demand> random_pairs(const net::Topology& topo, std::size_t count,
+                                 std::uint64_t seed,
+                                 std::size_t class_index) {
+  auto all = all_ordered_pairs(topo, class_index);
+  if (count > all.size())
+    throw std::invalid_argument("random_pairs: count exceeds pair count");
+  util::Xoshiro256 rng(seed);
+  rng.shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+std::vector<Demand> hotspot(const net::Topology& topo, net::NodeId hub,
+                            std::size_t class_index) {
+  topo.check_node(hub);
+  std::vector<Demand> demands;
+  const auto n = static_cast<net::NodeId>(topo.node_count());
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (v == hub) continue;
+    demands.push_back({v, hub, class_index});
+    demands.push_back({hub, v, class_index});
+  }
+  return demands;
+}
+
+}  // namespace ubac::traffic

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Demand-set generators for experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "traffic/flow.hpp"
+
+namespace ubac::traffic {
+
+/// Every ordered router pair (the paper's Section 6 setup: "flows can be
+/// established between any two routers").
+std::vector<Demand> all_ordered_pairs(const net::Topology& topo,
+                                      std::size_t class_index = 0);
+
+/// `count` distinct ordered pairs drawn uniformly at random (deterministic
+/// for a seed). Throws if count exceeds the number of ordered pairs.
+std::vector<Demand> random_pairs(const net::Topology& topo, std::size_t count,
+                                 std::uint64_t seed,
+                                 std::size_t class_index = 0);
+
+/// Hotspot pattern: every other router sends to and receives from `hub`.
+std::vector<Demand> hotspot(const net::Topology& topo, net::NodeId hub,
+                            std::size_t class_index = 0);
+
+}  // namespace ubac::traffic

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file ubac.hpp
+/// \brief Umbrella header: the full public API of the ubac library.
+///
+/// Layering (each depends only on the ones above it):
+///
+///   util      — units, RNG, statistics, tables/CSV, CLI, logging
+///   net       — topology, link-server graph, paths, metrics, factory/io
+///   traffic   — leaky buckets, constraint functions, classes, workloads
+///   analysis  — Theorems 1-5, fixed point, Theorem 4 bounds, statistical
+///               extension, per-hop budget baseline, general delay formula
+///   routing   — route selection (SP / heuristic / restarts / least-loaded
+///               / multi-class), dependency graph, max-utilization search
+///   admission — run-time controllers (utilization-based, statistical,
+///               intserv baseline), Poisson load driver, Erlang analytics
+///   config    — configuration workflows, SLA renegotiation, failure
+///               rerouting, serialization, reports
+///   sim       — deterministic packet-level simulator for validation
+///
+/// Typical usage: configure with config::Configurator (or the routing::
+/// maximize_* searches), hand the resulting routing table to an
+/// admission::AdmissionController, and validate with sim::NetworkSim.
+
+#include "util/cli.hpp"              // IWYU pragma: export
+#include "util/csv.hpp"              // IWYU pragma: export
+#include "util/histogram.hpp"        // IWYU pragma: export
+#include "util/log.hpp"              // IWYU pragma: export
+#include "util/rng.hpp"              // IWYU pragma: export
+#include "util/stats.hpp"            // IWYU pragma: export
+#include "util/table.hpp"            // IWYU pragma: export
+#include "util/thread_pool.hpp"      // IWYU pragma: export
+#include "util/units.hpp"            // IWYU pragma: export
+
+#include "net/graph.hpp"             // IWYU pragma: export
+#include "net/ksp.hpp"               // IWYU pragma: export
+#include "net/metrics.hpp"           // IWYU pragma: export
+#include "net/path.hpp"              // IWYU pragma: export
+#include "net/server_graph.hpp"      // IWYU pragma: export
+#include "net/shortest_path.hpp"     // IWYU pragma: export
+#include "net/topology_factory.hpp"  // IWYU pragma: export
+#include "net/topology_io.hpp"       // IWYU pragma: export
+
+#include "traffic/flow.hpp"              // IWYU pragma: export
+#include "traffic/leaky_bucket.hpp"      // IWYU pragma: export
+#include "traffic/service_class.hpp"     // IWYU pragma: export
+#include "traffic/traffic_function.hpp"  // IWYU pragma: export
+#include "traffic/workload.hpp"          // IWYU pragma: export
+
+#include "analysis/bounds.hpp"            // IWYU pragma: export
+#include "analysis/budget_partition.hpp"  // IWYU pragma: export
+#include "analysis/delay_bound.hpp"       // IWYU pragma: export
+#include "analysis/fixed_point.hpp"       // IWYU pragma: export
+#include "analysis/general_delay.hpp"     // IWYU pragma: export
+#include "analysis/multiclass.hpp"        // IWYU pragma: export
+#include "analysis/statistical.hpp"       // IWYU pragma: export
+#include "analysis/verification.hpp"      // IWYU pragma: export
+
+#include "routing/cycle_check.hpp"           // IWYU pragma: export
+#include "routing/least_loaded.hpp"          // IWYU pragma: export
+#include "routing/max_util_search.hpp"       // IWYU pragma: export
+#include "routing/multiclass_selection.hpp"  // IWYU pragma: export
+#include "routing/route_selection.hpp"       // IWYU pragma: export
+
+#include "admission/controller.hpp"              // IWYU pragma: export
+#include "admission/erlang.hpp"                  // IWYU pragma: export
+#include "admission/intserv_baseline.hpp"        // IWYU pragma: export
+#include "admission/load_driver.hpp"             // IWYU pragma: export
+#include "admission/reduced_load.hpp"            // IWYU pragma: export
+#include "admission/routing_table.hpp"           // IWYU pragma: export
+#include "admission/snapshot.hpp"                // IWYU pragma: export
+#include "admission/statistical_controller.hpp"  // IWYU pragma: export
+
+#include "config/configurator.hpp"  // IWYU pragma: export
+#include "config/report.hpp"        // IWYU pragma: export
+
+#include "sim/event_queue.hpp"  // IWYU pragma: export
+#include "sim/network_sim.hpp"  // IWYU pragma: export
+#include "sim/sim_time.hpp"     // IWYU pragma: export
+#include "sim/trace.hpp"        // IWYU pragma: export

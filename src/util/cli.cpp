@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ubac::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    tok = tok.substr(2);
+    // Only the unambiguous forms: --key=value and boolean --flag.
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    } else {
+      flags_.insert(tok);
+    }
+  }
+}
+
+ArgParser& ArgParser::describe(const std::string& key,
+                               const std::string& help) {
+  descriptions_.emplace_back(key, help);
+  return *this;
+}
+
+void ArgParser::validate() const {
+  std::set<std::string> known;
+  for (const auto& [key, help] : descriptions_) known.insert(key);
+  std::string unknown;
+  for (const auto& [key, value] : values_)
+    if (!known.count(key)) unknown += " --" + key;
+  for (const auto& key : flags_)
+    if (!known.count(key)) unknown += " --" + key;
+  if (!unknown.empty())
+    throw std::invalid_argument("unknown options:" + unknown);
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0 || flags_.count(key) > 0;
+}
+
+std::string ArgParser::get(const std::string& key,
+                           const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+long ArgParser::get_long(const std::string& key, long def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+bool ArgParser::get_bool(const std::string& key, bool def) const {
+  if (flags_.count(key)) return true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+std::string ArgParser::usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [options]\n";
+  for (const auto& [key, help] : descriptions_)
+    out += "  --" + key + "  " + help + "\n";
+  return out;
+}
+
+}  // namespace ubac::util

@@ -1,0 +1,48 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ubac::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+bool CsvWriter::enabled_by_env() {
+  const char* v = std::getenv("UBAC_BENCH_CSV");
+  return v != nullptr && v[0] != '\0';
+}
+
+std::string CsvWriter::output_dir() {
+  const char* v = std::getenv("UBAC_BENCH_CSV");
+  return (v && v[0]) ? v : ".";
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ubac::util

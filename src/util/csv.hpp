@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV emission for bench results.
+///
+/// Bench binaries optionally mirror their tables to CSV (controlled by the
+/// UBAC_BENCH_CSV environment variable) so results can be plotted offline.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ubac::util {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// separators/quotes/newlines).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// True when the UBAC_BENCH_CSV environment variable is set (benches use
+  /// this to decide whether to emit CSV files at all).
+  static bool enabled_by_env();
+
+  /// Directory prefix for CSV output (value of UBAC_BENCH_CSV, or ".").
+  static std::string output_dir();
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace ubac::util

@@ -1,0 +1,60 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ubac::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+    ++counts_[bin];
+  }
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + bin_width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%11.4g, %11.4g) %8zu |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(line, sizeof(line), "underflow %zu, overflow %zu\n",
+                  underflow_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ubac::util

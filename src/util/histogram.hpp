@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Fixed-width histogram for delay distributions.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ubac::util {
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are counted in
+/// underflow/overflow buckets so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Render an ASCII bar chart (for bench/eyeball output).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ubac::util

@@ -1,0 +1,57 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ubac::util {
+
+namespace {
+
+LogLevel parse_env() {
+  const char* v = std::getenv("UBAC_LOG");
+  if (!v) return LogLevel::kWarn;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{static_cast<int>(parse_env())};
+  return level;
+}
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kWarn: return "[warn ] ";
+    case LogLevel::kInfo: return "[info ] ";
+    case LogLevel::kDebug: return "[debug] ";
+  }
+  return "";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load());
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= threshold_storage().load();
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::fputs(prefix(level), stderr);
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ubac::util

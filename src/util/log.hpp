@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file log.hpp
+/// \brief Leveled stderr logging, controlled by the UBAC_LOG env variable.
+///
+/// Levels: error < warn < info < debug. Default is warn so tests and
+/// benches stay quiet; set UBAC_LOG=debug to trace fixed-point iterations
+/// or route-selection decisions.
+
+#include <sstream>
+#include <string>
+
+namespace ubac::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold (parsed once from UBAC_LOG).
+LogLevel log_threshold();
+
+/// Override the threshold programmatically (tests).
+void set_log_threshold(LogLevel level);
+
+bool log_enabled(LogLevel level);
+
+/// Emit one line at `level` with a severity prefix.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ubac::util
+
+#define UBAC_LOG(level)                                       \
+  if (!::ubac::util::log_enabled(level)) {                    \
+  } else                                                      \
+    ::ubac::util::detail::LogStream(level)
+
+#define UBAC_LOG_DEBUG UBAC_LOG(::ubac::util::LogLevel::kDebug)
+#define UBAC_LOG_INFO UBAC_LOG(::ubac::util::LogLevel::kInfo)
+#define UBAC_LOG_WARN UBAC_LOG(::ubac::util::LogLevel::kWarn)
+#define UBAC_LOG_ERROR UBAC_LOG(::ubac::util::LogLevel::kError)

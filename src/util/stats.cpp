@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ubac::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Samples::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("quantile of empty sample set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace ubac::util

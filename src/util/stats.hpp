@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file stats.hpp
+/// \brief Streaming and batch statistics used by the simulator and benches.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace ubac::util {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch sample container with exact quantiles (sorts on demand).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact quantile by linear interpolation, q in [0, 1]. Requires data.
+  double quantile(double q) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace ubac::util

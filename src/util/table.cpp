@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ubac::util {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::kRight);
+    aligns_[0] = Align::kLeft;
+  }
+  if (aligns_.size() != headers_.size())
+    throw std::invalid_argument("TextTable: aligns/headers size mismatch");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_cell = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - s.size();
+    if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(pad, ' ');
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += " | ";
+    out += render_cell(headers_[c], c);
+  }
+  out += '\n';
+  std::size_t rule_len = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule_len += widths[c] + (c ? 3 : 0);
+  out.append(rule_len, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += " | ";
+      out += render_cell(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::fmt_ms(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ms", precision, seconds * 1e3);
+  return buf;
+}
+
+}  // namespace ubac::util

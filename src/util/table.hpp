@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief ASCII table rendering for bench/example output.
+///
+/// Bench binaries print paper-style tables; this keeps the formatting in
+/// one place (alignment, separators, number formatting).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ubac::util {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Simple monospace table: set headers, add rows of strings, render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Add one row; must have the same number of cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column separators and a header rule.
+  std::string render() const;
+
+  /// Format helpers used by benches for consistent numeric output.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_percent(double fraction, int precision = 1);
+  static std::string fmt_ms(double seconds, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ubac::util

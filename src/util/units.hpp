@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file units.hpp
+/// \brief Physical unit helpers used throughout ubac.
+///
+/// The analysis in the paper is a fluid model over three base quantities:
+/// time (seconds), data (bits) and rate (bits per second). We keep them as
+/// plain doubles for arithmetic convenience but provide named constructors
+/// so call sites read like the paper ("T = 640 bits, rho = 32 kb/s,
+/// D = 100 ms").
+
+namespace ubac {
+
+/// Time in seconds.
+using Seconds = double;
+/// Data volume in bits.
+using Bits = double;
+/// Rate in bits per second.
+using BitsPerSecond = double;
+
+namespace units {
+
+constexpr Seconds milliseconds(double ms) { return ms * 1e-3; }
+constexpr Seconds microseconds(double us) { return us * 1e-6; }
+constexpr Seconds seconds(double s) { return s; }
+
+constexpr Bits bits(double b) { return b; }
+constexpr Bits kilobits(double kb) { return kb * 1e3; }
+constexpr Bits bytes(double by) { return by * 8.0; }
+
+constexpr BitsPerSecond bps(double r) { return r; }
+constexpr BitsPerSecond kbps(double r) { return r * 1e3; }
+constexpr BitsPerSecond mbps(double r) { return r * 1e6; }
+constexpr BitsPerSecond gbps(double r) { return r * 1e9; }
+
+/// Convert seconds to milliseconds for reporting.
+constexpr double to_ms(Seconds s) { return s * 1e3; }
+
+}  // namespace units
+
+}  // namespace ubac

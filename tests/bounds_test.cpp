@@ -1,0 +1,139 @@
+// Tests for Theorem 4's utilization bounds — including the paper's
+// Table 1 values 0.30 and 0.61 for the MCI voice-over-IP scenario.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/delay_bound.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+constexpr double kN = 6.0;
+constexpr int kL = 4;
+const Seconds kDeadline = milliseconds(100);
+
+TEST(Theorem4, PaperTable1LowerBound) {
+  // Table 1: lower bound 0.30.
+  EXPECT_NEAR(alpha_lower_bound(kN, kL, kVoice, kDeadline), 0.30, 0.005);
+}
+
+TEST(Theorem4, PaperTable1UpperBound) {
+  // Table 1: upper bound 0.61.
+  EXPECT_NEAR(alpha_upper_bound(kN, kL, kVoice, kDeadline), 0.61, 0.005);
+}
+
+TEST(Theorem4, LowerBoundClosedFormAlgebra) {
+  // N / ((N-1) * (L*T/(rho*D) + (L-1)) + 1) with T/(rho*D) = 0.2.
+  EXPECT_NEAR(alpha_lower_bound(kN, kL, kVoice, kDeadline),
+              6.0 / (5.0 * (4.0 * 0.2 + 3.0) + 1.0), 1e-12);
+}
+
+TEST(Theorem4, UpperBoundClosedFormAlgebra) {
+  const double g = std::pow(5.0 + 1.0, 0.25);  // (D*rho/T + 1)^(1/L)
+  EXPECT_NEAR(alpha_upper_bound(kN, kL, kVoice, kDeadline),
+              6.0 * (g - 1.0) / (6.0 + g - 2.0), 1e-12);
+}
+
+/// Lower bound never exceeds upper bound across a broad parameter sweep.
+class BoundOrdering
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(BoundOrdering, LowerLeqUpper) {
+  const auto [n, l, d_ms] = GetParam();
+  const Seconds d = milliseconds(d_ms);
+  const double lb = alpha_lower_bound(n, l, kVoice, d);
+  const double ub = alpha_upper_bound(n, l, kVoice, d);
+  EXPECT_GT(lb, 0.0);
+  EXPECT_LE(lb, ub + 1e-12);
+  EXPECT_LE(ub, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundOrdering,
+    ::testing::Combine(::testing::Values(2.0, 4.0, 6.0, 16.0),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(25.0, 50.0, 100.0, 400.0)));
+
+TEST(Theorem4, BoundsMonotoneInDeadline) {
+  double prev_lb = 0.0, prev_ub = 0.0;
+  for (double d_ms = 25.0; d_ms <= 400.0; d_ms *= 2.0) {
+    const double lb = alpha_lower_bound(kN, kL, kVoice, milliseconds(d_ms));
+    const double ub = alpha_upper_bound(kN, kL, kVoice, milliseconds(d_ms));
+    EXPECT_GT(lb, prev_lb);
+    EXPECT_GT(ub, prev_ub);
+    prev_lb = lb;
+    prev_ub = ub;
+  }
+}
+
+TEST(Theorem4, BoundsDecreaseWithDiameter) {
+  // Both bounds are clamped at 1, so they are only strictly decreasing
+  // once below the clamp.
+  double prev_lb = 2.0, prev_ub = 2.0;
+  for (int l = 1; l <= 8; ++l) {
+    const double lb = alpha_lower_bound(kN, l, kVoice, kDeadline);
+    const double ub = alpha_upper_bound(kN, l, kVoice, kDeadline);
+    EXPECT_LE(lb, prev_lb);
+    if (prev_lb < 1.0) {
+      EXPECT_LT(lb, prev_lb);
+    }
+    EXPECT_LE(ub, prev_ub);
+    if (prev_ub < 1.0) {
+      EXPECT_LT(ub, prev_ub);
+    }
+    prev_lb = lb;
+    prev_ub = ub;
+  }
+}
+
+TEST(Theorem4, LowerBoundDerivationIsConsistent) {
+  // At alpha_LB the uniform per-hop delay times L equals the deadline
+  // (the binding constraint in the derivation, Eq. 18).
+  const double lb = alpha_lower_bound(kN, kL, kVoice, kDeadline);
+  const Seconds d = uniform_per_hop_delay(lb, kN, kL, kVoice);
+  EXPECT_NEAR(d * kL, kDeadline, kDeadline * 1e-9);
+}
+
+TEST(Theorem4, UpperBoundDerivationIsConsistent) {
+  // At alpha_UB the best-case feed-forward end-to-end delay over L hops
+  // equals the deadline (Eq. 21 binding).
+  const double ub = alpha_upper_bound(kN, kL, kVoice, kDeadline);
+  const Seconds e2e = feed_forward_path_delay(ub, kN, kL, kVoice);
+  EXPECT_NEAR(e2e, kDeadline, kDeadline * 1e-9);
+}
+
+TEST(UniformPerHopDelay, InfiniteWhenLoopGainReachesOne) {
+  // beta * (L-1) >= 1 makes the geometric series diverge.
+  const double alpha = 0.9;
+  const double b = beta(alpha, kN);
+  const int l = static_cast<int>(std::ceil(1.0 / b)) + 1;
+  EXPECT_TRUE(std::isinf(uniform_per_hop_delay(alpha, kN, l + 1, kVoice)));
+  EXPECT_FALSE(std::isinf(uniform_per_hop_delay(alpha, kN, 2, kVoice)));
+}
+
+TEST(FeedForwardPathDelay, ZeroHops) {
+  EXPECT_DOUBLE_EQ(feed_forward_path_delay(0.4, kN, 0, kVoice), 0.0);
+}
+
+TEST(Theorem4, Validation) {
+  EXPECT_THROW(alpha_lower_bound(1.0, 4, kVoice, kDeadline),
+               std::invalid_argument);
+  EXPECT_THROW(alpha_lower_bound(6.0, 0, kVoice, kDeadline),
+               std::invalid_argument);
+  EXPECT_THROW(alpha_upper_bound(6.0, 4, kVoice, 0.0), std::invalid_argument);
+  EXPECT_THROW(uniform_per_hop_delay(0.4, kN, 0, kVoice),
+               std::invalid_argument);
+  EXPECT_THROW(feed_forward_path_delay(0.4, kN, -1, kVoice),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ubac::analysis

@@ -1,0 +1,197 @@
+// Tests for the per-hop budget-partition verifier, the randomized-restart
+// heuristic wrapper, and the packet trace recorder.
+#include <gtest/gtest.h>
+
+#include "analysis/budget_partition.hpp"
+#include "analysis/fixed_point.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/route_selection.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+std::vector<net::ServerPath> sp_routes(const net::Topology& topo,
+                                       const net::ServerGraph& graph) {
+  std::vector<net::ServerPath> routes;
+  for (const auto& d : traffic::all_ordered_pairs(topo))
+    routes.push_back(
+        graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+  return routes;
+}
+
+TEST(BudgetPartition, SafeAtLowUtilizationUnsafeWhenSaturated) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto routes = sp_routes(topo, graph);
+  for (const auto rule : {analysis::BudgetRule::kEqual,
+                          analysis::BudgetRule::kProportional}) {
+    const auto ok = analysis::verify_with_budgets(
+        graph, 0.15, kVoice, milliseconds(100), routes, rule);
+    EXPECT_TRUE(ok.safe);
+    EXPECT_EQ(ok.violating_server, graph.size());
+    const auto bad = analysis::verify_with_budgets(
+        graph, 0.9, kVoice, milliseconds(100), routes, rule);
+    EXPECT_FALSE(bad.safe);
+    EXPECT_LT(bad.violating_server, graph.size());
+    EXPECT_GT(bad.server_delay[bad.violating_server],
+              bad.server_budget[bad.violating_server]);
+  }
+}
+
+TEST(BudgetPartition, NeverCertifiesMoreThanTheFixedPoint) {
+  // Budgets are a restriction of the holistic analysis: any alpha safe
+  // under budgets must be safe for the fixed point too.
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto routes = sp_routes(topo, graph);
+  for (double alpha = 0.05; alpha <= 0.5; alpha += 0.05) {
+    const bool budget_safe =
+        analysis::verify_with_budgets(graph, alpha, kVoice, milliseconds(100),
+                                      routes, analysis::BudgetRule::kEqual)
+            .safe;
+    if (!budget_safe) continue;
+    const bool holistic_safe =
+        analysis::solve_two_class(graph, alpha, kVoice, milliseconds(100),
+                                  routes)
+            .safe();
+    EXPECT_TRUE(holistic_safe) << "alpha=" << alpha;
+  }
+}
+
+TEST(BudgetPartition, RouteBudgetsSumWithinDeadline) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto routes = sp_routes(topo, graph);
+  const auto result = analysis::verify_with_budgets(
+      graph, 0.2, kVoice, milliseconds(100), routes,
+      analysis::BudgetRule::kProportional);
+  ASSERT_TRUE(result.safe);
+  for (const auto& route : routes) {
+    Seconds total = 0.0;
+    for (const net::ServerId s : route) total += result.server_budget[s];
+    EXPECT_LE(total, milliseconds(100) + 1e-12);
+  }
+}
+
+TEST(BudgetPartition, EmptyAndInvalidInputs) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto empty = analysis::verify_with_budgets(graph, 0.3, kVoice,
+                                                   milliseconds(100), {});
+  EXPECT_TRUE(empty.safe);
+  EXPECT_THROW(analysis::verify_with_budgets(graph, 0.3, kVoice, 0.0, {}),
+               std::invalid_argument);
+  const std::vector<net::ServerPath> bad{{99}};
+  EXPECT_THROW(analysis::verify_with_budgets(graph, 0.3, kVoice,
+                                             milliseconds(100), bad),
+               std::out_of_range);
+}
+
+TEST(HeuristicRestarts, FirstAttemptIsDeterministicBaseline) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::random_pairs(topo, 30, 3);
+  const auto plain = routing::select_routes_heuristic(
+      graph, 0.3, kVoice, milliseconds(100), demands);
+  const auto restarted = routing::select_routes_heuristic_restarts(
+      graph, 0.3, kVoice, milliseconds(100), demands, 3);
+  ASSERT_TRUE(plain.success);
+  ASSERT_TRUE(restarted.success);
+  // Feasible on attempt 0 => identical result to the plain heuristic.
+  EXPECT_EQ(restarted.routes, plain.routes);
+  EXPECT_THROW(routing::select_routes_heuristic_restarts(
+                   graph, 0.3, kVoice, milliseconds(100), demands, 0),
+               std::invalid_argument);
+}
+
+TEST(HeuristicRestarts, CanOnlyImproveFeasibility) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  // Scan a band around the single-shot maximum: wherever the single-shot
+  // heuristic succeeds, restarts must succeed too.
+  for (double alpha = 0.45; alpha <= 0.50; alpha += 0.01) {
+    const bool single = routing::select_routes_heuristic(
+                            graph, alpha, kVoice, milliseconds(100), demands)
+                            .success;
+    if (!single) continue;
+    EXPECT_TRUE(routing::select_routes_heuristic_restarts(
+                    graph, alpha, kVoice, milliseconds(100), demands, 2)
+                    .success)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(TraceRecorder, RecordsHopsAndDecomposesDelay) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes =
+      traffic::ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  sim::TraceRecorder trace;
+  netsim.attach_trace(&trace);
+  sim::SourceConfig src;
+  src.model = sim::SourceModel::kCbr;
+  src.packet_size = 640.0;
+  src.stop = sim::to_sim_time(1.0);
+  netsim.add_flow(graph.map_path({0, 1, 2}), 0, src);
+  const auto results = netsim.run(2.0);
+
+  // Two hop records per delivered packet.
+  EXPECT_EQ(trace.records().size(), 2 * results.packets_delivered);
+  EXPECT_EQ(trace.dropped(), 0u);
+  for (const auto& rec : trace.records()) {
+    EXPECT_GE(rec.departed, rec.arrived);
+    EXPECT_LT(rec.hop, 2u);
+  }
+  const auto by_hop = trace.sojourn_by_hop();
+  ASSERT_EQ(by_hop.size(), 2u);
+  EXPECT_EQ(by_hop[0].count(), results.packets_delivered);
+  // Uncontended CBR: every sojourn is exactly one transmission time.
+  EXPECT_NEAR(by_hop[0].max(), 640.0 / 100e6, 1e-9);
+  const auto by_server = trace.sojourn_by_server(graph.size());
+  std::size_t servers_seen = 0;
+  for (const auto& s : by_server)
+    if (s.count()) ++servers_seen;
+  EXPECT_EQ(servers_seen, 2u);
+
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("packet,flow,hop,server"), std::string::npos);
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(trace.records().size()));
+}
+
+TEST(TraceRecorder, CapsMemory) {
+  sim::TraceRecorder trace(2);
+  for (int i = 0; i < 5; ++i)
+    trace.record({static_cast<std::uint64_t>(i), 0, 0, 0, 0, 1});
+  EXPECT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.dropped(), 3u);
+}
+
+TEST(TraceRecorder, AttachAfterRunThrows) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes =
+      traffic::ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  sim::SourceConfig src;
+  src.stop = sim::to_sim_time(0.1);
+  netsim.add_flow(graph.map_path({0, 1}), 0, src);
+  netsim.run(0.2);
+  sim::TraceRecorder trace;
+  EXPECT_THROW(netsim.attach_trace(&trace), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,210 @@
+// Tests for the configuration module: the three configuration types of
+// Section 5, SLA renegotiation, and configuration serialization.
+#include <gtest/gtest.h>
+
+#include "config/configurator.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac::config {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const Seconds kDeadline = milliseconds(100);
+
+struct Fixture {
+  net::Topology topo = net::mci_backbone();
+  net::ServerGraph graph{topo, 6u};
+  Configurator configurator{graph, kVoice, kDeadline};
+
+  std::vector<traffic::Demand> some_demands(std::size_t count) const {
+    return traffic::random_pairs(topo, count, 77);
+  }
+
+  std::vector<net::NodePath> sp_routes(
+      const std::vector<traffic::Demand>& demands) const {
+    std::vector<net::NodePath> routes;
+    for (const auto& d : demands)
+      routes.push_back(net::shortest_path(topo, d.src, d.dst).value());
+    return routes;
+  }
+};
+
+TEST(Configurator, VerifyTypeOne) {
+  Fixture f;
+  const auto demands = f.some_demands(30);
+  const auto routes = f.sp_routes(demands);
+  const auto safe = f.configurator.verify(0.30, demands, routes);
+  ASSERT_TRUE(safe.success) << safe.failure_reason;
+  EXPECT_DOUBLE_EQ(safe.config.alpha, 0.30);
+  EXPECT_EQ(safe.config.routes.size(), demands.size());
+  EXPECT_TRUE(safe.report.safe);
+
+  const auto unsafe = f.configurator.verify(0.95, demands, routes);
+  EXPECT_FALSE(unsafe.success);
+  EXPECT_FALSE(unsafe.failure_reason.empty());
+}
+
+TEST(Configurator, VerifyValidatesInputs) {
+  Fixture f;
+  const auto demands = f.some_demands(3);
+  auto routes = f.sp_routes(demands);
+  routes.pop_back();
+  EXPECT_THROW(f.configurator.verify(0.3, demands, routes),
+               std::invalid_argument);
+  routes = f.sp_routes(demands);
+  std::swap(routes[0], routes[1]);  // routes no longer match demands
+  EXPECT_THROW(f.configurator.verify(0.3, demands, routes),
+               std::invalid_argument);
+}
+
+TEST(Configurator, SelectRoutesTypeTwo) {
+  Fixture f;
+  const auto demands = f.some_demands(40);
+  const auto result = f.configurator.select_routes(0.35, demands);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_EQ(result.config.demands.size(), 40u);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_EQ(result.config.routes[i].front(), demands[i].src);
+    EXPECT_EQ(result.config.routes[i].back(), demands[i].dst);
+  }
+  const auto failed = f.configurator.select_routes(0.95, demands);
+  EXPECT_FALSE(failed.success);
+}
+
+TEST(Configurator, MaximizeTypeThree) {
+  Fixture f;
+  const auto demands = f.some_demands(24);
+  routing::HeuristicOptions heuristic;
+  heuristic.candidates_per_pair = 4;
+  const auto result = f.configurator.maximize(demands, heuristic);
+  ASSERT_TRUE(result.success) << result.failure_reason;
+  EXPECT_GT(result.config.alpha, 0.29);
+  EXPECT_TRUE(result.report.safe);
+}
+
+TEST(Configurator, AddDemandsPinsExistingRoutes) {
+  Fixture f;
+  const auto demands = f.some_demands(30);
+  const std::vector<traffic::Demand> initial(demands.begin(),
+                                             demands.begin() + 20);
+  const std::vector<traffic::Demand> additions(demands.begin() + 20,
+                                               demands.end());
+  const auto base = f.configurator.select_routes(0.32, initial);
+  ASSERT_TRUE(base.success) << base.failure_reason;
+
+  const auto extended = f.configurator.add_demands(base.config, additions);
+  ASSERT_TRUE(extended.success) << extended.failure_reason;
+  EXPECT_EQ(extended.config.demands.size(), 30u);
+  // The first 20 routes are untouched (no regret for existing customers).
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(extended.config.routes[i], base.config.routes[i]);
+  EXPECT_TRUE(extended.report.safe);
+}
+
+TEST(Configurator, AddDemandsFailsWhenNoHeadroom) {
+  Fixture f;
+  // Configure only the long-haul pairs and maximize: with few demands the
+  // feasible alpha is higher than the all-pairs maximum. Then try to add
+  // the full remaining pair set at that alpha — the extra dependency
+  // structure must push some route past the deadline.
+  auto all = traffic::all_ordered_pairs(f.topo);
+  const auto hops = net::all_pairs_hops(f.topo);
+  std::stable_sort(all.begin(), all.end(), [&](const auto& a, const auto& b) {
+    return hops[a.src][a.dst] > hops[b.src][b.dst];
+  });
+  const std::vector<traffic::Demand> sparse(all.begin(), all.begin() + 24);
+  const std::vector<traffic::Demand> rest(all.begin() + 24, all.end());
+
+  routing::HeuristicOptions heuristic;
+  heuristic.candidates_per_pair = 4;
+  const auto base = f.configurator.maximize(sparse, heuristic);
+  ASSERT_TRUE(base.success);
+  // Sanity: the sparse workload tops out above the all-pairs maximum.
+  EXPECT_GT(base.config.alpha, 0.47);
+
+  const auto extended = f.configurator.add_demands(base.config, rest);
+  EXPECT_FALSE(extended.success);
+  EXPECT_FALSE(extended.failure_reason.empty());
+}
+
+TEST(Configurator, AddDemandsDuplicatesAreFree) {
+  // Population independence: the delay analysis depends on the *route
+  // structure*, not on how many demands share a route — duplicating an
+  // existing demand adds no new dependency edges, so it is accepted at
+  // configuration time (run-time admission meters actual flow counts).
+  Fixture f;
+  const auto demands = f.some_demands(10);
+  const auto base = f.configurator.select_routes(0.32, demands);
+  ASSERT_TRUE(base.success);
+  const auto extended =
+      f.configurator.add_demands(base.config, {demands[0], demands[1]});
+  EXPECT_TRUE(extended.success);
+}
+
+TEST(Configurator, RemoveDemandsKeepsSafety) {
+  Fixture f;
+  const auto demands = f.some_demands(20);
+  const auto base = f.configurator.select_routes(0.32, demands);
+  ASSERT_TRUE(base.success);
+  const auto trimmed =
+      f.configurator.remove_demands(base.config, {0, 5, 19});
+  ASSERT_TRUE(trimmed.success);
+  EXPECT_EQ(trimmed.config.demands.size(), 17u);
+  EXPECT_LE(trimmed.report.worst_route_delay,
+            base.report.worst_route_delay + 1e-12);
+  EXPECT_THROW(f.configurator.remove_demands(base.config, {99}),
+               std::out_of_range);
+}
+
+TEST(ConfigIo, RoundTrips) {
+  Fixture f;
+  const auto demands = f.some_demands(12);
+  const auto base = f.configurator.select_routes(0.30, demands);
+  ASSERT_TRUE(base.success);
+
+  const std::string text = to_text(base.config, f.topo);
+  const NetworkConfig parsed = from_text(text, f.topo);
+  EXPECT_DOUBLE_EQ(parsed.alpha, base.config.alpha);
+  EXPECT_DOUBLE_EQ(parsed.bucket.burst, base.config.bucket.burst);
+  EXPECT_DOUBLE_EQ(parsed.bucket.rate, base.config.bucket.rate);
+  EXPECT_DOUBLE_EQ(parsed.deadline, base.config.deadline);
+  ASSERT_EQ(parsed.routes.size(), base.config.routes.size());
+  for (std::size_t i = 0; i < parsed.routes.size(); ++i) {
+    EXPECT_EQ(parsed.routes[i], base.config.routes[i]);
+    EXPECT_TRUE(parsed.demands[i] == base.config.demands[i]);
+  }
+}
+
+TEST(ConfigIo, ParseErrors) {
+  Fixture f;
+  EXPECT_THROW(from_text("route 0 Seattle\n", f.topo), std::runtime_error);
+  EXPECT_THROW(from_text("bucket 640 32000\nroute 0 Seattle Narnia\n",
+                         f.topo),
+               std::runtime_error);
+  EXPECT_THROW(from_text("bucket 640 32000\nroute 0 Seattle Miami\n", f.topo),
+               std::runtime_error);  // not adjacent
+  EXPECT_THROW(from_text("alpha 0.3\n", f.topo), std::runtime_error);
+  EXPECT_THROW(from_text("bogus 1\nbucket 640 32000\n", f.topo),
+               std::runtime_error);
+}
+
+TEST(NetworkConfig, RoutingTableBridge) {
+  Fixture f;
+  const auto demands = f.some_demands(10);
+  const auto base = f.configurator.select_routes(0.30, demands);
+  ASSERT_TRUE(base.success);
+  const auto table = base.config.routing_table(f.graph);
+  EXPECT_EQ(table.size(), 10u);
+  for (const auto& d : demands)
+    EXPECT_TRUE(table.lookup(d.src, d.dst, d.class_index).has_value());
+}
+
+}  // namespace
+}  // namespace ubac::config

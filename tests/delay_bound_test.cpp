@@ -1,0 +1,189 @@
+// Tests for Theorems 1-3: the closed-form bound, its equivalence to the
+// two-term form of Eq. 10, and its domination of the general (flow-aware)
+// delay formula of Eq. 3 — including exact equality at the worst-case
+// flow distribution of Theorem 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/delay_bound.hpp"
+#include "analysis/general_delay.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+TEST(Beta, KnownValues) {
+  // MCI scenario at the paper's lower bound, N = 6.
+  EXPECT_NEAR(beta(0.30, 6.0), 0.30 * 5.0 / 5.7, 1e-12);
+  // alpha = 1 saturates: beta = (N-1)/(N-1) = 1.
+  EXPECT_DOUBLE_EQ(beta(1.0, 6.0), 1.0);
+  // N = 1: single input at line rate cannot queue.
+  EXPECT_DOUBLE_EQ(beta(0.5, 1.0), 0.0);
+}
+
+TEST(Beta, Validation) {
+  EXPECT_THROW(beta(0.0, 6.0), std::invalid_argument);
+  EXPECT_THROW(beta(1.1, 6.0), std::invalid_argument);
+  EXPECT_THROW(beta(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(Beta, MonotoneInAlphaAndFanIn) {
+  double prev = 0.0;
+  for (double a = 0.05; a <= 1.0; a += 0.05) {
+    const double b = beta(a, 6.0);
+    EXPECT_GT(b, prev);
+    EXPECT_LE(b, 1.0);
+    prev = b;
+  }
+  prev = 0.0;
+  for (double n = 2.0; n <= 64.0; n += 1.0) {
+    const double b = beta(0.5, n);
+    EXPECT_GT(b, prev);
+    EXPECT_LT(b, 0.5 + 1e-12);  // beta -> alpha as N -> inf
+    prev = b;
+  }
+}
+
+TEST(Beta, AlphaForBetaInverts) {
+  for (double a = 0.05; a < 1.0; a += 0.05)
+    for (double n : {2.0, 4.0, 6.0, 16.0})
+      EXPECT_NEAR(alpha_for_beta(beta(a, n), n), a, 1e-12);
+  EXPECT_THROW(alpha_for_beta(-0.1, 6.0), std::invalid_argument);
+  EXPECT_THROW(alpha_for_beta(0.5, 1.0), std::invalid_argument);
+}
+
+/// Equation 10's two-term form must equal the beta simplification across a
+/// dense parameter sweep (this validates DESIGN.md's algebra).
+class Theorem3Equivalence
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(Theorem3Equivalence, TwoTermEqualsBetaForm) {
+  const auto [alpha, fan_in] = GetParam();
+  const LeakyBucket bucket(640.0, kbps(32));
+  for (Seconds y : {0.0, 0.001, 0.01, 0.1}) {
+    const Seconds simple = theorem3_delay(alpha, fan_in, bucket, y);
+    const Seconds two_term = theorem3_delay_two_term(alpha, fan_in, bucket, y);
+    EXPECT_NEAR(simple, two_term, 1e-15 + simple * 1e-12)
+        << "alpha=" << alpha << " N=" << fan_in << " Y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem3Equivalence,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.45, 0.61, 0.9),
+                       ::testing::Values(2.0, 4.0, 6.0, 12.0)));
+
+TEST(Theorem3, PaperScenarioValue) {
+  // Voice: T=640 bits, rho=32 kb/s -> T/rho = 20 ms. At alpha=0.30, N=6,
+  // Y=0: d = beta * 20 ms = (0.30*5/5.7) * 20 ms ~ 5.263 ms.
+  const LeakyBucket bucket(640.0, kbps(32));
+  EXPECT_NEAR(theorem3_delay(0.30, 6.0, bucket, 0.0),
+              (0.30 * 5.0 / 5.7) * 0.020, 1e-12);
+}
+
+TEST(Theorem3, MonotoneInUpstreamDelay) {
+  const LeakyBucket bucket(640.0, kbps(32));
+  Seconds prev = -1.0;
+  for (Seconds y = 0.0; y <= 0.2; y += 0.01) {
+    const Seconds d = theorem3_delay(0.4, 6.0, bucket, y);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_THROW(theorem3_delay(0.4, 6.0, bucket, -0.1), std::invalid_argument);
+}
+
+// --- General delay formula (Eq. 3) cross-checks ------------------------
+
+TEST(GeneralDelay, EmptyServerHasNoDelay) {
+  EXPECT_DOUBLE_EQ(general_delay(mbps(100), {}), 0.0);
+  EXPECT_THROW(general_delay(0.0, {}), std::invalid_argument);
+}
+
+TEST(GeneralDelay, OverloadedServerIsUnstable) {
+  const LeakyBucket big(1e6, mbps(80));
+  std::vector<traffic::TrafficFunction> inputs{
+      traffic::TrafficFunction::from_leaky_bucket(big, mbps(100)),
+      traffic::TrafficFunction::from_leaky_bucket(big, mbps(100))};
+  EXPECT_TRUE(std::isinf(general_delay(mbps(100), inputs)));
+}
+
+/// The key identity behind Theorem 3: with M = alpha*C/rho flows spread
+/// evenly over N inputs (Theorem 2's worst case), Eq. 3 evaluates exactly
+/// to beta(alpha,N) * (T/rho + Y).
+class WorstCaseDistribution
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(WorstCaseDistribution, EvenSpreadMatchesClosedForm) {
+  const auto [alpha, fan_in, y_ms] = GetParam();
+  const BitsPerSecond capacity = mbps(100);
+  const LeakyBucket bucket(640.0, kbps(32));
+  const Seconds y = milliseconds(y_ms);
+
+  // Choose per-input count n so that N*n*rho == alpha*C exactly.
+  const double total_flows = alpha * capacity / bucket.rate;
+  const int per_input = static_cast<int>(total_flows) / fan_in;
+  ASSERT_GT(per_input, 0);
+  const double exact_alpha =
+      static_cast<double>(per_input * fan_in) * bucket.rate / capacity;
+
+  const std::vector<int> counts(fan_in, per_input);
+  const Seconds general =
+      general_delay_uniform_flows(capacity, capacity, bucket, y, counts);
+  const Seconds closed =
+      theorem3_delay(exact_alpha, fan_in, bucket, y);
+  EXPECT_NEAR(general, closed, closed * 1e-9)
+      << "alpha=" << exact_alpha << " N=" << fan_in;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorstCaseDistribution,
+    ::testing::Combine(::testing::Values(0.15, 0.30, 0.45, 0.60),
+                       ::testing::Values(2, 3, 6),
+                       ::testing::Values(0.0, 10.0, 50.0)));
+
+/// Theorem 2 property: among distributions with the same total flow count,
+/// the even spread maximizes the Eq. 3 delay.
+class DistributionDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributionDominance, UnevenNeverExceedsEven) {
+  util::Xoshiro256 rng(GetParam());
+  const BitsPerSecond capacity = mbps(100);
+  const LeakyBucket bucket(640.0, kbps(32));
+  const int fan_in = 6;
+  const int per_input = 100;
+  const int total = fan_in * per_input;
+
+  const Seconds even = general_delay_uniform_flows(
+      capacity, capacity, bucket, 0.0, std::vector<int>(fan_in, per_input));
+
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random composition of `total` into fan_in non-negative parts.
+    std::vector<int> counts(fan_in, 0);
+    for (int f = 0; f < total; ++f)
+      counts[rng.uniform_index(fan_in)]++;
+    const Seconds uneven = general_delay_uniform_flows(
+        capacity, capacity, bucket, 0.0, counts);
+    ASSERT_LE(uneven, even + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributionDominance,
+                         ::testing::Range(1, 6));
+
+TEST(GeneralDelay, RejectsNegativeCounts) {
+  const LeakyBucket bucket(640.0, kbps(32));
+  EXPECT_THROW(general_delay_uniform_flows(mbps(100), mbps(100), bucket, 0.0,
+                                           {3, -1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ubac::analysis

@@ -1,0 +1,152 @@
+// Brute-force validation of Theorem 4 on small topologies: enumerate
+// EVERY route selection (all combinations of simple paths per demand),
+// bisect each selection's true maximum feasible utilization with the
+// fixed point, and check that the best selection's maximum lies within
+// the closed-form [lower, upper] envelope — and that the heuristic gets
+// close to the exhaustive optimum.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "analysis/bounds.hpp"
+#include "analysis/fixed_point.hpp"
+#include "net/ksp.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/route_selection.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const Seconds kDeadline = milliseconds(60);
+
+/// Max alpha (bisection to 0.002) for a fixed route set.
+double max_alpha_for_routes(const net::ServerGraph& graph,
+                            const std::vector<net::ServerPath>& routes) {
+  double lo = 0.0, hi = 1.0;
+  while (hi - lo > 0.002) {
+    const double mid = 0.5 * (lo + hi);
+    const bool safe =
+        analysis::solve_two_class(graph, mid, kVoice, kDeadline, routes)
+            .safe();
+    (safe ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// Exhaustive optimum over all route selections (cartesian product of
+/// each demand's simple paths).
+double exhaustive_max_alpha(const net::Topology& topo,
+                            const net::ServerGraph& graph,
+                            const std::vector<traffic::Demand>& demands) {
+  std::vector<std::vector<net::ServerPath>> choices;
+  for (const auto& d : demands) {
+    std::vector<net::ServerPath> paths;
+    for (const auto& p : net::k_shortest_paths(topo, d.src, d.dst, 16))
+      paths.push_back(graph.map_path(p));
+    choices.push_back(std::move(paths));
+  }
+
+  double best = 0.0;
+  std::vector<net::ServerPath> current(demands.size());
+  std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == demands.size()) {
+      best = std::max(best, max_alpha_for_routes(graph, current));
+      return;
+    }
+    for (const auto& path : choices[i]) {
+      current[i] = path;
+      recurse(i + 1);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+TEST(ExhaustiveBounds, DiamondTopologyRespectsTheorem4) {
+  // Diamond: 4 routers, diameter 2, with genuine route diversity.
+  net::Topology topo("diamond");
+  for (int i = 0; i < 4; ++i) topo.add_node("n" + std::to_string(i));
+  topo.add_duplex_link(0, 1, 100e6);
+  topo.add_duplex_link(0, 2, 100e6);
+  topo.add_duplex_link(1, 3, 100e6);
+  topo.add_duplex_link(2, 3, 100e6);
+  const net::ServerGraph graph(topo, 2u);
+  const int diameter = net::diameter(topo);
+  const double n = 2.0;
+
+  // Demands: the two far pairs, both directions.
+  const std::vector<traffic::Demand> demands{
+      {0, 3, 0}, {3, 0, 0}, {1, 2, 0}, {2, 1, 0}};
+
+  const double star_best = exhaustive_max_alpha(topo, graph, demands);
+  const double lb = analysis::alpha_lower_bound(n, diameter, kVoice, kDeadline);
+  const double ub = analysis::alpha_upper_bound(n, diameter, kVoice, kDeadline);
+
+  EXPECT_GE(star_best, lb - 0.005)
+      << "the exhaustive optimum must not undercut the Theorem 4 lower bound";
+  EXPECT_LE(star_best, ub + 0.005)
+      << "the exhaustive optimum must not exceed the Theorem 4 upper bound";
+
+  // The heuristic should land within a couple of search steps of the
+  // exhaustive optimum on a graph this small.
+  routing::HeuristicOptions opts;
+  opts.candidates_per_pair = 4;
+  double heuristic_best = 0.0;
+  for (double alpha = lb; alpha <= std::min(ub, 0.995); alpha += 0.01) {
+    if (routing::select_routes_heuristic(graph, alpha, kVoice, kDeadline,
+                                         demands, opts)
+            .success)
+      heuristic_best = alpha;
+  }
+  EXPECT_GE(heuristic_best, star_best - 0.05);
+}
+
+TEST(ExhaustiveBounds, RingTopologyRespectsTheorem4) {
+  const auto topo = net::ring(4);
+  const net::ServerGraph graph(topo, 2u);
+  const int diameter = net::diameter(topo);
+  const std::vector<traffic::Demand> demands{{0, 2, 0}, {2, 0, 0}};
+  const double best = exhaustive_max_alpha(topo, graph, demands);
+  EXPECT_GE(best,
+            analysis::alpha_lower_bound(2.0, diameter, kVoice, kDeadline) -
+                0.005);
+  EXPECT_LE(best,
+            analysis::alpha_upper_bound(2.0, diameter, kVoice, kDeadline) +
+                0.005);
+}
+
+TEST(CapacityInvariance, MaxUtilizationDoesNotDependOnLinkSpeed) {
+  // The Theorem 3 bound beta*(T/rho + Y) contains no C: doubling link
+  // capacity admits proportionally more flows at the same utilization but
+  // leaves the certified alpha unchanged. Verify on the MCI workload.
+  const auto demands =
+      traffic::all_ordered_pairs(net::mci_backbone(100e6));
+  auto max_alpha = [&](BitsPerSecond capacity) {
+    const auto topo = net::mci_backbone(capacity);
+    const net::ServerGraph graph(topo, 6u);
+    double lo = 0.0, hi = 1.0;
+    while (hi - lo > 0.002) {
+      const double mid = 0.5 * (lo + hi);
+      (routing::select_routes_shortest_path(graph, mid, kVoice,
+                                            milliseconds(100), demands)
+               .success
+           ? lo
+           : hi) = mid;
+    }
+    return lo;
+  };
+  const double at_100m = max_alpha(100e6);
+  const double at_1g = max_alpha(1e9);
+  EXPECT_NEAR(at_100m, at_1g, 0.004);
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,143 @@
+// Tests for failure handling: candidate filtering by forbidden servers and
+// Configurator::reroute_avoiding, plus the FIFO scheduling ablation knob.
+#include <gtest/gtest.h>
+
+#include "config/configurator.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+TEST(ForbiddenServers, HeuristicAvoidsThem) {
+  const auto topo = net::ring(6);
+  const net::ServerGraph graph(topo, 2u);
+  // Demand 0 -> 3; forbid the clockwise first hop 0->1, forcing the
+  // counter-clockwise route.
+  const net::ServerId bad = graph.server_for_link(*topo.find_link(0, 1));
+  routing::HeuristicOptions opts;
+  opts.candidates_per_pair = 4;
+  opts.forbidden_servers = {bad};
+  const auto result = routing::select_routes_heuristic(
+      graph, 0.3, kVoice, milliseconds(100), {{0, 3, 0}}, opts);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.routes[0], (net::NodePath{0, 5, 4, 3}));
+}
+
+TEST(ForbiddenServers, FailsWhenNoDetourExists) {
+  const auto topo = net::line(3);  // unique path 0-1-2
+  const net::ServerGraph graph(topo, 2u);
+  const net::ServerId bad = graph.server_for_link(*topo.find_link(1, 2));
+  routing::HeuristicOptions opts;
+  opts.forbidden_servers = {bad};
+  const auto result = routing::select_routes_heuristic(
+      graph, 0.3, kVoice, milliseconds(100), {{0, 2, 0}}, opts);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.failed_demand, 0u);
+}
+
+TEST(RerouteAvoiding, MovesOnlyAffectedDemands) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const config::Configurator configurator(graph, kVoice, milliseconds(100));
+  const auto demands = traffic::random_pairs(topo, 40, 5);
+  const auto base = configurator.select_routes(0.32, demands);
+  ASSERT_TRUE(base.success);
+
+  // Fail the Chicago<->StLouis... pick a link actually used by some route.
+  const auto base_servers = base.config.server_routes(graph);
+  net::ServerId victim = base_servers[0][base_servers[0].size() / 2];
+  std::vector<net::ServerId> failed{victim};
+  // Fail the reverse direction too, as a duplex cut would.
+  const auto& link = graph.server(victim);
+  if (const auto reverse = graph.topology().find_link(link.to, link.from))
+    failed.push_back(graph.server_for_link(*reverse));
+
+  const auto rerouted =
+      configurator.reroute_avoiding(base.config, failed);
+  ASSERT_TRUE(rerouted.success) << rerouted.failure_reason;
+  EXPECT_EQ(rerouted.config.demands.size(), demands.size());
+
+  const auto new_servers = rerouted.config.server_routes(graph);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    // No route may cross the failed servers anymore.
+    for (const net::ServerId s : new_servers[i])
+      for (const net::ServerId bad : failed) ASSERT_NE(s, bad);
+    // Unaffected demands keep their exact route.
+    bool was_affected = false;
+    for (const net::ServerId s : base_servers[i])
+      for (const net::ServerId bad : failed)
+        if (s == bad) was_affected = true;
+    if (was_affected) {
+      ++moved;
+      EXPECT_NE(new_servers[i], base_servers[i]);
+    } else {
+      EXPECT_EQ(new_servers[i], base_servers[i]);
+    }
+  }
+  EXPECT_GT(moved, 0u) << "the victim link should have carried traffic";
+  EXPECT_TRUE(rerouted.report.safe);
+}
+
+TEST(RerouteAvoiding, NoopWhenFailureUnused) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const config::Configurator configurator(graph, kVoice, milliseconds(100));
+  // One short demand; fail a far-away link it cannot use.
+  const auto base = configurator.select_routes(0.3, {{0, 2, 0}});
+  ASSERT_TRUE(base.success);
+  const auto miami = topo.find_node("Miami").value();
+  const auto wdc = topo.find_node("WashingtonDC").value();
+  const auto failed = graph.server_for_link(*topo.find_link(miami, wdc));
+  const auto rerouted = configurator.reroute_avoiding(base.config, {failed});
+  ASSERT_TRUE(rerouted.success);
+  EXPECT_EQ(rerouted.config.routes, base.config.routes);
+}
+
+TEST(FifoScheduling, ViolatesWhereStaticPriorityHolds) {
+  // The bench_scheduling_ablation scenario in miniature: identical load,
+  // two disciplines. FIFO must delay voice dramatically more.
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  traffic::ClassSet classes;
+  classes.add(traffic::ServiceClass("voice", kVoice, milliseconds(100), 0.3));
+  classes.add(traffic::ServiceClass(
+      "data", LeakyBucket(1e6, units::mbps(12)), 0.0, 0.0, false));
+
+  auto worst_voice = [&](sim::SchedulingPolicy policy) {
+    sim::NetworkSim netsim(graph, classes, policy);
+    for (int f = 0; f < 100; ++f) {
+      sim::SourceConfig src;
+      src.model = sim::SourceModel::kGreedy;
+      src.packet_size = 640.0;
+      src.stop = sim::to_sim_time(0.3);
+      netsim.add_flow(graph.map_path({0, 1, 2}), 0, src);
+    }
+    for (int f = 0; f < 8; ++f) {
+      sim::SourceConfig src;
+      src.model = sim::SourceModel::kGreedy;
+      src.packet_size = 12000.0;
+      src.stop = sim::to_sim_time(0.3);
+      netsim.add_flow(graph.map_path({0, 1, 2}), 1, src);
+    }
+    return netsim.run(1.0).class_delay[0].max();
+  };
+
+  const Seconds priority = worst_voice(sim::SchedulingPolicy::kStaticPriority);
+  const Seconds fifo = worst_voice(sim::SchedulingPolicy::kFifo);
+  EXPECT_GT(fifo, 2.0 * priority)
+      << "FIFO must hurt voice far more than static priority";
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,198 @@
+// Tests for the delay fixed point (Eq. 14) and verification (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/bounds.hpp"
+#include "analysis/delay_bound.hpp"
+#include "analysis/fixed_point.hpp"
+#include "analysis/verification.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));  // paper's VoIP profile
+
+TEST(FixedPoint, SingleHopEqualsTheorem3AtZeroJitter) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1})};
+  const auto sol = solve_two_class(graph, 0.4, kVoice, milliseconds(100),
+                                   routes);
+  ASSERT_EQ(sol.status, FeasibilityStatus::kSafe);
+  const Seconds expected = theorem3_delay(0.4, 6.0, kVoice, 0.0);
+  EXPECT_NEAR(sol.route_delay[0], expected, 1e-12);
+  EXPECT_NEAR(sol.worst_route_delay(), expected, 1e-12);
+}
+
+TEST(FixedPoint, FeedForwardChainMatchesClosedForm) {
+  // A one-directional chain: each hop's Y is the sum of all previous hops,
+  // so delays follow the geometric form of Eq. 20.
+  const int hops = 4;
+  const auto topo = net::line(hops + 1);
+  const net::ServerGraph graph(topo, 6u);
+  net::NodePath nodes;
+  for (int i = 0; i <= hops; ++i) nodes.push_back(i);
+  const std::vector<net::ServerPath> routes{graph.map_path(nodes)};
+  const double alpha = 0.4;
+  const auto sol =
+      solve_two_class(graph, alpha, kVoice, units::seconds(10), routes);
+  ASSERT_EQ(sol.status, FeasibilityStatus::kSafe);
+  const Seconds expected =
+      feed_forward_path_delay(alpha, 6.0, hops, kVoice);
+  EXPECT_NEAR(sol.route_delay[0], expected, expected * 1e-9);
+}
+
+TEST(FixedPoint, UnusedServersKeepZeroDelay) {
+  const auto topo = net::ring(6);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1, 2})};
+  const auto sol =
+      solve_two_class(graph, 0.3, kVoice, milliseconds(100), routes);
+  ASSERT_TRUE(sol.safe());
+  std::size_t used = 0;
+  for (Seconds d : sol.server_delay) {
+    if (d > 0.0) ++used;
+  }
+  EXPECT_EQ(used, 2u);
+}
+
+TEST(FixedPoint, DetectsDeadlineViolation) {
+  const auto topo = net::line(5);
+  const net::ServerGraph graph(topo, 6u);
+  net::NodePath nodes{0, 1, 2, 3, 4};
+  const std::vector<net::ServerPath> routes{graph.map_path(nodes)};
+  // Deadline far below the single-hop delay.
+  const auto sol =
+      solve_two_class(graph, 0.5, kVoice, units::microseconds(10), routes);
+  EXPECT_EQ(sol.status, FeasibilityStatus::kDeadlineViolated);
+  EXPECT_FALSE(sol.safe());
+}
+
+TEST(FixedPoint, DivergesOnTightCycleAtHighUtilization) {
+  // Opposed routes around a ring create feedback; at high alpha the loop
+  // gain exceeds 1 and delays grow without bound. With a generous
+  // deadline the solver must report no convergence (not safety!).
+  const auto topo = net::ring(4);
+  const net::ServerGraph graph(topo, 8u);
+  std::vector<net::ServerPath> routes;
+  for (int s = 0; s < 4; ++s) {
+    net::NodePath p;
+    for (int h = 0; h <= 3; ++h) p.push_back((s + h) % 4);
+    routes.push_back(graph.map_path(p));
+  }
+  // An infinite deadline isolates the divergence outcome — with any finite
+  // deadline the growing iterates (correctly) trip the violation check.
+  const auto sol = solve_two_class(
+      graph, 0.95, kVoice, std::numeric_limits<double>::infinity(), routes,
+      {.max_iterations = 300});
+  EXPECT_EQ(sol.status, FeasibilityStatus::kNoConvergence);
+  // And with a finite deadline the same setup reports a violation.
+  const auto finite = solve_two_class(graph, 0.95, kVoice, units::seconds(10),
+                                      routes, {.max_iterations = 300});
+  EXPECT_EQ(finite.status, FeasibilityStatus::kDeadlineViolated);
+}
+
+TEST(FixedPoint, WarmStartReproducesColdResult) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  std::vector<net::ServerPath> routes;
+  for (net::NodeId d = 1; d < 10; ++d)
+    routes.push_back(graph.map_path(net::shortest_path(topo, 0, d).value()));
+
+  // Cold solve of the first half, then warm-start the full set from it.
+  std::vector<net::ServerPath> half(routes.begin(), routes.begin() + 5);
+  const auto cold_half =
+      solve_two_class(graph, 0.35, kVoice, milliseconds(100), half);
+  ASSERT_TRUE(cold_half.safe());
+  const auto warm_full =
+      solve_two_class(graph, 0.35, kVoice, milliseconds(100), routes, {},
+                      &cold_half.server_delay);
+  const auto cold_full =
+      solve_two_class(graph, 0.35, kVoice, milliseconds(100), routes);
+  ASSERT_EQ(warm_full.status, cold_full.status);
+  ASSERT_TRUE(warm_full.safe());
+  for (std::size_t s = 0; s < graph.size(); ++s)
+    EXPECT_NEAR(warm_full.server_delay[s], cold_full.server_delay[s], 1e-9);
+  EXPECT_LE(warm_full.iterations, cold_full.iterations);
+}
+
+TEST(FixedPoint, DelayMonotoneInAlpha) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  std::vector<net::ServerPath> routes;
+  for (net::NodeId d = 1; d < 8; ++d)
+    routes.push_back(graph.map_path(net::shortest_path(topo, 0, d).value()));
+  Seconds prev = 0.0;
+  for (double alpha = 0.05; alpha <= 0.45; alpha += 0.05) {
+    const auto sol =
+        solve_two_class(graph, alpha, kVoice, units::seconds(10), routes);
+    ASSERT_TRUE(sol.safe()) << "alpha=" << alpha;
+    EXPECT_GT(sol.worst_route_delay(), prev);
+    prev = sol.worst_route_delay();
+  }
+}
+
+TEST(FixedPoint, InputValidation) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1})};
+  EXPECT_THROW(solve_two_class(graph, 0.4, kVoice, 0.0, routes),
+               std::invalid_argument);
+  const std::vector<net::ServerPath> bad{{99}};
+  EXPECT_THROW(solve_two_class(graph, 0.4, kVoice, 0.1, bad),
+               std::out_of_range);
+  std::vector<Seconds> wrong_size(1, 0.0);
+  EXPECT_THROW(solve_two_class(graph, 0.4, kVoice, 0.1, routes, {},
+                               &wrong_size),
+               std::invalid_argument);
+}
+
+// --- Fig. 2 verification wrapper ---------------------------------------
+
+TEST(Verification, SafeAtLowerBoundUnsafeWhenSaturated) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  std::vector<net::NodePath> routes;
+  for (net::NodeId s = 0; s < topo.node_count(); ++s)
+    for (net::NodeId d = 0; d < topo.node_count(); ++d)
+      if (s != d)
+        routes.push_back(net::shortest_path(topo, s, d).value());
+
+  const double lb = alpha_lower_bound(6.0, 4, kVoice, milliseconds(100));
+  const auto safe = verify_safe_utilization(graph, lb, kVoice,
+                                            milliseconds(100), routes);
+  EXPECT_TRUE(safe.safe) << "Theorem 4 guarantees safety at the lower bound";
+  EXPECT_EQ(safe.status, FeasibilityStatus::kSafe);
+  EXPECT_LE(safe.worst_route_delay, milliseconds(100));
+  EXPECT_EQ(safe.route_delay.size(), routes.size());
+  EXPECT_GT(safe.iterations, 0);
+
+  const auto unsafe = verify_safe_utilization(graph, 0.95, kVoice,
+                                              milliseconds(100), routes);
+  EXPECT_FALSE(unsafe.safe);
+}
+
+TEST(Verification, WorstRouteIndexConsistent) {
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<net::NodePath> routes{{0, 1}, {0, 1, 2, 3}};
+  const auto report = verify_safe_utilization(graph, 0.3, kVoice,
+                                              units::seconds(1), routes);
+  ASSERT_TRUE(report.safe);
+  EXPECT_EQ(report.worst_route, 1u);
+  EXPECT_DOUBLE_EQ(report.worst_route_delay, report.route_delay[1]);
+  EXPECT_GT(report.route_delay[1], report.route_delay[0]);
+}
+
+}  // namespace
+}  // namespace ubac::analysis

@@ -1,0 +1,117 @@
+// End-to-end integration: configuration (route selection + utilization
+// maximization) -> run-time admission control -> packet simulation, with
+// the measured delays checked against the configured guarantee. This is
+// the full deployment story of the paper exercised in one flow.
+#include <gtest/gtest.h>
+
+#include "admission/controller.hpp"
+#include "admission/routing_table.hpp"
+#include "analysis/verification.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/max_util_search.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const Seconds kDeadline = milliseconds(100);
+
+TEST(Integration, ConfigureAdmitSimulateOnMci) {
+  // --- 1. Configuration: maximize utilization on a hotspot workload.
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto hub = topo.find_node("Chicago").value();
+  const auto demands = traffic::hotspot(topo, hub);
+
+  routing::HeuristicOptions heuristic;
+  heuristic.candidates_per_pair = 4;
+  const auto config = routing::maximize_utilization_heuristic(
+      graph, kVoice, kDeadline, demands, heuristic);
+  ASSERT_TRUE(config.any_feasible);
+  const double alpha = config.max_alpha;
+  ASSERT_GE(alpha, config.theorem4_lower - 1e-9);
+
+  // The committed configuration re-verifies (Fig. 2) at alpha. (Hotspot
+  // routes are shorter than the diameter, so feasibility can genuinely
+  // extend above the Theorem 4 search interval — tightness of the maximum
+  // is asserted on diameter-length workloads in routing_test.cpp.)
+  const auto report = analysis::verify_safe_utilization(
+      graph, alpha, kVoice, kDeadline, config.best.routes);
+  ASSERT_TRUE(report.safe);
+
+  // --- 2. Run time: admit flows by pure utilization tests.
+  const auto classes = ClassSet::two_class(kVoice, kDeadline, alpha);
+  admission::RoutingTable table(demands, config.best.server_routes);
+  admission::AdmissionController controller(graph, classes, table);
+
+  std::vector<traffic::Flow> admitted;
+  for (int round = 0; round < 40; ++round) {
+    for (const auto& d : demands) {
+      const auto decision = controller.request(d.src, d.dst, d.class_index);
+      if (decision.admitted())
+        admitted.push_back(*controller.find_flow(decision.flow_id));
+    }
+  }
+  ASSERT_GT(admitted.size(), 100u);
+  // No link's class reservation may exceed its share.
+  for (net::ServerId s = 0; s < graph.size(); ++s)
+    EXPECT_LE(controller.reserved_rate(s, 0),
+              alpha * graph.server(s).capacity + 1e-6);
+
+  // --- 3. Packet simulation of the admitted population (greedy sources).
+  sim::NetworkSim netsim(graph, classes);
+  for (const auto& flow : admitted) {
+    sim::SourceConfig src;
+    src.model = sim::SourceModel::kGreedy;
+    src.packet_size = 640.0;
+    src.stop = sim::to_sim_time(0.5);
+    netsim.add_flow(flow.route, 0, src);
+  }
+  const auto results = netsim.run(1.0);
+  ASSERT_GT(results.packets_delivered, 1000u);
+
+  // Measured worst delay must respect the deadline (the guarantee), with
+  // per-hop packetization slack for the fluid-vs-packet gap.
+  const int max_hops = 4;
+  const Seconds slack = max_hops * (640.0 + 12000.0) / 100e6;
+  EXPECT_LE(results.class_delay[0].max(), kDeadline + slack);
+  // And it must also respect the *analytic* bound, which is stronger.
+  EXPECT_LE(results.class_delay[0].max(),
+            report.worst_route_delay + slack);
+}
+
+TEST(Integration, AdmissionKeepsVerifiedPopulationSafe) {
+  // Fill a single demand's route to its admission limit, then check that
+  // the general (flow-aware) population bound still meets the deadline —
+  // i.e. the utilization test really is a sufficient condition.
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  const double alpha = 0.25;
+  const auto classes = ClassSet::two_class(kVoice, kDeadline, alpha);
+  const std::vector<traffic::Demand> demands{{0, 3, 0}};
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1, 2, 3})};
+
+  const auto verified = analysis::solve_two_class(graph, alpha, kVoice,
+                                                  kDeadline, routes);
+  ASSERT_TRUE(verified.safe());
+
+  admission::RoutingTable table(demands, routes);
+  admission::AdmissionController controller(graph, classes, table);
+  std::size_t count = 0;
+  while (controller.request(0, 3, 0).admitted()) ++count;
+  EXPECT_EQ(count, static_cast<std::size_t>(alpha * 100e6 / 32e3));
+  // The admitted population's aggregate rate is within every share.
+  for (net::ServerId s : routes[0])
+    EXPECT_NEAR(controller.class_utilization(s, 0), 1.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,110 @@
+// Tests for weighted Dijkstra and the load-adaptive routing baseline.
+#include <gtest/gtest.h>
+
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/least_loaded.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+TEST(Dijkstra, UnitWeightsMatchBfs) {
+  const auto topo = net::mci_backbone();
+  const std::vector<double> unit(topo.link_count(), 1.0);
+  for (net::NodeId s = 0; s < 6; ++s)
+    for (net::NodeId d = 10; d < 16; ++d) {
+      const auto bfs = net::shortest_path(topo, s, d).value();
+      const auto dij = net::dijkstra_path(topo, s, d, unit).value();
+      EXPECT_EQ(dij.size(), bfs.size()) << s << "->" << d;
+      EXPECT_TRUE(net::is_valid_path(topo, dij));
+    }
+}
+
+TEST(Dijkstra, WeightsSteerThePath) {
+  // Diamond 0-1-3 / 0-2-3: make the 0->1 link expensive.
+  net::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node("n" + std::to_string(i));
+  topo.add_duplex_link(0, 1, 1e6);
+  topo.add_duplex_link(0, 2, 1e6);
+  topo.add_duplex_link(1, 3, 1e6);
+  topo.add_duplex_link(2, 3, 1e6);
+  std::vector<double> weight(topo.link_count(), 1.0);
+  weight[*topo.find_link(0, 1)] = 10.0;
+  const auto path = net::dijkstra_path(topo, 0, 3, weight).value();
+  EXPECT_EQ(path, (net::NodePath{0, 2, 3}));
+}
+
+TEST(Dijkstra, Validation) {
+  const auto topo = net::line(3);
+  std::vector<double> weight(topo.link_count(), 1.0);
+  EXPECT_EQ(net::dijkstra_path(topo, 1, 1, weight).value(),
+            (net::NodePath{1}));
+  weight.pop_back();
+  EXPECT_THROW(net::dijkstra_path(topo, 0, 2, weight),
+               std::invalid_argument);
+  std::vector<double> bad(topo.link_count(), 0.0);
+  EXPECT_THROW(net::dijkstra_path(topo, 0, 2, bad), std::invalid_argument);
+}
+
+TEST(Dijkstra, UnreachableReturnsEmpty) {
+  net::Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_node("c");
+  topo.add_simplex_link(0, 1, 1e6);
+  const std::vector<double> weight(topo.link_count(), 1.0);
+  EXPECT_FALSE(net::dijkstra_path(topo, 1, 0, weight).has_value());
+  EXPECT_FALSE(net::dijkstra_path(topo, 0, 2, weight).has_value());
+}
+
+TEST(LeastLoaded, SpreadsRoutesOverParallelPaths) {
+  // Diamond again: two equal 2-hop paths 0->3. With a load penalty, the
+  // second demand must take the other middle node.
+  net::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node("n" + std::to_string(i));
+  topo.add_duplex_link(0, 1, 100e6);
+  topo.add_duplex_link(0, 2, 100e6);
+  topo.add_duplex_link(1, 3, 100e6);
+  topo.add_duplex_link(2, 3, 100e6);
+  const net::ServerGraph graph(topo, 3u);
+  const std::vector<traffic::Demand> demands{{0, 3, 0}, {0, 3, 0}};
+  const auto result = routing::select_routes_least_loaded(
+      graph, 0.3, kVoice, milliseconds(100), demands);
+  ASSERT_TRUE(result.success);
+  EXPECT_NE(result.routes[0][1], result.routes[1][1])
+      << "both demands through the same middle node despite the penalty";
+}
+
+TEST(LeastLoaded, VerifiesAndFailsLikeOtherSelectors) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  const auto ok = routing::select_routes_least_loaded(
+      graph, 0.30, kVoice, milliseconds(100), demands);
+  ASSERT_TRUE(ok.success);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_EQ(ok.routes[i].front(), demands[i].src);
+    EXPECT_EQ(ok.routes[i].back(), demands[i].dst);
+    EXPECT_TRUE(net::is_simple(ok.routes[i]));
+  }
+  const auto bad = routing::select_routes_least_loaded(
+      graph, 0.95, kVoice, milliseconds(100), demands);
+  EXPECT_FALSE(bad.success);
+  routing::LeastLoadedOptions opts;
+  opts.penalty = -1.0;
+  EXPECT_THROW(routing::select_routes_least_loaded(graph, 0.3, kVoice,
+                                                   milliseconds(100), demands,
+                                                   opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ubac

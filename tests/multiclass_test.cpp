@@ -1,0 +1,163 @@
+// Tests for the multi-class extension (Section 5.4, Theorem 5).
+#include <gtest/gtest.h>
+
+#include "analysis/delay_bound.hpp"
+#include "analysis/multiclass.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using traffic::ServiceClass;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const LeakyBucket kVideo(16000.0, mbps(1));
+
+ClassSet voice_video(double voice_share, double video_share,
+                     Seconds voice_deadline = milliseconds(100),
+                     Seconds video_deadline = milliseconds(200)) {
+  ClassSet set;
+  set.add(ServiceClass("voice", kVoice, voice_deadline, voice_share));
+  set.add(ServiceClass("video", kVideo, video_deadline, video_share));
+  set.add(ServiceClass("best-effort", LeakyBucket(0.0, 1.0), 0.0, 0.0, false));
+  return set;
+}
+
+TEST(Theorem5, ReducesToTheorem3ForTopClass) {
+  // With a single real-time class the multi-class formula must equal the
+  // two-class bound exactly, across a parameter sweep.
+  for (double alpha : {0.1, 0.3, 0.45}) {
+    const auto set = ClassSet::two_class(kVoice, milliseconds(100), alpha);
+    for (Seconds y : {0.0, 0.01, 0.05}) {
+      const std::vector<Seconds> upstream{y, 0.0};
+      const Seconds multi = theorem5_delay(set, 0, 6.0, upstream);
+      const Seconds two = theorem3_delay(alpha, 6.0, kVoice, y);
+      EXPECT_NEAR(multi, two, two * 1e-12) << "alpha=" << alpha << " y=" << y;
+    }
+  }
+}
+
+TEST(Theorem5, LowerPriorityClassSeesMoreDelay) {
+  // Same traffic parameters in both classes: the lower priority class must
+  // be bounded no better than the higher one.
+  ClassSet set;
+  set.add(ServiceClass("hi", kVoice, milliseconds(100), 0.2));
+  set.add(ServiceClass("lo", kVoice, milliseconds(100), 0.2));
+  const std::vector<Seconds> upstream{0.0, 0.0};
+  const Seconds hi = theorem5_delay(set, 0, 6.0, upstream);
+  const Seconds lo = theorem5_delay(set, 1, 6.0, upstream);
+  EXPECT_GT(lo, hi);
+}
+
+TEST(Theorem5, HigherPriorityLoadInflatesLowerClass) {
+  const std::vector<Seconds> upstream{0.0, 0.0, 0.0};
+  const Seconds light =
+      theorem5_delay(voice_video(0.05, 0.2), 1, 6.0, upstream);
+  const Seconds heavy =
+      theorem5_delay(voice_video(0.30, 0.2), 1, 6.0, upstream);
+  EXPECT_GT(heavy, light);
+}
+
+TEST(Theorem5, Validation) {
+  const auto set = voice_video(0.2, 0.2);
+  const std::vector<Seconds> upstream{0.0, 0.0, 0.0};
+  EXPECT_THROW(theorem5_delay(set, 9, 6.0, upstream), std::out_of_range);
+  EXPECT_THROW(theorem5_delay(set, 2, 6.0, upstream), std::invalid_argument);
+  EXPECT_THROW(theorem5_delay(set, 0, 6.0, {0.0}), std::invalid_argument);
+}
+
+TEST(MulticlassSolve, TwoClassesOnLineTopology) {
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = voice_video(0.15, 0.25);
+  const std::vector<traffic::Demand> demands{{0, 3, 0}, {0, 3, 1}, {3, 0, 0}};
+  std::vector<net::ServerPath> routes{graph.map_path({0, 1, 2, 3}),
+                                      graph.map_path({0, 1, 2, 3}),
+                                      graph.map_path({3, 2, 1, 0})};
+  const auto sol = solve_multiclass(graph, classes, demands, routes);
+  ASSERT_EQ(sol.status, FeasibilityStatus::kSafe);
+  ASSERT_EQ(sol.route_delay.size(), 3u);
+  for (Seconds d : sol.route_delay) EXPECT_GT(d, 0.0);
+  // Voice deadline 100 ms, video 200 ms.
+  EXPECT_LE(sol.route_delay[0], milliseconds(100));
+  EXPECT_LE(sol.route_delay[1], milliseconds(200));
+  // The video route (same path, lower priority) is slower than voice.
+  EXPECT_GT(sol.route_delay[1], sol.route_delay[0]);
+  // Opposite-direction voice route uses disjoint servers but identical
+  // parameters: same bound by symmetry.
+  EXPECT_NEAR(sol.route_delay[2], sol.route_delay[0], 1e-12);
+}
+
+TEST(MulticlassSolve, MatchesTwoClassSolver) {
+  // A multiclass system with one real-time class must agree with
+  // solve_two_class on the same routes.
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  std::vector<traffic::Demand> demands;
+  std::vector<net::ServerPath> routes;
+  for (net::NodeId d = 1; d < 8; ++d) {
+    demands.push_back({0, d, 0});
+    routes.push_back(graph.map_path(net::shortest_path(topo, 0, d).value()));
+  }
+  const auto multi = solve_multiclass(graph, classes, demands, routes);
+  const auto two = solve_two_class(graph, 0.3, kVoice, milliseconds(100),
+                                   routes);
+  ASSERT_TRUE(multi.safe());
+  ASSERT_TRUE(two.safe());
+  for (std::size_t r = 0; r < routes.size(); ++r)
+    EXPECT_NEAR(multi.route_delay[r], two.route_delay[r], 1e-12);
+}
+
+TEST(MulticlassSolve, DetectsViolationAndValidatesInput) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = voice_video(0.3, 0.4, units::microseconds(1));
+  const std::vector<traffic::Demand> demands{{0, 2, 0}};
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1, 2})};
+  const auto sol = solve_multiclass(graph, classes, demands, routes);
+  EXPECT_EQ(sol.status, FeasibilityStatus::kDeadlineViolated);
+
+  const std::vector<traffic::Demand> be_demand{{0, 2, 2}};
+  EXPECT_THROW(solve_multiclass(graph, classes, be_demand, routes),
+               std::invalid_argument);
+  const std::vector<traffic::Demand> two_demands{{0, 2, 0}, {2, 0, 0}};
+  EXPECT_THROW(solve_multiclass(graph, classes, two_demands, routes),
+               std::invalid_argument);
+}
+
+TEST(MulticlassSolve, UtilizationTradeoffCurve) {
+  // Growing the voice share shrinks the maximum feasible video share —
+  // the trade-off Section 5.4 describes. Feasibility here = deadlines of
+  // both classes hold on a 3-hop path.
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<traffic::Demand> demands{{0, 3, 0}, {0, 3, 1}};
+  const std::vector<net::ServerPath> routes{graph.map_path({0, 1, 2, 3}),
+                                            graph.map_path({0, 1, 2, 3})};
+  auto max_video_share = [&](double voice_share) {
+    double feasible = 0.0;
+    for (double v = 0.02; voice_share + v < 0.99; v += 0.02) {
+      const auto sol = solve_multiclass(
+          graph, voice_video(voice_share, v, milliseconds(100),
+                             milliseconds(60)),
+          demands, routes);
+      if (sol.safe()) feasible = v;
+    }
+    return feasible;
+  };
+  const double at_low_voice = max_video_share(0.05);
+  const double at_high_voice = max_video_share(0.35);
+  EXPECT_GT(at_low_voice, 0.0);
+  EXPECT_GE(at_low_voice, at_high_voice);
+}
+
+}  // namespace
+}  // namespace ubac::analysis

@@ -1,0 +1,166 @@
+// Tests for src/net: topology construction, server graph, serialization.
+#include <gtest/gtest.h>
+
+#include "net/graph.hpp"
+#include "net/path.hpp"
+#include "net/server_graph.hpp"
+#include "net/topology_factory.hpp"
+#include "net/topology_io.hpp"
+
+namespace ubac::net {
+namespace {
+
+Topology triangle() {
+  Topology t("triangle");
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  t.add_duplex_link(a, b, 1e6);
+  t.add_duplex_link(b, c, 1e6);
+  t.add_duplex_link(c, a, 1e6);
+  return t;
+}
+
+TEST(Topology, NodesAndLinks) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 6u);  // 3 duplex = 6 directed
+  EXPECT_EQ(t.node_name(0), "a");
+  EXPECT_EQ(t.find_node("b").value(), 1u);
+  EXPECT_FALSE(t.find_node("zzz").has_value());
+  ASSERT_TRUE(t.find_link(0, 1).has_value());
+  const DirectedLink& l = t.link(*t.find_link(0, 1));
+  EXPECT_EQ(l.from, 0u);
+  EXPECT_EQ(l.to, 1u);
+  EXPECT_DOUBLE_EQ(l.capacity, 1e6);
+}
+
+TEST(Topology, DegreesAndNeighbors) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.out_degree(0), 2u);
+  EXPECT_EQ(t.in_degree(0), 2u);
+  EXPECT_EQ(t.max_in_degree(), 2u);
+  EXPECT_EQ(t.neighbors(0), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Topology, RejectsInvalidConstruction) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  EXPECT_THROW(t.add_node("a"), std::invalid_argument);
+  EXPECT_THROW(t.add_node(""), std::invalid_argument);
+  EXPECT_THROW(t.add_simplex_link(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_simplex_link(a, b, 0.0), std::invalid_argument);
+  t.add_simplex_link(a, b, 1.0);
+  EXPECT_THROW(t.add_simplex_link(a, b, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.check_node(99), std::out_of_range);
+}
+
+TEST(Path, SimplicityAndValidity) {
+  const Topology t = triangle();
+  EXPECT_TRUE(is_simple({0, 1, 2}));
+  EXPECT_FALSE(is_simple({0, 1, 0}));
+  EXPECT_TRUE(is_valid_path(t, {0, 1, 2}));
+  EXPECT_FALSE(is_valid_path(t, {0, 99}));
+  EXPECT_EQ(hop_count({0, 1, 2}), 2u);
+  EXPECT_EQ(hop_count({0}), 0u);
+  EXPECT_EQ(hop_count({}), 0u);
+}
+
+TEST(ServerGraph, OneServerPerDirectedLink) {
+  const Topology t = triangle();
+  const ServerGraph g(t);
+  EXPECT_EQ(g.size(), t.link_count());
+  for (ServerId s = 0; s < g.size(); ++s) {
+    EXPECT_EQ(g.server(s).link, s);
+    EXPECT_EQ(g.server(s).fan_in, 2u);  // uniform = max in-degree
+    EXPECT_DOUBLE_EQ(g.server(s).capacity, 1e6);
+  }
+}
+
+TEST(ServerGraph, UniformFanInOverride) {
+  const Topology t = triangle();
+  const ServerGraph g(t, 6u);
+  EXPECT_EQ(g.server(0).fan_in, 6u);
+  EXPECT_THROW(ServerGraph(t, 0u), std::invalid_argument);
+}
+
+TEST(ServerGraph, PerRouterFanIn) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId c = t.add_node("c");
+  t.add_duplex_link(a, b, 1e6);
+  t.add_duplex_link(c, b, 1e6);
+  const ServerGraph g(t, FanInMode::kPerRouter);
+  // Server on link a->b is owned by a: in_degree(a)=1, +1 host = 2.
+  const ServerId ab = g.server_for_link(*t.find_link(a, b));
+  EXPECT_EQ(g.server(ab).fan_in, 2u);
+  // Server on link b->a is owned by b: in_degree(b)=2, +1 host = 3.
+  const ServerId ba = g.server_for_link(*t.find_link(b, a));
+  EXPECT_EQ(g.server(ba).fan_in, 3u);
+}
+
+TEST(ServerGraph, MapPathFollowsLinks) {
+  const Topology t = triangle();
+  const ServerGraph g(t);
+  const ServerPath p = g.map_path({0, 1, 2});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(g.server(p[0]).from, 0u);
+  EXPECT_EQ(g.server(p[0]).to, 1u);
+  EXPECT_EQ(g.server(p[1]).from, 1u);
+  EXPECT_EQ(g.server(p[1]).to, 2u);
+  EXPECT_TRUE(g.map_path({0}).empty());
+  EXPECT_THROW(g.map_path({0, 0}), std::invalid_argument);
+}
+
+TEST(TopologyIo, RoundTripsDuplex) {
+  const Topology t = mci_backbone();
+  const std::string text = to_text(t);
+  const Topology back = from_text(text);
+  EXPECT_EQ(back.name(), t.name());
+  EXPECT_EQ(back.node_count(), t.node_count());
+  EXPECT_EQ(back.link_count(), t.link_count());
+  for (LinkId id = 0; id < t.link_count(); ++id) {
+    ASSERT_TRUE(back.find_link(t.link(id).from, t.link(id).to).has_value());
+  }
+}
+
+TEST(TopologyIo, RoundTripsSimplex) {
+  Topology t("oneway");
+  t.add_node("a");
+  t.add_node("b");
+  t.add_simplex_link(0, 1, 5e6);
+  const Topology back = from_text(to_text(t));
+  EXPECT_TRUE(back.find_link(0, 1).has_value());
+  EXPECT_FALSE(back.find_link(1, 0).has_value());
+}
+
+TEST(TopologyIo, ParseErrorsCarryLineNumbers) {
+  EXPECT_THROW(from_text("node a\nlink a b\n"), std::runtime_error);
+  EXPECT_THROW(from_text("frobnicate x\n"), std::runtime_error);
+  EXPECT_THROW(from_text("node a\nnode b\nlink a c 1e6\n"),
+               std::runtime_error);
+  try {
+    from_text("node a\nbogus\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, IgnoresCommentsAndBlankLines) {
+  const Topology t = from_text(
+      "# a comment\n"
+      "topology demo\n"
+      "\n"
+      "node a\n"
+      "node b  # trailing comment\n"
+      "link a b 1000000\n");
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.link_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ubac::net

@@ -1,0 +1,177 @@
+// Tests for shortest paths, k-shortest paths, metrics, and the canned
+// topologies — including the paper's MCI backbone invariants (Fig. 4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ksp.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+
+namespace ubac::net {
+namespace {
+
+TEST(ShortestPath, LineTopologyDistances) {
+  const Topology t = line(5);
+  const auto dist = bfs_hops(t, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+  const auto p = shortest_path(t, 0, 4);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (NodePath{0, 1, 2, 3, 4}));
+}
+
+TEST(ShortestPath, SelfPathIsSingleton) {
+  const Topology t = line(3);
+  const auto p = shortest_path(t, 1, 1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, NodePath{1});
+}
+
+TEST(ShortestPath, UnreachableReturnsEmpty) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_node("c");
+  t.add_simplex_link(0, 1, 1e6);  // one-way only; c isolated
+  EXPECT_FALSE(shortest_path(t, 1, 0).has_value());
+  EXPECT_FALSE(shortest_path(t, 0, 2).has_value());
+  EXPECT_EQ(bfs_hops(t, 0)[2], kUnreachable);
+  EXPECT_FALSE(is_strongly_connected(t));
+  EXPECT_THROW(diameter(t), std::runtime_error);
+}
+
+TEST(ShortestPath, DeterministicTieBreakPrefersLowIds) {
+  // Two equal-length paths 0->1->3 and 0->2->3; BFS must pick via node 1.
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_node("n" + std::to_string(i));
+  t.add_duplex_link(0, 1, 1e6);
+  t.add_duplex_link(0, 2, 1e6);
+  t.add_duplex_link(1, 3, 1e6);
+  t.add_duplex_link(2, 3, 1e6);
+  EXPECT_EQ(shortest_path(t, 0, 3).value(), (NodePath{0, 1, 3}));
+}
+
+TEST(Metrics, RingDiameter) {
+  EXPECT_EQ(diameter(ring(6)), 3);
+  EXPECT_EQ(diameter(ring(7)), 3);
+  EXPECT_EQ(diameter(line(5)), 4);
+  EXPECT_EQ(diameter(full_mesh(5)), 1);
+  EXPECT_EQ(diameter(star(4)), 2);
+}
+
+TEST(Metrics, AllPairsMatchesSingleSource) {
+  const Topology t = grid(3, 3);
+  const auto all = all_pairs_hops(t);
+  for (NodeId s = 0; s < t.node_count(); ++s)
+    EXPECT_EQ(all[s], bfs_hops(t, s));
+}
+
+TEST(Ksp, FindsDistinctLooplessPathsInOrder) {
+  // Diamond: 0-1-3, 0-2-3 plus direct edge 0-3.
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_node("n" + std::to_string(i));
+  t.add_duplex_link(0, 1, 1e6);
+  t.add_duplex_link(0, 2, 1e6);
+  t.add_duplex_link(1, 3, 1e6);
+  t.add_duplex_link(2, 3, 1e6);
+  t.add_duplex_link(0, 3, 1e6);
+  const auto paths = k_shortest_paths(t, 0, 3, 5);
+  // The diamond has exactly three simple 0->3 paths.
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], (NodePath{0, 3}));
+  EXPECT_EQ(paths[1], (NodePath{0, 1, 3}));
+  EXPECT_EQ(paths[2], (NodePath{0, 2, 3}));
+  std::set<NodePath> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_simple(p));
+    EXPECT_TRUE(is_valid_path(t, p));
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 3u);
+  }
+  // Non-decreasing lengths.
+  for (std::size_t i = 0; i + 1 < paths.size(); ++i)
+    EXPECT_LE(paths[i].size(), paths[i + 1].size());
+}
+
+TEST(Ksp, FirstPathEqualsShortestPath) {
+  const Topology t = mci_backbone();
+  for (NodeId s = 0; s < 5; ++s) {
+    for (NodeId d = 10; d < 15; ++d) {
+      const auto ksp = k_shortest_paths(t, s, d, 3);
+      ASSERT_FALSE(ksp.empty());
+      EXPECT_EQ(ksp[0], shortest_path(t, s, d).value());
+    }
+  }
+}
+
+TEST(Ksp, ExhaustsSmallGraphs) {
+  const Topology t = line(3);  // exactly one simple path 0->2
+  const auto paths = k_shortest_paths(t, 0, 2, 10);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (NodePath{0, 1, 2}));
+  EXPECT_THROW(k_shortest_paths(t, 0, 0, 3), std::invalid_argument);
+  EXPECT_THROW(k_shortest_paths(t, 0, 2, 0), std::invalid_argument);
+}
+
+TEST(Ksp, RingHasExactlyTwoPaths) {
+  const Topology t = ring(6);
+  const auto paths = k_shortest_paths(t, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].size(), 4u);  // 3 hops either way
+  EXPECT_EQ(paths[1].size(), 4u);
+}
+
+// --- The paper's Fig. 4 invariants -------------------------------------
+
+TEST(MciBackbone, MatchesPaperInvariants) {
+  const Topology t = mci_backbone();
+  EXPECT_EQ(t.node_count(), 19u);
+  EXPECT_EQ(t.link_count(), 78u);  // 39 duplex links
+  EXPECT_TRUE(is_strongly_connected(t));
+  EXPECT_EQ(diameter(t), 4) << "paper states L = 4";
+  EXPECT_EQ(t.max_in_degree(), 6u) << "paper states N = 6";
+  for (LinkId id = 0; id < t.link_count(); ++id)
+    EXPECT_DOUBLE_EQ(t.link(id).capacity, 100e6);
+}
+
+TEST(MciBackbone, EveryRouterIsAnEdgeRouter) {
+  // Section 6: flows may be established between any two routers.
+  const Topology t = mci_backbone();
+  for (NodeId s = 0; s < t.node_count(); ++s)
+    for (NodeId d = 0; d < t.node_count(); ++d)
+      if (s != d) {
+        EXPECT_TRUE(shortest_path(t, s, d).has_value());
+      }
+}
+
+TEST(Factories, ValidateArguments) {
+  EXPECT_THROW(ring(2), std::invalid_argument);
+  EXPECT_THROW(line(1), std::invalid_argument);
+  EXPECT_THROW(star(1), std::invalid_argument);
+  EXPECT_THROW(full_mesh(1), std::invalid_argument);
+  EXPECT_THROW(grid(1, 5), std::invalid_argument);
+  EXPECT_THROW(balanced_tree(1, 2), std::invalid_argument);
+  EXPECT_THROW(random_connected(1, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(random_connected(10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(Factories, RandomConnectedIsConnectedAndDeterministic) {
+  const Topology a = random_connected(20, 3.0, 99);
+  const Topology b = random_connected(20, 3.0, 99);
+  EXPECT_TRUE(is_strongly_connected(a));
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (LinkId id = 0; id < a.link_count(); ++id) {
+    EXPECT_EQ(a.link(id).from, b.link(id).from);
+    EXPECT_EQ(a.link(id).to, b.link(id).to);
+  }
+}
+
+TEST(Factories, BalancedTreeShape) {
+  const Topology t = balanced_tree(2, 3);
+  EXPECT_EQ(t.node_count(), 15u);  // 1+2+4+8
+  EXPECT_EQ(diameter(t), 6);
+}
+
+}  // namespace
+}  // namespace ubac::net

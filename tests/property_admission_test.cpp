@@ -1,0 +1,124 @@
+// Randomized property sweeps over run-time admission: reservation
+// accounting must be exact under arbitrary admit/release interleavings,
+// and the statistical controller must dominate the deterministic one.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "admission/controller.hpp"
+#include "admission/statistical_controller.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac::admission {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+class AdmissionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdmissionProperty, ReservationsMatchActiveFlowsExactly) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.1);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> routes;
+  for (const auto& d : demands)
+    routes.push_back(
+        graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+  const RoutingTable table(demands, routes);
+  AdmissionController controller(graph, classes, table);
+
+  util::Xoshiro256 rng(GetParam());
+  std::vector<traffic::FlowId> active;
+  // Shadow model: per-server active flow counts.
+  std::vector<std::size_t> shadow(graph.size(), 0);
+  std::map<traffic::FlowId, net::ServerPath> shadow_routes;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_release = !active.empty() && rng.bernoulli(0.4);
+    if (do_release) {
+      const auto pos = rng.uniform_index(active.size());
+      const traffic::FlowId id = active[pos];
+      ASSERT_TRUE(controller.release(id));
+      for (const net::ServerId s : shadow_routes[id]) --shadow[s];
+      shadow_routes.erase(id);
+      active[pos] = active.back();
+      active.pop_back();
+    } else {
+      const auto& d = demands[rng.uniform_index(demands.size())];
+      const auto decision = controller.request(d.src, d.dst, d.class_index);
+      if (decision.admitted()) {
+        active.push_back(decision.flow_id);
+        const auto* flow = controller.find_flow(decision.flow_id);
+        ASSERT_NE(flow, nullptr);
+        shadow_routes[decision.flow_id] = flow->route;
+        for (const net::ServerId s : flow->route) ++shadow[s];
+      }
+    }
+  }
+
+  EXPECT_EQ(controller.active_flows(), active.size());
+  for (net::ServerId s = 0; s < graph.size(); ++s) {
+    EXPECT_NEAR(controller.reserved_rate(s, 0),
+                static_cast<double>(shadow[s]) * kVoice.rate, 1e-3)
+        << "server " << s;
+    // Never above the share.
+    EXPECT_LE(controller.reserved_rate(s, 0),
+              0.1 * graph.server(s).capacity + 1e-6);
+  }
+
+  // Releasing everything returns the controller to pristine state.
+  for (const traffic::FlowId id : active) ASSERT_TRUE(controller.release(id));
+  EXPECT_EQ(controller.active_flows(), 0u);
+  for (net::ServerId s = 0; s < graph.size(); ++s)
+    EXPECT_DOUBLE_EQ(controller.reserved_rate(s, 0), 0.0);
+}
+
+TEST_P(AdmissionProperty, StatisticalAdmitsSupersetOfDeterministic) {
+  // Same request sequence to both controllers: whenever the deterministic
+  // controller admits, the statistical one (whose per-link limits are >=
+  // the deterministic limits) must admit too, as long as both saw the
+  // same accept history. We enforce the same history by replaying only
+  // deterministic decisions into the statistical controller's state.
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.2);
+  RoutingTable table;
+  table.set({0, 3, 0}, graph.map_path({0, 1, 2, 3}));
+  table.set({1, 3, 0}, graph.map_path({1, 2, 3}));
+  table.set({2, 3, 0}, graph.map_path({2, 3}));
+
+  AdmissionController det(graph, classes, table);
+  StatisticalPolicy policy;
+  policy.activity = 0.4;
+  policy.epsilon = 1e-6;
+  StatisticalAdmissionController stat(graph, classes, table, policy);
+
+  util::Xoshiro256 rng(GetParam() * 3 + 1);
+  const std::vector<traffic::Demand> demands{{0, 3, 0}, {1, 3, 0}, {2, 3, 0}};
+  for (int step = 0; step < 3000; ++step) {
+    const auto& d = demands[rng.uniform_index(demands.size())];
+    const auto det_decision = det.request(d.src, d.dst, 0);
+    if (det_decision.admitted()) {
+      const auto stat_decision = stat.request(d.src, d.dst, 0);
+      ASSERT_TRUE(stat_decision.admitted())
+          << "statistical rejected a flow the deterministic test accepted";
+    }
+  }
+  EXPECT_GE(stat.flow_limit(graph.map_path({2, 3})[0], 0),
+            static_cast<std::size_t>(0.2 * 100e6 / kVoice.rate));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace ubac::admission

@@ -1,0 +1,117 @@
+// Randomized property sweeps over the delay analysis: monotonicity of the
+// fixed point in the route set and in alpha, warm-start equivalence on
+// random subsets, and domination of the flow-aware delay by the
+// population-independent bound.
+#include <gtest/gtest.h>
+
+#include "analysis/delay_bound.hpp"
+#include "analysis/fixed_point.hpp"
+#include "analysis/general_delay.hpp"
+#include "net/ksp.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+class FixedPointProperty : public ::testing::TestWithParam<int> {
+ protected:
+  net::Topology topo_ = net::random_connected(12, 3.0, GetParam() * 101);
+  net::ServerGraph graph_{topo_, 6u};
+
+  std::vector<net::ServerPath> random_routes(std::size_t count,
+                                             std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    std::vector<net::ServerPath> routes;
+    while (routes.size() < count) {
+      const auto s =
+          static_cast<net::NodeId>(rng.uniform_index(topo_.node_count()));
+      auto d = static_cast<net::NodeId>(rng.uniform_index(topo_.node_count()));
+      if (s == d) continue;
+      const auto paths = net::k_shortest_paths(topo_, s, d, 3);
+      routes.push_back(
+          graph_.map_path(paths[rng.uniform_index(paths.size())]));
+    }
+    return routes;
+  }
+};
+
+TEST_P(FixedPointProperty, AddingRoutesNeverDecreasesDelays) {
+  const auto routes = random_routes(12, GetParam() * 7 + 1);
+  std::vector<net::ServerPath> subset(routes.begin(), routes.begin() + 6);
+  const auto small = solve_two_class(graph_, 0.25, kVoice, units::seconds(10),
+                                     subset);
+  const auto big = solve_two_class(graph_, 0.25, kVoice, units::seconds(10),
+                                   routes);
+  ASSERT_TRUE(small.safe());
+  ASSERT_TRUE(big.safe());
+  for (std::size_t s = 0; s < graph_.size(); ++s)
+    EXPECT_GE(big.server_delay[s] + 1e-15, small.server_delay[s]);
+  for (std::size_t r = 0; r < subset.size(); ++r)
+    EXPECT_GE(big.route_delay[r] + 1e-15, small.route_delay[r]);
+}
+
+TEST_P(FixedPointProperty, WarmStartFromSubsetMatchesCold) {
+  const auto routes = random_routes(10, GetParam() * 13 + 2);
+  std::vector<net::ServerPath> subset(routes.begin(), routes.begin() + 5);
+  const auto base = solve_two_class(graph_, 0.25, kVoice, units::seconds(10),
+                                    subset);
+  ASSERT_TRUE(base.safe());
+  const auto warm = solve_two_class(graph_, 0.25, kVoice, units::seconds(10),
+                                    routes, {}, &base.server_delay);
+  const auto cold = solve_two_class(graph_, 0.25, kVoice, units::seconds(10),
+                                    routes);
+  ASSERT_EQ(warm.status, cold.status);
+  for (std::size_t s = 0; s < graph_.size(); ++s)
+    EXPECT_NEAR(warm.server_delay[s], cold.server_delay[s], 1e-9);
+}
+
+TEST_P(FixedPointProperty, DelayMonotoneInAlpha) {
+  const auto routes = random_routes(8, GetParam() * 19 + 3);
+  Seconds prev = -1.0;
+  for (double alpha = 0.05; alpha <= 0.35; alpha += 0.05) {
+    const auto sol = solve_two_class(graph_, alpha, kVoice,
+                                     units::seconds(100), routes);
+    ASSERT_TRUE(sol.safe()) << "alpha=" << alpha;
+    EXPECT_GT(sol.worst_route_delay(), prev);
+    prev = sol.worst_route_delay();
+  }
+}
+
+TEST_P(FixedPointProperty, GeneralDelayDominatedByTheorem3) {
+  // Any admissible split of the per-link budget across inputs must stay
+  // below the population-independent bound with the same jitter.
+  util::Xoshiro256 rng(GetParam() * 23 + 4);
+  const double alpha = 0.2 + 0.4 * rng.uniform();
+  const double n = 2 + rng.uniform_index(6);
+  const int budget = static_cast<int>(alpha * 100e6 / kVoice.rate);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> counts(static_cast<std::size_t>(n), 0);
+    int remaining = budget;
+    for (std::size_t j = 0; j + 1 < counts.size(); ++j) {
+      counts[j] = static_cast<int>(rng.uniform_index(remaining + 1));
+      remaining -= counts[j];
+    }
+    counts.back() = remaining;
+    const Seconds y = rng.uniform(0.0, 0.05);
+    const Seconds general = general_delay_uniform_flows(
+        100e6, 100e6, kVoice, y, counts);
+    const Seconds bound = theorem3_delay(alpha, n, kVoice, y);
+    ASSERT_LE(general, bound * (1.0 + 1e-9) + 1e-15)
+        << "alpha=" << alpha << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedPointProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ubac::analysis

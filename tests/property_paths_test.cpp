@@ -1,0 +1,123 @@
+// Randomized property sweeps over path algorithms and topology
+// serialization: invariants that must hold on any connected topology.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ksp.hpp"
+#include "net/metrics.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "net/topology_io.hpp"
+#include "util/rng.hpp"
+
+namespace ubac::net {
+namespace {
+
+class RandomTopologyProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Topology topo_ = random_connected(14, 3.2, GetParam());
+};
+
+TEST_P(RandomTopologyProperty, KspInvariants) {
+  util::Xoshiro256 rng(GetParam() * 17 + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto src = static_cast<NodeId>(rng.uniform_index(topo_.node_count()));
+    auto dst = static_cast<NodeId>(rng.uniform_index(topo_.node_count()));
+    if (src == dst) dst = (dst + 1) % topo_.node_count();
+    const auto paths = k_shortest_paths(topo_, src, dst, 6);
+    ASSERT_FALSE(paths.empty());
+    // First equals BFS shortest path.
+    EXPECT_EQ(paths[0], shortest_path(topo_, src, dst).value());
+    std::set<NodePath> unique(paths.begin(), paths.end());
+    EXPECT_EQ(unique.size(), paths.size()) << "duplicate paths";
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_TRUE(is_simple(paths[i]));
+      EXPECT_TRUE(is_valid_path(topo_, paths[i]));
+      EXPECT_EQ(paths[i].front(), src);
+      EXPECT_EQ(paths[i].back(), dst);
+      if (i) {
+        EXPECT_LE(paths[i - 1].size(), paths[i].size());
+      }
+    }
+  }
+}
+
+TEST_P(RandomTopologyProperty, SerializationRoundTrip) {
+  const Topology back = from_text(to_text(topo_));
+  ASSERT_EQ(back.node_count(), topo_.node_count());
+  ASSERT_EQ(back.link_count(), topo_.link_count());
+  for (LinkId id = 0; id < topo_.link_count(); ++id) {
+    const DirectedLink& l = topo_.link(id);
+    const auto found = back.find_link(
+        back.find_node(topo_.node_name(l.from)).value(),
+        back.find_node(topo_.node_name(l.to)).value());
+    ASSERT_TRUE(found.has_value());
+    EXPECT_DOUBLE_EQ(back.link(*found).capacity, l.capacity);
+  }
+}
+
+TEST_P(RandomTopologyProperty, DijkstraWithUnitWeightsMatchesBfsLengths) {
+  const std::vector<double> unit(topo_.link_count(), 1.0);
+  const auto hops = all_pairs_hops(topo_);
+  util::Xoshiro256 rng(GetParam() * 31 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto src = static_cast<NodeId>(rng.uniform_index(topo_.node_count()));
+    auto dst = static_cast<NodeId>(rng.uniform_index(topo_.node_count()));
+    if (src == dst) continue;
+    const auto path = dijkstra_path(topo_, src, dst, unit);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(static_cast<int>(hop_count(*path)), hops[src][dst]);
+  }
+}
+
+TEST_P(RandomTopologyProperty, MetricsConsistency) {
+  const auto profile = degree_profile(topo_);
+  EXPECT_GE(profile.min_degree, 1u);
+  EXPECT_LE(profile.min_degree, profile.max_degree);
+  std::size_t counted = 0;
+  for (std::size_t c : profile.histogram) counted += c;
+  EXPECT_EQ(counted, topo_.node_count());
+
+  const double apl = average_path_length(topo_);
+  EXPECT_GE(apl, 1.0);
+  EXPECT_LE(apl, static_cast<double>(diameter(topo_)));
+
+  // Betweenness totals must equal the sum of all SP path lengths.
+  const auto betweenness = link_betweenness(topo_);
+  std::size_t total_crossings = 0;
+  for (std::size_t b : betweenness) total_crossings += b;
+  const auto hops = all_pairs_hops(topo_);
+  std::size_t total_hops = 0;
+  for (NodeId s = 0; s < topo_.node_count(); ++s)
+    for (NodeId d = 0; d < topo_.node_count(); ++d)
+      if (s != d) total_hops += static_cast<std::size_t>(hops[s][d]);
+  EXPECT_EQ(total_crossings, total_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyProperty,
+                         ::testing::Range(1, 9));
+
+TEST(Metrics, DegreeProfileOnKnownGraphs) {
+  const auto star_profile = degree_profile(star(5));
+  EXPECT_EQ(star_profile.max_degree, 5u);
+  EXPECT_EQ(star_profile.min_degree, 1u);
+  EXPECT_EQ(star_profile.histogram[1], 5u);
+  EXPECT_EQ(star_profile.histogram[5], 1u);
+
+  EXPECT_DOUBLE_EQ(average_path_length(full_mesh(4)), 1.0);
+  EXPECT_THROW(average_path_length(Topology("empty")),
+               std::invalid_argument);
+}
+
+TEST(Metrics, LinkRouteLoadValidatesRoutes) {
+  const auto topo = line(3);
+  EXPECT_THROW(link_route_load(topo, {{0, 2}}), std::invalid_argument);
+  const auto load = link_route_load(topo, {{0, 1, 2}, {0, 1}});
+  EXPECT_EQ(load[*topo.find_link(0, 1)], 2u);
+  EXPECT_EQ(load[*topo.find_link(1, 2)], 1u);
+  EXPECT_EQ(load[*topo.find_link(1, 0)], 0u);
+}
+
+}  // namespace
+}  // namespace ubac::net

@@ -1,0 +1,127 @@
+// Tests for the Erlang reduced-load approximation, including agreement
+// with the Poisson load driver on real configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "admission/controller.hpp"
+#include "admission/erlang.hpp"
+#include "admission/load_driver.hpp"
+#include "admission/reduced_load.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac::admission {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+TEST(ReducedLoad, SingleLinkReducesToErlangB) {
+  ReducedLoadInput input;
+  input.offered_erlangs = {50.0};
+  input.routes = {{0}};
+  input.circuits = {40};
+  const auto result = solve_reduced_load(input);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.link_blocking[0], erlang_b_blocking(50.0, 40), 1e-9);
+  EXPECT_NEAR(result.demand_acceptance[0],
+              1.0 - erlang_b_blocking(50.0, 40), 1e-9);
+  EXPECT_NEAR(result.overall_acceptance, result.demand_acceptance[0], 1e-12);
+}
+
+TEST(ReducedLoad, SeriesLinksThinLoad) {
+  // Two links in series with equal capacity: symmetric blocking, and the
+  // route acceptance is the product form.
+  ReducedLoadInput input;
+  input.offered_erlangs = {30.0};
+  input.routes = {{0, 1}};
+  input.circuits = {25, 25};
+  const auto result = solve_reduced_load(input);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.link_blocking[0], result.link_blocking[1], 1e-9);
+  EXPECT_NEAR(result.demand_acceptance[0],
+              (1.0 - result.link_blocking[0]) * (1.0 - result.link_blocking[1]),
+              1e-12);
+  // Thinning: each link sees less than the raw 30 erlangs.
+  EXPECT_LT(result.link_blocking[0], erlang_b_blocking(30.0, 25) + 1e-12);
+}
+
+TEST(ReducedLoad, ZeroLoadMeansNoBlocking) {
+  ReducedLoadInput input;
+  input.offered_erlangs = {0.0, 0.0};
+  input.routes = {{0}, {0, 1}};
+  input.circuits = {5, 5};
+  const auto result = solve_reduced_load(input);
+  ASSERT_TRUE(result.converged);
+  for (const double b : result.link_blocking) EXPECT_DOUBLE_EQ(b, 0.0);
+  EXPECT_DOUBLE_EQ(result.overall_acceptance, 1.0);
+}
+
+TEST(ReducedLoad, Validation) {
+  ReducedLoadInput input;
+  input.offered_erlangs = {1.0};
+  input.routes = {};
+  input.circuits = {5};
+  EXPECT_THROW(solve_reduced_load(input), std::invalid_argument);
+  input.routes = {{9}};
+  EXPECT_THROW(solve_reduced_load(input), std::out_of_range);
+  input.routes = {{0}};
+  input.offered_erlangs = {-1.0};
+  EXPECT_THROW(solve_reduced_load(input), std::invalid_argument);
+  input.offered_erlangs = {1.0};
+  ReducedLoadOptions bad;
+  bad.damping = 0.0;
+  EXPECT_THROW(solve_reduced_load(input, bad), std::invalid_argument);
+}
+
+TEST(ReducedLoad, PredictsLoadDriverAdmitRatioOnMci) {
+  // Configure MCI with SP routes at alpha=0.40, offer uniform Poisson load
+  // over all pairs, and compare the measured admit ratio against the
+  // reduced-load prediction. The approximation is classical and accurate
+  // at these sizes — expect agreement within a few percentage points.
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const LeakyBucket voice(640.0, kbps(32));
+  const double alpha = 0.40;
+  const auto classes = traffic::ClassSet::two_class(voice, milliseconds(100),
+                                                    alpha);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> routes;
+  for (const auto& d : demands)
+    routes.push_back(
+        graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+
+  // Offered: 400 arrivals/s x 90 s holding spread over 342 demands.
+  const double arrival_rate = 400.0;
+  const Seconds holding = 90.0;
+  const double per_demand_erlangs =
+      arrival_rate * holding / static_cast<double>(demands.size());
+
+  ReducedLoadInput input;
+  input.offered_erlangs.assign(demands.size(), per_demand_erlangs);
+  input.routes = routes;
+  const auto limit =
+      static_cast<std::size_t>(alpha * 100e6 / voice.rate);  // 1250
+  input.circuits.assign(graph.size(), limit);
+  const auto analytic = solve_reduced_load(input);
+  ASSERT_TRUE(analytic.converged);
+
+  const RoutingTable table(demands, routes);
+  AdmissionController controller(graph, classes, table);
+  LoadDriverConfig cfg;
+  cfg.arrival_rate = arrival_rate;
+  cfg.mean_holding = holding;
+  cfg.duration = 3000.0;
+  cfg.seed = 11;
+  const auto measured = run_poisson_load(controller, demands, cfg);
+
+  EXPECT_GT(measured.rejected, 0u) << "test should exercise blocking";
+  EXPECT_NEAR(analytic.overall_acceptance, measured.admit_ratio(), 0.05);
+}
+
+}  // namespace
+}  // namespace ubac::admission

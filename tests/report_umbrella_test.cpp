@@ -1,0 +1,67 @@
+// Compiles the umbrella header and exercises the configuration report and
+// logging utilities.
+#include <gtest/gtest.h>
+
+#include "ubac.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+TEST(ConfigReport, DescribesACommittedConfiguration) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const config::Configurator configurator(
+      graph, LeakyBucket(640.0, kbps(32)), milliseconds(100));
+  const auto demands = traffic::random_pairs(topo, 25, 9);
+  const auto result = configurator.select_routes(0.32, demands);
+  ASSERT_TRUE(result.success);
+
+  const std::string text =
+      config::describe(result.config, graph, result.report);
+  EXPECT_NE(text.find("alpha=0.320"), std::string::npos);
+  EXPECT_NE(text.find("SAFE"), std::string::npos);
+  EXPECT_NE(text.find("hot link"), std::string::npos);
+  EXPECT_NE(text.find("route delay histogram"), std::string::npos);
+  EXPECT_NE(text.find("25 demands"), std::string::npos);
+
+  config::ReportOptions no_histogram;
+  no_histogram.include_histogram = false;
+  no_histogram.top_links = 2;
+  const std::string brief =
+      config::describe(result.config, graph, result.report, no_histogram);
+  EXPECT_EQ(brief.find("histogram"), std::string::npos);
+  EXPECT_LT(brief.size(), text.size());
+}
+
+TEST(Logging, ThresholdGatesOutput) {
+  const auto saved = util::log_threshold();
+  util::set_log_threshold(util::LogLevel::kError);
+  EXPECT_FALSE(util::log_enabled(util::LogLevel::kWarn));
+  EXPECT_TRUE(util::log_enabled(util::LogLevel::kError));
+  util::set_log_threshold(util::LogLevel::kDebug);
+  EXPECT_TRUE(util::log_enabled(util::LogLevel::kDebug));
+  // The macro body must not evaluate its stream when disabled.
+  util::set_log_threshold(util::LogLevel::kError);
+  int evaluated = 0;
+  UBAC_LOG_DEBUG << "never " << ++evaluated;
+  EXPECT_EQ(evaluated, 0);
+  util::set_log_threshold(saved);
+}
+
+TEST(Umbrella, AllLayersAreReachable) {
+  // Touch one symbol from every layer to catch umbrella rot.
+  EXPECT_GT(analysis::beta(0.3, 6.0), 0.0);
+  EXPECT_EQ(net::mci_backbone().node_count(), 19u);
+  EXPECT_GT(traffic::LeakyBucket(640.0, 32e3).burst, 0.0);
+  EXPECT_GT(admission::erlang_b_blocking(1.0, 1), 0.0);
+  EXPECT_EQ(sim::to_sim_time(1.0), sim::kPicosPerSecond);
+  EXPECT_EQ(routing::kNoFailedDemand,
+            std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace ubac

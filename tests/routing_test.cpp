@@ -1,0 +1,231 @@
+// Tests for route selection: dependency-graph cycle checking, the SP
+// baseline, the Section 5.2 heuristic, and the Section 5.3 maximizer.
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/cycle_check.hpp"
+#include "routing/max_util_search.hpp"
+#include "routing/route_selection.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac::routing {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const Seconds kDeadline = milliseconds(100);
+
+TEST(RouteDependencyGraph, DetectsCycles) {
+  RouteDependencyGraph g(4);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_route({0, 1, 2});
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.stays_acyclic({0, 2}));      // no new ordering conflict
+  EXPECT_TRUE(g.stays_acyclic({1, 2, 3}));   // extends forward
+  EXPECT_FALSE(g.stays_acyclic({2, 0}));     // closes 0->1->2->0
+  EXPECT_FALSE(g.stays_acyclic({2, 3, 0}));  // longer cycle
+  g.add_route({2, 3});
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_EQ(g.edge_count(), 3u);
+  g.add_route({3, 0});
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(RouteDependencyGraph, DuplicateEdgesAreIdempotent) {
+  RouteDependencyGraph g(3);
+  g.add_route({0, 1});
+  g.add_route({0, 1});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+std::vector<traffic::Demand> far_pairs(const net::Topology& topo,
+                                       std::size_t count) {
+  // Deterministic subset: pairs at maximum distance first.
+  auto demands = traffic::all_ordered_pairs(topo);
+  const auto hops = net::all_pairs_hops(topo);
+  std::stable_sort(demands.begin(), demands.end(),
+                   [&](const auto& a, const auto& b) {
+                     return hops[a.src][a.dst] > hops[b.src][b.dst];
+                   });
+  demands.resize(count);
+  return demands;
+}
+
+TEST(ShortestPathSelection, SucceedsAtLowUtilization) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  const auto result = select_routes_shortest_path(graph, 0.25, kVoice,
+                                                  kDeadline, demands);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.routes.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_EQ(result.routes[i].front(), demands[i].src);
+    EXPECT_EQ(result.routes[i].back(), demands[i].dst);
+    EXPECT_EQ(result.routes[i],
+              net::shortest_path(topo, demands[i].src, demands[i].dst).value());
+  }
+  EXPECT_LE(result.solution.worst_route_delay(), kDeadline);
+}
+
+TEST(ShortestPathSelection, FailsWhenSaturated) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  const auto result = select_routes_shortest_path(graph, 0.95, kVoice,
+                                                  kDeadline, demands);
+  EXPECT_FALSE(result.success);
+}
+
+TEST(HeuristicSelection, ProducesValidAlignedRoutes) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = far_pairs(topo, 40);
+  const auto result =
+      select_routes_heuristic(graph, 0.3, kVoice, kDeadline, demands);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.routes.size(), demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    ASSERT_FALSE(result.routes[i].empty()) << "demand " << i;
+    EXPECT_EQ(result.routes[i].front(), demands[i].src);
+    EXPECT_EQ(result.routes[i].back(), demands[i].dst);
+    EXPECT_TRUE(net::is_valid_path(topo, result.routes[i]));
+    EXPECT_TRUE(net::is_simple(result.routes[i]));
+    EXPECT_EQ(result.server_routes[i], graph.map_path(result.routes[i]));
+  }
+  EXPECT_TRUE(result.solution.safe());
+}
+
+TEST(HeuristicSelection, FailsAtSaturationWithFailedDemandIndex) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = far_pairs(topo, 40);
+  const auto result =
+      select_routes_heuristic(graph, 0.95, kVoice, kDeadline, demands);
+  EXPECT_FALSE(result.success);
+  EXPECT_LT(result.failed_demand, demands.size());
+}
+
+TEST(HeuristicSelection, MatchesOrBeatsShortestPathFeasibility) {
+  // The heart of Table 1: utilizations feasible for SP must be feasible
+  // for the heuristic (it can fall back to near-shortest routes), and the
+  // heuristic typically remains feasible beyond SP's maximum.
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = traffic::all_ordered_pairs(topo);
+
+  double sp_max = 0.0, heuristic_max = 0.0;
+  for (double alpha = 0.28; alpha <= 0.56; alpha += 0.04) {
+    if (select_routes_shortest_path(graph, alpha, kVoice, kDeadline, demands)
+            .success)
+      sp_max = alpha;
+    if (select_routes_heuristic(graph, alpha, kVoice, kDeadline, demands)
+            .success)
+      heuristic_max = alpha;
+  }
+  EXPECT_GT(sp_max, 0.0);
+  EXPECT_GE(heuristic_max, sp_max);
+}
+
+TEST(HeuristicSelection, AblationFlagsChangeBehaviorSafely) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = far_pairs(topo, 30);
+  for (const bool order : {true, false})
+    for (const bool acyclic : {true, false})
+      for (const bool min_delay : {true, false}) {
+        HeuristicOptions opts;
+        opts.order_by_distance = order;
+        opts.prefer_acyclic = acyclic;
+        opts.pick_min_delay = min_delay;
+        const auto result = select_routes_heuristic(graph, 0.3, kVoice,
+                                                    kDeadline, demands, opts);
+        // Whatever the knobs, a returned success must be a verified one.
+        if (result.success) {
+          EXPECT_TRUE(result.solution.safe());
+        }
+      }
+}
+
+TEST(HeuristicSelection, Validation) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 2u);
+  HeuristicOptions opts;
+  opts.candidates_per_pair = 0;
+  EXPECT_THROW(select_routes_heuristic(graph, 0.3, kVoice, kDeadline,
+                                       {{0, 2, 0}}, opts),
+               std::invalid_argument);
+  EXPECT_THROW(select_routes_heuristic(graph, 0.3, kVoice, kDeadline,
+                                       {{0, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(MaxUtilSearch, BracketsTheMaximum) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = far_pairs(topo, 24);
+  const auto result = maximize_utilization_shortest_path(graph, kVoice,
+                                                         kDeadline, demands);
+  ASSERT_TRUE(result.any_feasible);
+  EXPECT_GE(result.max_alpha, result.theorem4_lower - 1e-9);
+  EXPECT_LE(result.max_alpha, result.theorem4_upper + 1e-9);
+  EXPECT_GT(result.probes, 1);
+  EXPECT_TRUE(result.best.success);
+  // Feasible exactly at the reported maximum...
+  EXPECT_TRUE(select_routes_shortest_path(graph, result.max_alpha, kVoice,
+                                          kDeadline, demands)
+                  .success);
+  // ...and infeasible just above the search resolution.
+  EXPECT_FALSE(select_routes_shortest_path(graph, result.max_alpha + 0.02,
+                                           kVoice, kDeadline, demands)
+                   .success);
+}
+
+TEST(MaxUtilSearch, HeuristicAtLeastShortestPath) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const auto demands = far_pairs(topo, 24);
+  const auto sp = maximize_utilization_shortest_path(graph, kVoice, kDeadline,
+                                                     demands);
+  HeuristicOptions heuristic;
+  heuristic.candidates_per_pair = 4;
+  const auto h = maximize_utilization_heuristic(graph, kVoice, kDeadline,
+                                                demands, heuristic);
+  ASSERT_TRUE(sp.any_feasible);
+  ASSERT_TRUE(h.any_feasible);
+  EXPECT_GE(h.max_alpha, sp.max_alpha - 0.005);
+}
+
+TEST(MaxUtilSearch, HonorsExplicitInterval) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 4u);
+  const std::vector<traffic::Demand> demands{{0, 2, 0}};
+  MaxUtilOptions opts;
+  opts.search_lo = 0.05;
+  opts.search_hi = 0.10;
+  const auto result = maximize_utilization(
+      4.0, 2, kVoice, kDeadline,
+      [&](double alpha) {
+        return select_routes_shortest_path(graph, alpha, kVoice, kDeadline,
+                                           demands);
+      },
+      opts);
+  EXPECT_TRUE(result.any_feasible);
+  EXPECT_LE(result.max_alpha, 0.10 + 1e-12);
+  EXPECT_GE(result.max_alpha, 0.05 - 1e-12);
+  MaxUtilOptions bad;
+  bad.resolution = 0.0;
+  EXPECT_THROW(maximize_utilization(4.0, 2, kVoice, kDeadline,
+                                    [](double) { return RouteSelectionResult{}; },
+                                    bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ubac::routing

@@ -1,0 +1,255 @@
+// Tests for the packet-level simulator: event queue determinism, source
+// conformance, static-priority scheduling, and — most importantly —
+// empirical validation that measured delays stay below the analytic
+// bounds (up to per-hop packetization slack; the analysis is fluid).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/delay_bound.hpp"
+#include "analysis/fixed_point.hpp"
+#include "net/topology_factory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network_sim.hpp"
+#include "util/units.hpp"
+
+namespace ubac::sim {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using traffic::ServiceClass;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+constexpr Bits kPacket = 640.0;
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(to_sim_time(1.0), kPicosPerSecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kPicosPerSecond / 2), 0.5);
+  // Transmission time rounds up.
+  EXPECT_EQ(transmission_time(640.0, 100e6), 6400000);  // 6.4 us in ps
+  EXPECT_GE(transmission_time(1.0, 3.0), to_sim_time(1.0 / 3.0));
+}
+
+TEST(EventQueue, OrdersByTimeThenSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(5, [&] { fired.push_back(2); });
+  q.schedule(10, [&] { fired.push_back(3); });  // same time as #1, later seq
+  q.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(5, [&] { ++fired; });
+  q.schedule(15, [&] { ++fired; });
+  q.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), 10);
+  EXPECT_THROW(q.schedule(3, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(10, chain);
+  };
+  q.schedule(0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+/// One flow through one server: first packet's delay is its transmission
+/// time exactly; throughput matches the leaky bucket.
+TEST(NetworkSim, SingleFlowBaseline) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  NetworkSim sim(graph, classes);
+  SourceConfig src;
+  src.model = SourceModel::kGreedy;
+  src.packet_size = kPacket;
+  src.stop = to_sim_time(10.0);
+  sim.add_flow(graph.map_path({0, 1}), 0, src);
+  const SimResults results = sim.run(11.0);
+
+  ASSERT_GT(results.packets_delivered, 0u);
+  // Greedy: burst of T bits then rate rho. Over 10 s: ~T + rho*10 bits.
+  const double expected_packets = (640.0 + 32e3 * 10.0) / kPacket;
+  EXPECT_NEAR(static_cast<double>(results.packets_delivered),
+              expected_packets, 2.0);
+  // Uncontended single flow: every packet sees only its own transmission.
+  const Seconds tx = kPacket / 100e6;
+  EXPECT_NEAR(results.class_delay[0].max(), tx, tx * 0.01);
+}
+
+TEST(NetworkSim, CbrSpacing) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  NetworkSim sim(graph, classes);
+  SourceConfig src;
+  src.model = SourceModel::kCbr;
+  src.packet_size = kPacket;
+  src.stop = to_sim_time(2.0);
+  sim.add_flow(graph.map_path({0, 1}), 0, src);
+  const SimResults results = sim.run(3.0);
+  // 640-bit packets at 32 kb/s -> one every 20 ms -> 100 packets in 2 s.
+  EXPECT_NEAR(static_cast<double>(results.packets_delivered), 100.0, 1.0);
+}
+
+TEST(NetworkSim, PoissonSourceConformsToBucket) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  NetworkSim sim(graph, classes);
+  SourceConfig src;
+  src.model = SourceModel::kPoisson;
+  src.poisson_rate = 500.0;  // far above the sustainable 50 pkt/s
+  src.packet_size = kPacket;
+  src.stop = to_sim_time(20.0);
+  src.seed = 9;
+  sim.add_flow(graph.map_path({0, 1}), 0, src);
+  const SimResults results = sim.run(21.0);
+  // The policer caps long-run throughput at rho regardless of demand.
+  const double max_packets = (640.0 + 32e3 * 20.0) / kPacket + 1.0;
+  EXPECT_LE(static_cast<double>(results.packets_delivered), max_packets);
+  EXPECT_GT(results.packets_delivered, 900u);  // bucket kept busy
+}
+
+/// The central validation: M greedy flows spread over the fan-in of one
+/// server must never exceed the Theorem 3 bound (+ one packet of
+/// non-preemption slack per hop).
+TEST(NetworkSim, SingleServerDelayWithinTheorem3Bound) {
+  // Star topology: `fan_in` edge routers each send flows through the hub
+  // to one egress leaf, so all flows share the hub->leaf server.
+  const std::size_t fan_in = 5;
+  const auto topo = net::star(fan_in + 1);
+  const net::ServerGraph graph(topo, static_cast<std::uint32_t>(fan_in + 1));
+  const double alpha = 0.3;
+  const auto classes = ClassSet::two_class(kVoice, units::seconds(1), alpha);
+
+  // alpha*C/rho flows total, spread evenly over the source leaves.
+  const int total_flows =
+      static_cast<int>(alpha * 100e6 / 32e3);  // 937 flows
+  const int per_leaf = total_flows / static_cast<int>(fan_in);
+
+  NetworkSim sim(graph, classes);
+  const net::NodeId egress = static_cast<net::NodeId>(fan_in + 1 - 1);
+  for (std::size_t leaf = 1; leaf + 1 <= fan_in; ++leaf)
+    for (int f = 0; f < per_leaf; ++f) {
+      SourceConfig src;
+      src.model = SourceModel::kGreedy;
+      src.packet_size = kPacket;
+      src.stop = to_sim_time(2.0);
+      sim.add_flow(graph.map_path({static_cast<net::NodeId>(leaf), 0, egress}),
+                   0, src);
+    }
+  const SimResults results = sim.run(3.0);
+  ASSERT_GT(results.packets_delivered, 0u);
+
+  // Bound for the shared hub->egress server: its inputs are the leaf
+  // links; flows arrive with jitter bounded by the first hop's bound.
+  const double n = static_cast<double>(fan_in + 1);
+  const Seconds d1 = analysis::theorem3_delay(alpha, n, kVoice, 0.0);
+  const Seconds d2 = analysis::theorem3_delay(alpha, n, kVoice, d1);
+  const Seconds slack = 2.0 * kPacket / 100e6;  // non-preemption per hop
+  EXPECT_LE(results.class_delay[0].max(), d1 + d2 + slack);
+  // And the load is heavy enough that delay is not trivially zero.
+  EXPECT_GT(results.class_delay[0].max(), kPacket / 100e6 * 5);
+}
+
+/// Static priority: adding best-effort load must not push the real-time
+/// class beyond its bound (only one packet of non-preemption per hop).
+TEST(NetworkSim, RealTimeClassIsolatedFromBestEffort) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const double alpha = 0.3;
+  // Best-effort data: 1500-byte packets, a real (generous) bucket.
+  traffic::ClassSet classes;
+  classes.add(ServiceClass("voice", kVoice, units::seconds(1), alpha));
+  classes.add(ServiceClass("data", LeakyBucket(120000.0, mbps(20)), 0.0, 0.0,
+                           false));
+
+  auto run_with_be = [&](bool with_best_effort) {
+    NetworkSim sim(graph, classes);
+    for (int f = 0; f < 200; ++f) {
+      SourceConfig src;
+      src.model = SourceModel::kGreedy;
+      src.packet_size = kPacket;
+      src.stop = to_sim_time(1.0);
+      sim.add_flow(graph.map_path({0, 1, 2}), 0, src);
+    }
+    if (with_best_effort) {
+      for (int f = 0; f < 4; ++f) {
+        SourceConfig src;
+        src.model = SourceModel::kCbr;
+        src.packet_size = 12000.0;  // 1500-byte data packets
+        src.stop = to_sim_time(1.0);
+        sim.add_flow(graph.map_path({0, 1, 2}), 1, src);
+      }
+    }
+    return sim.run(2.0);
+  };
+
+  const auto quiet = run_with_be(false);
+  const auto loaded = run_with_be(true);
+  ASSERT_GT(quiet.class_delay[0].count(), 0u);
+  ASSERT_GT(loaded.class_delay[0].count(), 0u);
+  // Two hops of non-preemptive blocking by one 12000-bit packet each.
+  const Seconds blocking = 2.0 * 12000.0 / 100e6;
+  EXPECT_LE(loaded.class_delay[0].max(),
+            quiet.class_delay[0].max() + blocking + 1e-9);
+}
+
+TEST(NetworkSim, Validation) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  NetworkSim sim(graph, classes);
+  SourceConfig src;
+  src.stop = to_sim_time(1.0);
+  EXPECT_THROW(sim.add_flow({}, 0, src), std::invalid_argument);
+  EXPECT_THROW(sim.add_flow(graph.map_path({0, 1}), 9, src),
+               std::invalid_argument);
+  SourceConfig bad_stop;
+  bad_stop.stop = 0;
+  EXPECT_THROW(sim.add_flow(graph.map_path({0, 1}), 0, bad_stop),
+               std::invalid_argument);
+  SourceConfig big;
+  big.stop = to_sim_time(1.0);
+  big.packet_size = 10000.0;  // exceeds the voice burst
+  EXPECT_THROW(sim.add_flow(graph.map_path({0, 1}), 0, big),
+               std::invalid_argument);
+  SourceConfig poisson;
+  poisson.model = SourceModel::kPoisson;
+  poisson.stop = to_sim_time(1.0);
+  EXPECT_THROW(sim.add_flow(graph.map_path({0, 1}), 0, poisson),
+               std::invalid_argument);
+}
+
+TEST(NetworkSim, RunIsSingleShot) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  NetworkSim sim(graph, classes);
+  SourceConfig src;
+  src.stop = to_sim_time(0.1);
+  sim.add_flow(graph.map_path({0, 1}), 0, src);
+  sim.run(0.2);
+  EXPECT_THROW(sim.run(0.2), std::logic_error);
+  EXPECT_THROW(sim.add_flow(graph.map_path({0, 1}), 0, src), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ubac::sim

@@ -1,0 +1,66 @@
+// Tests for the runtime utilization snapshot.
+#include <gtest/gtest.h>
+
+#include "admission/snapshot.hpp"
+#include "net/topology_factory.hpp"
+#include "util/units.hpp"
+
+namespace ubac::admission {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+TEST(Snapshot, CapturesAndRanksUtilization) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(LeakyBucket(640.0, kbps(32)),
+                                           milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 2, 0}, graph.map_path({0, 1, 2}));
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  AdmissionController controller(graph, classes, table);
+
+  // 300 flows on the 2-hop demand, 200 extra on the 1-hop demand: the
+  // 0->1 link carries 500, the 1->2 link 300.
+  for (int i = 0; i < 300; ++i)
+    ASSERT_TRUE(controller.request(0, 2, 0).admitted());
+  for (int i = 0; i < 200; ++i)
+    ASSERT_TRUE(controller.request(0, 1, 0).admitted());
+
+  const auto snapshot = take_snapshot(controller, graph, classes);
+  EXPECT_EQ(snapshot.active_flows, 500u);
+  const auto top = snapshot.top(0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  // Hottest link is 0->1 with 500 * 32 kb/s = 16 Mb/s of 32 Mb/s share.
+  EXPECT_EQ(top[0].server, graph.map_path({0, 1})[0]);
+  EXPECT_NEAR(top[0].reserved, 500 * 32e3, 1e-3);
+  EXPECT_NEAR(top[0].utilization, 0.5, 1e-9);
+  EXPECT_NEAR(top[1].reserved, 300 * 32e3, 1e-3);
+  EXPECT_GE(top[0].utilization, top[1].utilization);
+  EXPECT_GT(snapshot.mean_utilization(0), 0.0);
+
+  const std::string text = render_snapshot(snapshot, graph, classes, 3);
+  EXPECT_NE(text.find("active flows: 500"), std::string::npos);
+  EXPECT_NE(text.find("r0->r1"), std::string::npos);
+  EXPECT_NE(text.find("50.0%"), std::string::npos);
+  EXPECT_NE(text.find("16.0 Mb/s"), std::string::npos);
+}
+
+TEST(Snapshot, EmptyControllerIsAllZero) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(LeakyBucket(640.0, kbps(32)),
+                                           milliseconds(100), 0.3);
+  AdmissionController controller(graph, classes, RoutingTable{});
+  const auto snapshot = take_snapshot(controller, graph, classes);
+  EXPECT_EQ(snapshot.active_flows, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.mean_utilization(0), 0.0);
+  for (const auto& link : snapshot.per_class[0])
+    EXPECT_DOUBLE_EQ(link.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace ubac::admission

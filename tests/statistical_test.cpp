@@ -1,0 +1,248 @@
+// Tests for the statistical admission extension (Section 7 outlook):
+// Chernoff tail bounds, overbooked flow limits, the statistical
+// controller, Erlang-B analytics, and on/off simulation cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "admission/erlang.hpp"
+#include "admission/statistical_controller.hpp"
+#include "analysis/statistical.hpp"
+#include "net/topology_factory.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/service_class.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+TEST(BernoulliKl, BasicsAndValidation) {
+  EXPECT_NEAR(analysis::bernoulli_kl(0.4, 0.4), 0.0, 1e-12);
+  EXPECT_GT(analysis::bernoulli_kl(0.8, 0.4), 0.0);
+  EXPECT_GT(analysis::bernoulli_kl(0.1, 0.4), 0.0);
+  EXPECT_THROW(analysis::bernoulli_kl(0.0, 0.4), std::invalid_argument);
+  EXPECT_THROW(analysis::bernoulli_kl(0.4, 1.0), std::invalid_argument);
+}
+
+TEST(BinomialTailBound, DominatesMonteCarloTail) {
+  // The Chernoff bound must upper-bound the empirical tail probability.
+  const std::size_t n = 200;
+  const double p = 0.4;
+  const std::size_t k = 100;  // well above mean 80
+  util::Xoshiro256 rng(5);
+  const int trials = 200000;
+  int exceed = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t on = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.bernoulli(p)) ++on;
+    if (on >= k) ++exceed;
+  }
+  const double empirical = static_cast<double>(exceed) / trials;
+  const double bound = analysis::binomial_tail_bound(n, p, k);
+  EXPECT_GE(bound, empirical);
+  EXPECT_LT(bound, 0.1) << "bound should be informative here";
+}
+
+TEST(BinomialTailBound, EdgeCases) {
+  EXPECT_DOUBLE_EQ(analysis::binomial_tail_bound(10, 0.4, 11), 0.0);
+  EXPECT_DOUBLE_EQ(analysis::binomial_tail_bound(10, 0.4, 2), 1.0);
+  EXPECT_NEAR(analysis::binomial_tail_bound(10, 0.4, 10),
+              std::pow(0.4, 10.0), 1e-15);
+  EXPECT_THROW(analysis::binomial_tail_bound(0, 0.4, 1),
+               std::invalid_argument);
+}
+
+TEST(StatisticalFlowLimit, OverbooksAboveDeterministic) {
+  const double alpha = 0.3;
+  const BitsPerSecond c = mbps(100);
+  const BitsPerSecond rho = kbps(32);
+  const auto deterministic = static_cast<std::size_t>(alpha * c / rho);
+  const auto stat =
+      analysis::statistical_flow_limit(alpha, c, rho, 0.4, 1e-6);
+  EXPECT_GT(stat, deterministic);
+  // Sanity: with activity 0.4 and 937 "circuits", roughly 2x overbooking.
+  EXPECT_LT(stat, 4 * deterministic);
+  EXPECT_GT(analysis::overbooking_factor(alpha, c, rho, 0.4, 1e-6), 1.0);
+}
+
+TEST(StatisticalFlowLimit, MonotoneInEpsilonAndActivity) {
+  const double alpha = 0.3;
+  const BitsPerSecond c = mbps(100);
+  const BitsPerSecond rho = kbps(32);
+  std::size_t prev = 0;
+  for (const double eps : {1e-9, 1e-6, 1e-3, 1e-1}) {
+    const auto limit =
+        analysis::statistical_flow_limit(alpha, c, rho, 0.4, eps);
+    EXPECT_GE(limit, prev) << "looser target must admit no fewer";
+    prev = limit;
+  }
+  std::size_t prev_act = std::numeric_limits<std::size_t>::max();
+  for (const double act : {0.1, 0.3, 0.5, 0.9}) {
+    const auto limit =
+        analysis::statistical_flow_limit(alpha, c, rho, act, 1e-6);
+    EXPECT_LE(limit, prev_act) << "busier sources must admit no more";
+    prev_act = limit;
+  }
+}
+
+TEST(StatisticalFlowLimit, ChernoffGuaranteeHoldsEmpirically) {
+  // At the returned limit, simulate independent on/off states and verify
+  // the overload fraction stays below epsilon (up to MC noise).
+  const double alpha = 0.2;
+  const BitsPerSecond c = mbps(10);
+  const BitsPerSecond rho = kbps(32);
+  const double activity = 0.35;
+  const double epsilon = 0.01;  // generous so MC can resolve it
+  const auto limit =
+      analysis::statistical_flow_limit(alpha, c, rho, activity, epsilon);
+  const auto threshold = static_cast<std::size_t>(alpha * c / rho);
+  util::Xoshiro256 rng(17);
+  const int trials = 200000;
+  int overload = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::size_t on = 0;
+    for (std::size_t i = 0; i < limit; ++i)
+      if (rng.bernoulli(activity)) ++on;
+    if (on > threshold) ++overload;
+  }
+  EXPECT_LE(static_cast<double>(overload) / trials, epsilon * 1.2);
+}
+
+TEST(StatisticalFlowLimit, Validation) {
+  EXPECT_THROW(analysis::statistical_flow_limit(0.0, 1e8, 3.2e4, 0.4, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(analysis::statistical_flow_limit(0.3, 1e8, 2e8, 0.4, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(analysis::statistical_flow_limit(0.3, 1e8, 3.2e4, 1.0, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(analysis::statistical_flow_limit(0.3, 1e8, 3.2e4, 0.4, 0.0),
+               std::invalid_argument);
+}
+
+TEST(StatisticalController, AdmitsMoreThanDeterministic) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const LeakyBucket voice(640.0, kbps(32));
+  const auto classes = ClassSet::two_class(voice, milliseconds(100), 0.32);
+  admission::RoutingTable table;
+  table.set({0, 2, 0}, graph.map_path({0, 1, 2}));
+
+  admission::StatisticalPolicy policy;
+  policy.activity = 0.4;
+  policy.epsilon = 1e-6;
+  admission::StatisticalAdmissionController stat(graph, classes, table,
+                                                 policy);
+  admission::AdmissionController det(graph, classes, table);
+
+  std::size_t stat_admitted = 0, det_admitted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (stat.request(0, 2, 0).admitted()) ++stat_admitted;
+    if (det.request(0, 2, 0).admitted()) ++det_admitted;
+  }
+  EXPECT_EQ(det_admitted, 1000u);  // 0.32*100e6/32e3
+  EXPECT_GT(stat_admitted, det_admitted);
+  EXPECT_EQ(stat.active_flows(), stat_admitted);
+  // Count bookkeeping and release.
+  const auto route = table.lookup(0, 2, 0).value();
+  EXPECT_EQ(stat.flow_count(route[0], 0), stat_admitted);
+  EXPECT_EQ(stat.flow_limit(route[0], 0), stat_admitted);
+  const auto decision = stat.request(0, 2, 0);
+  EXPECT_EQ(decision.outcome,
+            admission::AdmissionOutcome::kUtilizationExceeded);
+  const auto* flow = stat.find_flow(1);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_TRUE(stat.release(1));
+  EXPECT_FALSE(stat.release(1));
+  EXPECT_TRUE(stat.request(0, 2, 0).admitted());
+}
+
+TEST(StatisticalController, RejectsBadInputs) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes =
+      ClassSet::two_class(LeakyBucket(640.0, kbps(32)), milliseconds(100),
+                          0.3);
+  admission::RoutingTable table;
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  admission::StatisticalAdmissionController ctl(graph, classes, table, {});
+  EXPECT_EQ(ctl.request(1, 0, 0).outcome,
+            admission::AdmissionOutcome::kNoRoute);
+  EXPECT_EQ(ctl.request(0, 1, 1).outcome,
+            admission::AdmissionOutcome::kBadClass);
+}
+
+// --- Erlang-B -----------------------------------------------------------
+
+TEST(ErlangB, KnownValues) {
+  // Classic table values: B(E=10, c=10) ~ 0.215, B(E=1, c=1) = 0.5.
+  EXPECT_NEAR(admission::erlang_b_blocking(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(admission::erlang_b_blocking(10.0, 10), 0.2146, 5e-4);
+  EXPECT_DOUBLE_EQ(admission::erlang_b_blocking(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(admission::erlang_b_blocking(3.0, 0), 1.0);
+  EXPECT_THROW(admission::erlang_b_blocking(-1.0, 3), std::invalid_argument);
+}
+
+TEST(ErlangB, DimensioningInverse) {
+  const double erlangs = 50.0;
+  const double target = 0.01;
+  const auto c = admission::erlang_b_dimension(erlangs, target);
+  EXPECT_LE(admission::erlang_b_blocking(erlangs, c), target);
+  EXPECT_GT(admission::erlang_b_blocking(erlangs, c - 1), target);
+  EXPECT_THROW(admission::erlang_b_dimension(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ErlangB, RouteAcceptanceProductForm) {
+  EXPECT_DOUBLE_EQ(admission::route_acceptance_estimate({}), 1.0);
+  EXPECT_NEAR(admission::route_acceptance_estimate({0.1, 0.2}), 0.72, 1e-12);
+  EXPECT_THROW(admission::route_acceptance_estimate({1.5}),
+               std::invalid_argument);
+}
+
+// --- on/off source in the simulator -------------------------------------
+
+TEST(OnOffSource, LongRunThroughputMatchesActivity) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const LeakyBucket voice(640.0, kbps(32));
+  const auto classes = ClassSet::two_class(voice, units::seconds(1), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  const double activity = 0.4;
+  const Seconds horizon = 400.0;
+  sim::SourceConfig src;
+  src.model = sim::SourceModel::kOnOff;
+  src.packet_size = 640.0;
+  src.on_mean = 0.4;   // activity = on/(on+off) = 0.4
+  src.off_mean = 0.6;
+  src.stop = sim::to_sim_time(horizon);
+  src.seed = 3;
+  netsim.add_flow(graph.map_path({0, 1}), 0, src);
+  const auto results = netsim.run(horizon + 1.0);
+  // Peak rate 32 kb/s -> 50 pkt/s while on; expect ~ activity * 50 * T.
+  const double expected = activity * 50.0 * horizon;
+  EXPECT_NEAR(static_cast<double>(results.packets_delivered), expected,
+              expected * 0.15);
+}
+
+TEST(OnOffSource, Validation) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(LeakyBucket(640.0, kbps(32)),
+                                           milliseconds(100), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  sim::SourceConfig src;
+  src.model = sim::SourceModel::kOnOff;
+  src.stop = sim::to_sim_time(1.0);
+  EXPECT_THROW(netsim.add_flow(graph.map_path({0, 1}), 0, src),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ubac

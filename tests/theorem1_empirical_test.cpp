@@ -1,0 +1,123 @@
+// Empirical validation of Theorem 1: inside the network, a flow's traffic
+// is still bounded by its jittered constraint function
+// H_k(I) = min{C*I, T + rho*Y_k + rho*I}, where Y_k bounds the queueing
+// delay accumulated upstream. We tap a flow's packet arrivals at its
+// second hop (after real contention at the first hop) and check every
+// sliding window of the measured arrival sequence against the envelope.
+#include <gtest/gtest.h>
+
+#include "analysis/delay_bound.hpp"
+#include "net/topology_factory.hpp"
+#include "sim/network_sim.hpp"
+#include "traffic/traffic_function.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::mbps;
+
+constexpr Bits kPacket = 640.0;
+
+/// Max measured traffic over every window of the arrival sequence must
+/// stay within envelope(I) plus one packet (the window boundary can split
+/// a packet's worth of fluid).
+void expect_within_envelope(const std::vector<sim::SimTime>& arrivals,
+                            const traffic::TrafficFunction& envelope,
+                            Bits packet_size) {
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    for (std::size_t j = i; j < arrivals.size(); ++j) {
+      const Seconds window = sim::to_seconds(arrivals[j] - arrivals[i]);
+      const Bits measured =
+          static_cast<double>(j - i + 1) * packet_size;
+      ASSERT_LE(measured, envelope.eval(window) + packet_size + 1e-6)
+          << "window [" << i << "," << j << "] = " << window << " s";
+    }
+  }
+}
+
+TEST(Theorem1Empirical, TappedFlowStaysWithinJitteredEnvelope) {
+  // Star: 4 source leaves -> hub -> egress. The tapped flow shares the
+  // hub's ingress contention with ~alpha*C/rho of background flows.
+  const std::size_t fan_in = 4;
+  const auto topo = net::star(fan_in + 1);
+  const double n = static_cast<double>(fan_in + 1);
+  const net::ServerGraph graph(topo, static_cast<std::uint32_t>(n));
+  const LeakyBucket voice(640.0, kbps(32));
+  const double alpha = 0.4;
+  const auto classes = ClassSet::two_class(voice, units::seconds(1), alpha);
+
+  sim::NetworkSim netsim(graph, classes);
+  const auto egress = static_cast<net::NodeId>(fan_in + 1);
+  const int per_leaf =
+      static_cast<int>(alpha * 100e6 / 32e3) / static_cast<int>(fan_in);
+  std::uint32_t tapped_flow = 0;
+  for (std::size_t leaf = 1; leaf <= fan_in; ++leaf) {
+    for (int f = 0; f < per_leaf; ++f) {
+      sim::SourceConfig src;
+      src.model = sim::SourceModel::kGreedy;
+      src.packet_size = kPacket;
+      src.stop = sim::to_sim_time(1.0);
+      const auto id = netsim.add_flow(
+          graph.map_path({static_cast<net::NodeId>(leaf), 0, egress}), 0,
+          src);
+      if (leaf == 1 && f == 0) tapped_flow = id;
+    }
+  }
+  // Tap the flow where it arrives at the hub->egress server (hop 1),
+  // i.e. after the contention of its first hop.
+  const auto tap = netsim.add_tap(tapped_flow, 1);
+  const auto results = netsim.run(2.0);
+  ASSERT_LT(tap, results.tap_arrivals.size());
+  const auto& arrivals = results.tap_arrivals[tap];
+  ASSERT_GT(arrivals.size(), 10u);
+
+  // Upstream bound for hop 1: the Theorem 3 bound of the first server.
+  const Seconds y1 = analysis::theorem3_delay(alpha, n, voice, 0.0);
+  const auto envelope =
+      traffic::TrafficFunction::jittered(voice, y1, mbps(100));
+  expect_within_envelope(arrivals, envelope, kPacket);
+}
+
+TEST(Theorem1Empirical, SourceOutputMatchesUnjitteredEnvelope) {
+  // At hop 0 (network entrance) the greedy source must conform to the
+  // plain leaky-bucket envelope with no jitter term.
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const LeakyBucket voice(640.0, kbps(32));
+  const auto classes = ClassSet::two_class(voice, units::seconds(1), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  sim::SourceConfig src;
+  src.model = sim::SourceModel::kGreedy;
+  src.packet_size = kPacket;
+  src.stop = sim::to_sim_time(5.0);
+  const auto flow = netsim.add_flow(graph.map_path({0, 1}), 0, src);
+  const auto tap = netsim.add_tap(flow, 0);
+  const auto results = netsim.run(6.0);
+  const auto envelope =
+      traffic::TrafficFunction::from_leaky_bucket(voice, mbps(100));
+  expect_within_envelope(results.tap_arrivals[tap], envelope, kPacket);
+}
+
+TEST(Theorem1Empirical, TapValidation) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(LeakyBucket(640.0, kbps(32)),
+                                           units::seconds(1), 0.3);
+  sim::NetworkSim netsim(graph, classes);
+  sim::SourceConfig src;
+  src.stop = sim::to_sim_time(0.1);
+  const auto flow = netsim.add_flow(graph.map_path({0, 1}), 0, src);
+  EXPECT_THROW(netsim.add_tap(flow + 1, 0), std::out_of_range);
+  EXPECT_THROW(netsim.add_tap(flow, 5), std::out_of_range);
+  netsim.add_tap(flow, 0);
+  netsim.run(0.2);
+  EXPECT_THROW(netsim.add_tap(flow, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,233 @@
+// Tests for src/traffic: leaky buckets, policers, traffic constraint
+// function algebra, service classes, and workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/topology_factory.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "traffic/service_class.hpp"
+#include "traffic/traffic_function.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac::traffic {
+namespace {
+
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+TEST(LeakyBucket, ValidatesParameters) {
+  EXPECT_THROW(LeakyBucket(-1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(LeakyBucket(100.0, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(LeakyBucket(0.0, 1.0));
+}
+
+TEST(LeakyBucket, MaxTrafficEnvelope) {
+  const LeakyBucket lb(640.0, kbps(32));
+  // Short intervals: line-rate limited. Long intervals: bucket limited.
+  EXPECT_DOUBLE_EQ(lb.max_traffic(0.0, mbps(100)), 0.0);
+  EXPECT_DOUBLE_EQ(lb.max_traffic(1e-6, mbps(100)), 100.0);  // C*I
+  EXPECT_DOUBLE_EQ(lb.max_traffic(1.0, mbps(100)), 640.0 + 32000.0);
+  // Knee where C*I = T + rho*I.
+  const Seconds knee = lb.knee(mbps(100));
+  EXPECT_NEAR(knee, 640.0 / (100e6 - 32e3), 1e-15);
+  EXPECT_DOUBLE_EQ(lb.knee(kbps(16)), 0.0);  // line slower than rate
+}
+
+TEST(TokenBucketPolicer, ConformanceSequence) {
+  const LeakyBucket lb(1000.0, 1000.0);  // 1000 bits, 1000 b/s
+  TokenBucketPolicer p(lb);
+  EXPECT_TRUE(p.conforms(600.0, 0.0));
+  EXPECT_TRUE(p.conforms(400.0, 0.0));   // exactly drains the bucket
+  EXPECT_FALSE(p.conforms(1.0, 0.0));    // empty now
+  EXPECT_TRUE(p.conforms(500.0, 0.5));   // refilled 500 bits after 0.5 s
+  EXPECT_FALSE(p.conforms(1.0, 0.5));
+}
+
+TEST(TokenBucketPolicer, EarliestConformance) {
+  const LeakyBucket lb(1000.0, 500.0);
+  TokenBucketPolicer p(lb);
+  EXPECT_DOUBLE_EQ(p.earliest_conformance(1000.0, 0.0), 0.0);
+  ASSERT_TRUE(p.conforms(1000.0, 0.0));
+  // Needs 800 bits at 500 b/s -> 1.6 s.
+  EXPECT_DOUBLE_EQ(p.earliest_conformance(800.0, 0.0), 1.6);
+  EXPECT_THROW(p.earliest_conformance(2000.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(p.conforms(1.0, -1.0), std::logic_error);
+}
+
+TEST(TrafficFunction, LeakyBucketEnvelopeEval) {
+  const LeakyBucket lb(640.0, kbps(32));
+  const auto f = TrafficFunction::from_leaky_bucket(lb, mbps(100));
+  EXPECT_DOUBLE_EQ(f.eval(0.0), 0.0);
+  const Seconds knee = lb.knee(mbps(100));
+  EXPECT_NEAR(f.eval(knee), 100e6 * knee, 1e-6);
+  EXPECT_NEAR(f.eval(1.0), 640.0 + 32000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.terminal_rate(), kbps(32));
+  EXPECT_THROW(f.eval(-1.0), std::invalid_argument);
+}
+
+TEST(TrafficFunction, JitterIncreasesEffectiveBurst) {
+  const LeakyBucket lb(640.0, kbps(32));
+  const Seconds y = milliseconds(50);
+  const auto f = TrafficFunction::jittered(lb, y, mbps(100));
+  // For long I the envelope is T + rho*Y + rho*I.
+  EXPECT_NEAR(f.eval(1.0), 640.0 + 32e3 * 0.05 + 32e3, 1e-9);
+  EXPECT_THROW(TrafficFunction::jittered(lb, -0.1, mbps(100)),
+               std::invalid_argument);
+}
+
+TEST(TrafficFunction, SumMatchesPointwise) {
+  const LeakyBucket a(640.0, kbps(32));
+  const LeakyBucket b(1280.0, kbps(64));
+  const auto fa = TrafficFunction::from_leaky_bucket(a, mbps(100));
+  const auto fb = TrafficFunction::from_leaky_bucket(b, mbps(10));
+  const auto sum = fa + fb;
+  for (double i : {0.0, 1e-6, 1e-5, 1e-4, 1e-3, 0.1, 2.0})
+    EXPECT_NEAR(sum.eval(i), fa.eval(i) + fb.eval(i), 1e-6) << "I=" << i;
+  EXPECT_DOUBLE_EQ(sum.terminal_rate(), kbps(96));
+}
+
+TEST(TrafficFunction, ScaledMatchesPointwise) {
+  const LeakyBucket lb(640.0, kbps(32));
+  const auto f = TrafficFunction::from_leaky_bucket(lb, mbps(100));
+  const auto g = f.scaled(7.0);
+  for (double i : {0.0, 1e-6, 1e-4, 0.5})
+    EXPECT_NEAR(g.eval(i), 7.0 * f.eval(i), 1e-6);
+  EXPECT_THROW(f.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(TrafficFunction, ShiftedLeftMatchesDefinition) {
+  const LeakyBucket lb(640.0, kbps(32));
+  const auto f = TrafficFunction::from_leaky_bucket(lb, mbps(100));
+  const Seconds delta = 1e-5;
+  const auto g = f.shifted_left(delta);
+  for (double i : {0.0, 1e-6, 1e-5, 1e-3, 0.5})
+    EXPECT_NEAR(g.eval(i), f.eval(i + delta), 1e-6);
+  EXPECT_THROW(f.shifted_left(-1.0), std::invalid_argument);
+}
+
+TEST(TrafficFunction, MaxBacklogAndDelay) {
+  // Single leaky bucket into a server of rate R > rho: the worst backlog
+  // is at the knee: (C - R) * knee ... computed against known algebra.
+  const LeakyBucket lb(1000.0, 100.0);
+  const BitsPerSecond line = 1000.0;
+  const BitsPerSecond service = 500.0;
+  const auto f = TrafficFunction::from_leaky_bucket(lb, line);
+  // Knee at T/(line-rho) = 1000/900 s, value line*knee = 10000/9 bits.
+  const Seconds knee = 1000.0 / 900.0;
+  const Bits expected = line * knee - service * knee;
+  EXPECT_NEAR(f.max_backlog(service), expected, 1e-9);
+  EXPECT_NEAR(f.max_delay(service), expected / service, 1e-12);
+  // Unstable when terminal slope exceeds the service rate.
+  EXPECT_TRUE(std::isinf(f.max_backlog(50.0)));
+  EXPECT_THROW(f.max_backlog(0.0), std::invalid_argument);
+}
+
+TEST(TrafficFunction, ZeroFunction) {
+  const TrafficFunction zero;
+  EXPECT_DOUBLE_EQ(zero.eval(123.0), 0.0);
+  EXPECT_DOUBLE_EQ(zero.max_backlog(1.0), 0.0);
+}
+
+/// Property sweep: sums of random leaky-bucket envelopes stay concave,
+/// non-decreasing, and evaluate pointwise-correctly.
+class TrafficFunctionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrafficFunctionProperty, RandomSumsStayConsistent) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<TrafficFunction> parts;
+  TrafficFunction sum;
+  for (int i = 0; i < 8; ++i) {
+    const LeakyBucket lb(rng.uniform(1.0, 1e5), rng.uniform(1e3, 1e6));
+    parts.push_back(
+        TrafficFunction::from_leaky_bucket(lb, rng.uniform(1e6, 1e9)));
+    sum += parts.back();
+  }
+  double prev = -1.0;
+  for (double i = 0.0; i <= 0.01; i += 0.0005) {
+    double expected = 0.0;
+    for (const auto& p : parts) expected += p.eval(i);
+    ASSERT_NEAR(sum.eval(i), expected, expected * 1e-12 + 1e-9);
+    ASSERT_GE(sum.eval(i), prev);  // non-decreasing
+    prev = sum.eval(i);
+  }
+  // Concavity: midpoint value >= chord.
+  for (double i = 0.0005; i <= 0.009; i += 0.0005) {
+    const double lo = sum.eval(i - 0.0005);
+    const double hi = sum.eval(i + 0.0005);
+    ASSERT_GE(sum.eval(i) + 1e-6, 0.5 * (lo + hi));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficFunctionProperty,
+                         ::testing::Range(1, 11));
+
+TEST(ServiceClass, Validation) {
+  const LeakyBucket lb(640.0, kbps(32));
+  EXPECT_THROW(ServiceClass("x", lb, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ServiceClass("x", lb, 0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(ServiceClass("x", lb, 0.1, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(ServiceClass("x", lb, 0.1, 0.5));
+  // Best-effort skips deadline/share validation.
+  EXPECT_NO_THROW(ServiceClass("be", lb, 0.0, 0.0, false));
+}
+
+TEST(ClassSet, SharesAndPriorities) {
+  const LeakyBucket lb(640.0, kbps(32));
+  ClassSet set;
+  set.add(ServiceClass("voice", lb, 0.1, 0.3));
+  set.add(ServiceClass("video", LeakyBucket(1e5, mbps(1)), 0.2, 0.4));
+  set.add(ServiceClass("be", lb, 0.0, 0.0, false));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.cumulative_share(0), 0.3);
+  EXPECT_DOUBLE_EQ(set.cumulative_share(1), 0.7);
+  EXPECT_DOUBLE_EQ(set.cumulative_share(2), 0.7);
+  EXPECT_DOUBLE_EQ(set.total_share(), 0.7);
+  EXPECT_EQ(set.realtime_indices(), (std::vector<std::size_t>{0, 1}));
+  // Total share must stay below 1.
+  EXPECT_THROW(set.add(ServiceClass("x", lb, 0.1, 0.31)),
+               std::invalid_argument);
+  EXPECT_THROW(set.cumulative_share(9), std::out_of_range);
+}
+
+TEST(ClassSet, TwoClassFactory) {
+  const auto set =
+      ClassSet::two_class(LeakyBucket(640.0, kbps(32)), milliseconds(100), 0.3);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.at(0).realtime);
+  EXPECT_FALSE(set.at(1).realtime);
+  EXPECT_DOUBLE_EQ(set.at(0).share, 0.3);
+}
+
+TEST(Workload, AllOrderedPairs) {
+  const auto topo = net::mci_backbone();
+  const auto demands = all_ordered_pairs(topo);
+  EXPECT_EQ(demands.size(), 19u * 18u);
+  for (const auto& d : demands) EXPECT_NE(d.src, d.dst);
+}
+
+TEST(Workload, RandomPairsDeterministicAndDistinct) {
+  const auto topo = net::mci_backbone();
+  const auto a = random_pairs(topo, 50, 7);
+  const auto b = random_pairs(topo, 50, 7);
+  EXPECT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j)
+      EXPECT_FALSE(a[i] == a[j]);
+  EXPECT_THROW(random_pairs(topo, 10000, 7), std::invalid_argument);
+}
+
+TEST(Workload, Hotspot) {
+  const auto topo = net::ring(5);
+  const auto demands = hotspot(topo, 2);
+  EXPECT_EQ(demands.size(), 8u);  // 4 other nodes x 2 directions
+  for (const auto& d : demands)
+    EXPECT_TRUE(d.src == 2 || d.dst == 2);
+}
+
+}  // namespace
+}  // namespace ubac::traffic

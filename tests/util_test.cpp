@@ -1,0 +1,221 @@
+// Tests for src/util: rng, stats, histogram, table, csv, cli, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(units::milliseconds(100), 0.1);
+  EXPECT_DOUBLE_EQ(units::kbps(32), 32000.0);
+  EXPECT_DOUBLE_EQ(units::mbps(100), 100e6);
+  EXPECT_DOUBLE_EQ(units::bytes(80), 640.0);
+  EXPECT_DOUBLE_EQ(units::to_ms(0.1), 100.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  util::Xoshiro256 a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  util::Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  util::Xoshiro256 rng(1234);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePermutes) {
+  util::Xoshiro256 rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  util::OnlineStats s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  util::OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Samples, QuantilesExact) {
+  util::Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100, reverse insertion
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_THROW(s.quantile(1.5), std::invalid_argument);
+  util::Samples empty;
+  EXPECT_THROW(empty.quantile(0.5), std::logic_error);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  util::Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(5.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(5), 6.0);
+  EXPECT_FALSE(h.render().empty());
+  EXPECT_THROW(util::Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(util::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  util::TextTable t({"name", "value"});
+  t.add_row({"alpha", "0.45"});
+  t.add_row({"beta", "12"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("0.45"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(util::TextTable::fmt(0.4512, 2), "0.45");
+  EXPECT_EQ(util::TextTable::fmt_percent(0.45, 0), "45%");
+  EXPECT_EQ(util::TextTable::fmt_ms(0.1, 1), "100.0 ms");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  const std::string path = testing::TempDir() + "/ubac_csv_test.csv";
+  {
+    util::CsvWriter w(path);
+    w.write_row({"a", "b,c", "d\"e"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,\"b,c\",\"d\"\"e\"");
+}
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  const char* argv[] = {"prog", "--alpha=0.3", "--count=7", "--verbose",
+                        "positional"};
+  util::ArgParser args(5, argv);
+  args.describe("alpha", "utilization")
+      .describe("count", "n")
+      .describe("verbose", "flag");
+  EXPECT_NO_THROW(args.validate());
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.3);
+  EXPECT_EQ(args.get_long("count", 0), 7);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, RejectsUnknownOptions) {
+  const char* argv[] = {"prog", "--tpyo=1"};
+  util::ArgParser args(2, argv);
+  args.describe("typo", "correctly spelled");
+  EXPECT_THROW(args.validate(), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  util::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&done] { done++; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 10);
+}
+
+}  // namespace
+}  // namespace ubac

@@ -1,0 +1,175 @@
+// ubac_configtool — command-line front end for the configuration module.
+//
+// Subcommands (first positional argument):
+//   bounds    print the Theorem 4 utilization envelope for a topology
+//   maximize  run Section 5.3 (binary search + heuristic route selection)
+//             and write the configuration artifact
+//   verify    re-verify a configuration artifact (Fig. 2)
+//   reroute   reroute a configuration around a failed duplex link
+//
+// Topologies are read from --topology=<file> (net/topology_io.hpp format)
+// or default to the built-in MCI backbone. Configurations use the
+// config/configurator.hpp text format.
+//
+// Examples:
+//   ubac_configtool bounds --deadline-ms=50
+//   ubac_configtool maximize --out=/tmp/net.conf
+//   ubac_configtool verify --config=/tmp/net.conf
+//   ubac_configtool reroute --config=/tmp/net.conf --fail=Chicago:NewYork \
+//                   --out=/tmp/healed.conf
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ubac.hpp"
+
+using namespace ubac;
+
+namespace {
+
+net::Topology load_topology(const util::ArgParser& args) {
+  const std::string path = args.get("topology", "");
+  if (path.empty()) return net::mci_backbone();
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open topology file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return net::from_text(text.str());
+}
+
+traffic::LeakyBucket bucket_from(const util::ArgParser& args) {
+  return traffic::LeakyBucket(args.get_double("burst", 640.0),
+                              units::kbps(args.get_double("rate-kbps", 32.0)));
+}
+
+Seconds deadline_from(const util::ArgParser& args) {
+  return units::milliseconds(args.get_double("deadline-ms", 100.0));
+}
+
+config::NetworkConfig load_config(const util::ArgParser& args,
+                                  const net::Topology& topo) {
+  const std::string path = args.get("config", "");
+  if (path.empty()) throw std::runtime_error("--config=<file> is required");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return config::from_text(text.str(), topo);
+}
+
+void save_config(const config::NetworkConfig& cfg, const net::Topology& topo,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << config::to_text(cfg, topo);
+  std::printf("configuration written to %s\n", path.c_str());
+}
+
+int cmd_bounds(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const int l = net::diameter(topo);
+  const auto n = static_cast<double>(topo.max_in_degree());
+  const auto bucket = bucket_from(args);
+  const Seconds deadline = deadline_from(args);
+  std::printf("%s: L=%d, N=%.0f\n", topo.name().c_str(), l, n);
+  std::printf("Theorem 4 envelope: [%.4f, %.4f]\n",
+              analysis::alpha_lower_bound(n, l, bucket, deadline),
+              analysis::alpha_upper_bound(n, l, bucket, deadline));
+  return 0;
+}
+
+int cmd_maximize(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo);
+  const config::Configurator configurator(graph, bucket_from(args),
+                                          deadline_from(args));
+  const auto demands = traffic::all_ordered_pairs(topo);
+  routing::HeuristicOptions heuristic;
+  heuristic.candidates_per_pair =
+      static_cast<std::size_t>(args.get_long("candidates", 8));
+  const auto result = configurator.maximize(demands, heuristic);
+  if (!result.success) {
+    std::fprintf(stderr, "maximize failed: %s\n",
+                 result.failure_reason.c_str());
+    return 1;
+  }
+  std::fputs(config::describe(result.config, graph, result.report).c_str(),
+             stdout);
+  const std::string out = args.get("out", "");
+  if (!out.empty()) save_config(result.config, topo, out);
+  return 0;
+}
+
+int cmd_verify(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo);
+  const auto cfg = load_config(args, topo);
+  const config::Configurator configurator(
+      graph, cfg.bucket, cfg.deadline > 0.0 ? cfg.deadline : 0.1);
+  const auto result = configurator.verify(cfg.alpha, cfg.demands, cfg.routes);
+  std::fputs(config::describe(cfg, graph, result.report).c_str(), stdout);
+  return result.success ? 0 : 1;
+}
+
+int cmd_reroute(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo);
+  const auto cfg = load_config(args, topo);
+  const std::string spec = args.get("fail", "");
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos)
+    throw std::runtime_error("--fail=NodeA:NodeB is required");
+  const auto a = topo.find_node(spec.substr(0, colon));
+  const auto b = topo.find_node(spec.substr(colon + 1));
+  if (!a || !b) throw std::runtime_error("unknown node in --fail");
+  std::vector<net::ServerId> dead;
+  if (const auto ab = topo.find_link(*a, *b))
+    dead.push_back(graph.server_for_link(*ab));
+  if (const auto ba = topo.find_link(*b, *a))
+    dead.push_back(graph.server_for_link(*ba));
+  if (dead.empty()) throw std::runtime_error("no such link");
+
+  const config::Configurator configurator(graph, cfg.bucket, cfg.deadline);
+  const auto healed = configurator.reroute_avoiding(cfg, dead);
+  if (!healed.success) {
+    std::fprintf(stderr, "reroute failed: %s\n",
+                 healed.failure_reason.c_str());
+    return 1;
+  }
+  std::fputs(config::describe(healed.config, graph, healed.report).c_str(),
+             stdout);
+  const std::string out = args.get("out", "");
+  if (!out.empty()) save_config(healed.config, topo, out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  args.describe("topology", "topology file (default: built-in MCI)")
+      .describe("deadline-ms", "deadline in ms (default 100)")
+      .describe("burst", "leaky-bucket burst in bits (default 640)")
+      .describe("rate-kbps", "leaky-bucket rate in kb/s (default 32)")
+      .describe("candidates", "heuristic candidates per pair (default 8)")
+      .describe("config", "configuration artifact to load")
+      .describe("out", "file to write the resulting configuration to")
+      .describe("fail", "duplex link to fail, as NodeA:NodeB");
+  try {
+    args.validate();
+    const auto& pos = args.positional();
+    const std::string command = pos.empty() ? "help" : pos[0];
+    if (command == "bounds") return cmd_bounds(args);
+    if (command == "maximize") return cmd_maximize(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "reroute") return cmd_reroute(args);
+    std::printf("usage: ubac_configtool <bounds|maximize|verify|reroute> "
+                "[options]\n\n%s",
+                args.usage("ubac_configtool").c_str());
+    return command == "help" ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
