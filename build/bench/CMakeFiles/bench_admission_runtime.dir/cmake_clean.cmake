@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admission_runtime.dir/bench_admission_runtime.cpp.o"
+  "CMakeFiles/bench_admission_runtime.dir/bench_admission_runtime.cpp.o.d"
+  "bench_admission_runtime"
+  "bench_admission_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admission_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

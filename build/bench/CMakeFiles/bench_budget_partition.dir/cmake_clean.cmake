@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_budget_partition.dir/bench_budget_partition.cpp.o"
+  "CMakeFiles/bench_budget_partition.dir/bench_budget_partition.cpp.o.d"
+  "bench_budget_partition"
+  "bench_budget_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_budget_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

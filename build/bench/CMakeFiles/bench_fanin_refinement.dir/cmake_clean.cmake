@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fanin_refinement.dir/bench_fanin_refinement.cpp.o"
+  "CMakeFiles/bench_fanin_refinement.dir/bench_fanin_refinement.cpp.o.d"
+  "bench_fanin_refinement"
+  "bench_fanin_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fanin_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_burst.dir/bench_sweep_burst.cpp.o"
+  "CMakeFiles/bench_sweep_burst.dir/bench_sweep_burst.cpp.o.d"
+  "bench_sweep_burst"
+  "bench_sweep_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

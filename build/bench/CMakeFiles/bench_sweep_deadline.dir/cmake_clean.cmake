@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_deadline.dir/bench_sweep_deadline.cpp.o"
+  "CMakeFiles/bench_sweep_deadline.dir/bench_sweep_deadline.cpp.o.d"
+  "bench_sweep_deadline"
+  "bench_sweep_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_max_utilization.dir/bench_table1_max_utilization.cpp.o"
+  "CMakeFiles/bench_table1_max_utilization.dir/bench_table1_max_utilization.cpp.o.d"
+  "bench_table1_max_utilization"
+  "bench_table1_max_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_max_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

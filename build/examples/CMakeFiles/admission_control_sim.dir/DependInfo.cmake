@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/admission_control_sim.cpp" "examples/CMakeFiles/admission_control_sim.dir/admission_control_sim.cpp.o" "gcc" "examples/CMakeFiles/admission_control_sim.dir/admission_control_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/ubac_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ubac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/ubac_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ubac_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ubac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ubac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_control_sim.dir/admission_control_sim.cpp.o"
+  "CMakeFiles/admission_control_sim.dir/admission_control_sim.cpp.o.d"
+  "admission_control_sim"
+  "admission_control_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_control_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclass_config.dir/multiclass_config.cpp.o"
+  "CMakeFiles/multiclass_config.dir/multiclass_config.cpp.o.d"
+  "multiclass_config"
+  "multiclass_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclass_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_renegotiation.dir/sla_renegotiation.cpp.o"
+  "CMakeFiles/sla_renegotiation.dir/sla_renegotiation.cpp.o.d"
+  "sla_renegotiation"
+  "sla_renegotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_renegotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voip_provisioning.dir/voip_provisioning.cpp.o"
+  "CMakeFiles/voip_provisioning.dir/voip_provisioning.cpp.o.d"
+  "voip_provisioning"
+  "voip_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voip_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

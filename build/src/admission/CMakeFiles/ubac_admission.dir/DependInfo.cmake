@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/admission/controller.cpp" "src/admission/CMakeFiles/ubac_admission.dir/controller.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/controller.cpp.o.d"
+  "/root/repo/src/admission/erlang.cpp" "src/admission/CMakeFiles/ubac_admission.dir/erlang.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/erlang.cpp.o.d"
+  "/root/repo/src/admission/intserv_baseline.cpp" "src/admission/CMakeFiles/ubac_admission.dir/intserv_baseline.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/intserv_baseline.cpp.o.d"
+  "/root/repo/src/admission/load_driver.cpp" "src/admission/CMakeFiles/ubac_admission.dir/load_driver.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/load_driver.cpp.o.d"
+  "/root/repo/src/admission/reduced_load.cpp" "src/admission/CMakeFiles/ubac_admission.dir/reduced_load.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/reduced_load.cpp.o.d"
+  "/root/repo/src/admission/routing_table.cpp" "src/admission/CMakeFiles/ubac_admission.dir/routing_table.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/routing_table.cpp.o.d"
+  "/root/repo/src/admission/snapshot.cpp" "src/admission/CMakeFiles/ubac_admission.dir/snapshot.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/snapshot.cpp.o.d"
+  "/root/repo/src/admission/statistical_controller.cpp" "src/admission/CMakeFiles/ubac_admission.dir/statistical_controller.cpp.o" "gcc" "src/admission/CMakeFiles/ubac_admission.dir/statistical_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ubac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ubac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_admission.dir/controller.cpp.o"
+  "CMakeFiles/ubac_admission.dir/controller.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/erlang.cpp.o"
+  "CMakeFiles/ubac_admission.dir/erlang.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/intserv_baseline.cpp.o"
+  "CMakeFiles/ubac_admission.dir/intserv_baseline.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/load_driver.cpp.o"
+  "CMakeFiles/ubac_admission.dir/load_driver.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/reduced_load.cpp.o"
+  "CMakeFiles/ubac_admission.dir/reduced_load.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/routing_table.cpp.o"
+  "CMakeFiles/ubac_admission.dir/routing_table.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/snapshot.cpp.o"
+  "CMakeFiles/ubac_admission.dir/snapshot.cpp.o.d"
+  "CMakeFiles/ubac_admission.dir/statistical_controller.cpp.o"
+  "CMakeFiles/ubac_admission.dir/statistical_controller.cpp.o.d"
+  "libubac_admission.a"
+  "libubac_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

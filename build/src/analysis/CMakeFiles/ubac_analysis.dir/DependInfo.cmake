@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/bounds.cpp.o.d"
+  "/root/repo/src/analysis/budget_partition.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/budget_partition.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/budget_partition.cpp.o.d"
+  "/root/repo/src/analysis/delay_bound.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/delay_bound.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/delay_bound.cpp.o.d"
+  "/root/repo/src/analysis/fixed_point.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/fixed_point.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/analysis/general_delay.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/general_delay.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/general_delay.cpp.o.d"
+  "/root/repo/src/analysis/multiclass.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/multiclass.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/multiclass.cpp.o.d"
+  "/root/repo/src/analysis/statistical.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/statistical.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/statistical.cpp.o.d"
+  "/root/repo/src/analysis/verification.cpp" "src/analysis/CMakeFiles/ubac_analysis.dir/verification.cpp.o" "gcc" "src/analysis/CMakeFiles/ubac_analysis.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ubac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/budget_partition.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/budget_partition.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/delay_bound.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/delay_bound.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/fixed_point.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/general_delay.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/general_delay.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/multiclass.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/multiclass.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/statistical.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/statistical.cpp.o.d"
+  "CMakeFiles/ubac_analysis.dir/verification.cpp.o"
+  "CMakeFiles/ubac_analysis.dir/verification.cpp.o.d"
+  "libubac_analysis.a"
+  "libubac_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_config.dir/configurator.cpp.o"
+  "CMakeFiles/ubac_config.dir/configurator.cpp.o.d"
+  "CMakeFiles/ubac_config.dir/report.cpp.o"
+  "CMakeFiles/ubac_config.dir/report.cpp.o.d"
+  "libubac_config.a"
+  "libubac_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

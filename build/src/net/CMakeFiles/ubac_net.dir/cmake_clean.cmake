@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_net.dir/graph.cpp.o"
+  "CMakeFiles/ubac_net.dir/graph.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/ksp.cpp.o"
+  "CMakeFiles/ubac_net.dir/ksp.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/metrics.cpp.o"
+  "CMakeFiles/ubac_net.dir/metrics.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/path.cpp.o"
+  "CMakeFiles/ubac_net.dir/path.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/server_graph.cpp.o"
+  "CMakeFiles/ubac_net.dir/server_graph.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/ubac_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/topology_factory.cpp.o"
+  "CMakeFiles/ubac_net.dir/topology_factory.cpp.o.d"
+  "CMakeFiles/ubac_net.dir/topology_io.cpp.o"
+  "CMakeFiles/ubac_net.dir/topology_io.cpp.o.d"
+  "libubac_net.a"
+  "libubac_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

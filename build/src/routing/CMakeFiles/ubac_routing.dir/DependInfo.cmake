@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/cycle_check.cpp" "src/routing/CMakeFiles/ubac_routing.dir/cycle_check.cpp.o" "gcc" "src/routing/CMakeFiles/ubac_routing.dir/cycle_check.cpp.o.d"
+  "/root/repo/src/routing/least_loaded.cpp" "src/routing/CMakeFiles/ubac_routing.dir/least_loaded.cpp.o" "gcc" "src/routing/CMakeFiles/ubac_routing.dir/least_loaded.cpp.o.d"
+  "/root/repo/src/routing/max_util_search.cpp" "src/routing/CMakeFiles/ubac_routing.dir/max_util_search.cpp.o" "gcc" "src/routing/CMakeFiles/ubac_routing.dir/max_util_search.cpp.o.d"
+  "/root/repo/src/routing/multiclass_selection.cpp" "src/routing/CMakeFiles/ubac_routing.dir/multiclass_selection.cpp.o" "gcc" "src/routing/CMakeFiles/ubac_routing.dir/multiclass_selection.cpp.o.d"
+  "/root/repo/src/routing/route_selection.cpp" "src/routing/CMakeFiles/ubac_routing.dir/route_selection.cpp.o" "gcc" "src/routing/CMakeFiles/ubac_routing.dir/route_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ubac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ubac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

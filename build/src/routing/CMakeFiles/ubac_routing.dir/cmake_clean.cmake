@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_routing.dir/cycle_check.cpp.o"
+  "CMakeFiles/ubac_routing.dir/cycle_check.cpp.o.d"
+  "CMakeFiles/ubac_routing.dir/least_loaded.cpp.o"
+  "CMakeFiles/ubac_routing.dir/least_loaded.cpp.o.d"
+  "CMakeFiles/ubac_routing.dir/max_util_search.cpp.o"
+  "CMakeFiles/ubac_routing.dir/max_util_search.cpp.o.d"
+  "CMakeFiles/ubac_routing.dir/multiclass_selection.cpp.o"
+  "CMakeFiles/ubac_routing.dir/multiclass_selection.cpp.o.d"
+  "CMakeFiles/ubac_routing.dir/route_selection.cpp.o"
+  "CMakeFiles/ubac_routing.dir/route_selection.cpp.o.d"
+  "libubac_routing.a"
+  "libubac_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

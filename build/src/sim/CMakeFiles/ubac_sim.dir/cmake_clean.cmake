@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ubac_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ubac_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/ubac_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/ubac_sim.dir/trace.cpp.o"
+  "CMakeFiles/ubac_sim.dir/trace.cpp.o.d"
+  "libubac_sim.a"
+  "libubac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/leaky_bucket.cpp" "src/traffic/CMakeFiles/ubac_traffic.dir/leaky_bucket.cpp.o" "gcc" "src/traffic/CMakeFiles/ubac_traffic.dir/leaky_bucket.cpp.o.d"
+  "/root/repo/src/traffic/service_class.cpp" "src/traffic/CMakeFiles/ubac_traffic.dir/service_class.cpp.o" "gcc" "src/traffic/CMakeFiles/ubac_traffic.dir/service_class.cpp.o.d"
+  "/root/repo/src/traffic/traffic_function.cpp" "src/traffic/CMakeFiles/ubac_traffic.dir/traffic_function.cpp.o" "gcc" "src/traffic/CMakeFiles/ubac_traffic.dir/traffic_function.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/ubac_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/ubac_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_traffic.dir/leaky_bucket.cpp.o"
+  "CMakeFiles/ubac_traffic.dir/leaky_bucket.cpp.o.d"
+  "CMakeFiles/ubac_traffic.dir/service_class.cpp.o"
+  "CMakeFiles/ubac_traffic.dir/service_class.cpp.o.d"
+  "CMakeFiles/ubac_traffic.dir/traffic_function.cpp.o"
+  "CMakeFiles/ubac_traffic.dir/traffic_function.cpp.o.d"
+  "CMakeFiles/ubac_traffic.dir/workload.cpp.o"
+  "CMakeFiles/ubac_traffic.dir/workload.cpp.o.d"
+  "libubac_traffic.a"
+  "libubac_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

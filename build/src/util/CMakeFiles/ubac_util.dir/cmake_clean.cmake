@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_util.dir/cli.cpp.o"
+  "CMakeFiles/ubac_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/csv.cpp.o"
+  "CMakeFiles/ubac_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/histogram.cpp.o"
+  "CMakeFiles/ubac_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/log.cpp.o"
+  "CMakeFiles/ubac_util.dir/log.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/rng.cpp.o"
+  "CMakeFiles/ubac_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/stats.cpp.o"
+  "CMakeFiles/ubac_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/table.cpp.o"
+  "CMakeFiles/ubac_util.dir/table.cpp.o.d"
+  "CMakeFiles/ubac_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ubac_util.dir/thread_pool.cpp.o.d"
+  "libubac_util.a"
+  "libubac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

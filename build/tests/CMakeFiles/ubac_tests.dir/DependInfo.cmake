@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/admission_test.cpp" "tests/CMakeFiles/ubac_tests.dir/admission_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/admission_test.cpp.o.d"
+  "/root/repo/tests/bounds_test.cpp" "tests/CMakeFiles/ubac_tests.dir/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/bounds_test.cpp.o.d"
+  "/root/repo/tests/budget_trace_test.cpp" "tests/CMakeFiles/ubac_tests.dir/budget_trace_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/budget_trace_test.cpp.o.d"
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/ubac_tests.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/config_test.cpp.o.d"
+  "/root/repo/tests/delay_bound_test.cpp" "tests/CMakeFiles/ubac_tests.dir/delay_bound_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/delay_bound_test.cpp.o.d"
+  "/root/repo/tests/exhaustive_bounds_test.cpp" "tests/CMakeFiles/ubac_tests.dir/exhaustive_bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/exhaustive_bounds_test.cpp.o.d"
+  "/root/repo/tests/failure_reroute_test.cpp" "tests/CMakeFiles/ubac_tests.dir/failure_reroute_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/failure_reroute_test.cpp.o.d"
+  "/root/repo/tests/fixed_point_test.cpp" "tests/CMakeFiles/ubac_tests.dir/fixed_point_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/fixed_point_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/ubac_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/least_loaded_test.cpp" "tests/CMakeFiles/ubac_tests.dir/least_loaded_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/least_loaded_test.cpp.o.d"
+  "/root/repo/tests/multiclass_selection_test.cpp" "tests/CMakeFiles/ubac_tests.dir/multiclass_selection_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/multiclass_selection_test.cpp.o.d"
+  "/root/repo/tests/multiclass_test.cpp" "tests/CMakeFiles/ubac_tests.dir/multiclass_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/multiclass_test.cpp.o.d"
+  "/root/repo/tests/net_graph_test.cpp" "tests/CMakeFiles/ubac_tests.dir/net_graph_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/net_graph_test.cpp.o.d"
+  "/root/repo/tests/net_paths_test.cpp" "tests/CMakeFiles/ubac_tests.dir/net_paths_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/net_paths_test.cpp.o.d"
+  "/root/repo/tests/property_admission_test.cpp" "tests/CMakeFiles/ubac_tests.dir/property_admission_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/property_admission_test.cpp.o.d"
+  "/root/repo/tests/property_analysis_test.cpp" "tests/CMakeFiles/ubac_tests.dir/property_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/property_analysis_test.cpp.o.d"
+  "/root/repo/tests/property_paths_test.cpp" "tests/CMakeFiles/ubac_tests.dir/property_paths_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/property_paths_test.cpp.o.d"
+  "/root/repo/tests/property_sim_test.cpp" "tests/CMakeFiles/ubac_tests.dir/property_sim_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/property_sim_test.cpp.o.d"
+  "/root/repo/tests/reduced_load_test.cpp" "tests/CMakeFiles/ubac_tests.dir/reduced_load_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/reduced_load_test.cpp.o.d"
+  "/root/repo/tests/report_umbrella_test.cpp" "tests/CMakeFiles/ubac_tests.dir/report_umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/report_umbrella_test.cpp.o.d"
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/ubac_tests.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/routing_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/ubac_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/snapshot_test.cpp" "tests/CMakeFiles/ubac_tests.dir/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/snapshot_test.cpp.o.d"
+  "/root/repo/tests/statistical_test.cpp" "tests/CMakeFiles/ubac_tests.dir/statistical_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/statistical_test.cpp.o.d"
+  "/root/repo/tests/theorem1_empirical_test.cpp" "tests/CMakeFiles/ubac_tests.dir/theorem1_empirical_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/theorem1_empirical_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/ubac_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/ubac_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/ubac_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/ubac_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ubac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/ubac_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/ubac_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ubac_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ubac_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ubac_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ubac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

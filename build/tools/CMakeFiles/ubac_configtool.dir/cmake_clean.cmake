@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubac_configtool.dir/ubac_configtool.cpp.o"
+  "CMakeFiles/ubac_configtool.dir/ubac_configtool.cpp.o.d"
+  "ubac_configtool"
+  "ubac_configtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubac_configtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ubac_configtool.
+# This may be replaced when dependencies are built.
