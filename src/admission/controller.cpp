@@ -1,5 +1,6 @@
 #include "admission/controller.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace ubac::admission {
@@ -14,16 +15,69 @@ const char* to_string(AdmissionOutcome outcome) {
   return "?";
 }
 
-AdmissionController::AdmissionController(const net::ServerGraph& graph,
-                                         const traffic::ClassSet& classes,
-                                         RoutingTable table)
-    : graph_(&graph), classes_(&classes), table_(std::move(table)),
-      reserved_(classes.size(),
-                std::vector<BitsPerSecond>(graph.size(), 0.0)) {}
+namespace {
 
-AdmissionDecision AdmissionController::request(net::NodeId src,
-                                               net::NodeId dst,
-                                               std::size_t class_index) {
+/// Quantize a rate to the fixed-point grid. Limits use floor so that for
+/// any on-grid reserved value r: r <= floor(L * scale)  <=>  r/scale <= L,
+/// which keeps admit decisions identical to the double-precision seed
+/// controller whenever rho is exactly representable on the grid.
+std::int64_t to_fx_rate(BitsPerSecond rate) {
+  return static_cast<std::int64_t>(std::llround(rate * 1048576.0));
+}
+
+std::int64_t to_fx_limit(BitsPerSecond limit) {
+  return static_cast<std::int64_t>(std::floor(limit * 1048576.0));
+}
+
+BitsPerSecond from_fx(std::int64_t fx) {
+  return static_cast<double>(fx) / 1048576.0;
+}
+
+}  // namespace
+
+ConcurrentAdmissionController::ConcurrentAdmissionController(
+    const net::ServerGraph& graph, const traffic::ClassSet& classes,
+    RoutingTable table)
+    : graph_(&graph), classes_(&classes), table_(std::move(table)),
+      servers_(graph.size()),
+      slots_(std::make_unique<Slot[]>(classes.size() * graph.size())),
+      shards_(std::make_unique<Shard[]>(kShardCount)) {
+  limits_.resize(classes.size() * servers_, 0);
+  rho_fx_.resize(classes.size(), 0);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const traffic::ServiceClass& cls = classes.at(c);
+    if (!cls.realtime) continue;
+    rho_fx_[c] = to_fx_rate(cls.bucket.rate);
+    for (net::ServerId s = 0; s < servers_; ++s)
+      limits_[c * servers_ + s] =
+          to_fx_limit(cls.share * graph.server(s).capacity);
+  }
+}
+
+bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
+                                                RateFx cap) {
+  // Relaxed ordering is sufficient: the safety invariant (reserved <= cap
+  // at every instant) is a property of the values produced by this single
+  // atomic object's RMW history, not of cross-object ordering. Per-flow
+  // data is published via the shard mutex, never via these counters.
+  RateFx cur = s.reserved.load(std::memory_order_relaxed);
+  do {
+    if (cur + rho > cap) return false;
+  } while (!s.reserved.compare_exchange_weak(cur, cur + rho,
+                                             std::memory_order_relaxed));
+  // Record the high watermark. Every successful reservation publishes its
+  // own post-add value, so the max over all published values is the max
+  // the counter ever held.
+  const RateFx now = cur + rho;
+  RateFx peak = s.peak.load(std::memory_order_relaxed);
+  while (peak < now && !s.peak.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+AdmissionDecision ConcurrentAdmissionController::request(
+    net::NodeId src, net::NodeId dst, std::size_t class_index) {
   AdmissionDecision decision;
   if (class_index >= classes_->size() ||
       !classes_->at(class_index).realtime) {
@@ -36,60 +90,87 @@ AdmissionDecision AdmissionController::request(net::NodeId src,
     return decision;
   }
 
-  const traffic::ServiceClass& cls = classes_->at(class_index);
-  const BitsPerSecond rho = cls.bucket.rate;
-  auto& reserved = reserved_[class_index];
+  const RateFx rho = rho_fx_[class_index];
 
   // The run-time test: along the path, does the class stay within its
-  // verified share alpha on every link?
+  // verified share alpha on every link? Reserve hop by hop; on a
+  // saturated hop roll back what this request already took.
   for (std::size_t hop = 0; hop < route->size(); ++hop) {
     const net::ServerId s = (*route)[hop];
-    const BitsPerSecond limit = cls.share * graph_->server(s).capacity;
-    if (reserved[s] + rho > limit) {
+    if (!try_reserve(slot(class_index, s), rho, limit(class_index, s))) {
+      for (std::size_t h = 0; h < hop; ++h)
+        slot(class_index, (*route)[h])
+            .reserved.fetch_sub(rho, std::memory_order_relaxed);
       decision.outcome = AdmissionOutcome::kUtilizationExceeded;
       decision.blocking_hop = hop;
       return decision;
     }
   }
-  for (const net::ServerId s : *route) reserved[s] += rho;
 
-  traffic::Flow flow{next_id_++, class_index, src, dst, *route};
+  const traffic::FlowId id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  traffic::Flow flow{id, class_index, src, dst, *route};
+  {
+    Shard& sh = shard(id);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    sh.flows.emplace(id, std::move(flow));
+  }
+  active_.fetch_add(1, std::memory_order_relaxed);
   decision.outcome = AdmissionOutcome::kAdmitted;
-  decision.flow_id = flow.id;
-  flows_.emplace(flow.id, std::move(flow));
+  decision.flow_id = id;
   return decision;
 }
 
-bool AdmissionController::release(traffic::FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  const traffic::Flow& flow = it->second;
-  const BitsPerSecond rho = classes_->at(flow.class_index).bucket.rate;
-  auto& reserved = reserved_[flow.class_index];
-  for (const net::ServerId s : flow.route) {
-    reserved[s] -= rho;
-    if (reserved[s] < 0.0) reserved[s] = 0.0;  // guard fp drift
+bool ConcurrentAdmissionController::release(traffic::FlowId id) {
+  traffic::Flow flow;
+  {
+    Shard& sh = shard(id);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    const auto it = sh.flows.find(id);
+    if (it == sh.flows.end()) return false;  // unknown or double release
+    flow = std::move(it->second);
+    sh.flows.erase(it);
   }
-  flows_.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  const RateFx rho = rho_fx_[flow.class_index];
+  for (const net::ServerId s : flow.route)
+    slot(flow.class_index, s)
+        .reserved.fetch_sub(rho, std::memory_order_relaxed);
   return true;
 }
 
-double AdmissionController::class_utilization(net::ServerId server,
-                                              std::size_t class_index) const {
+double ConcurrentAdmissionController::class_utilization(
+    net::ServerId server, std::size_t class_index) const {
   const traffic::ServiceClass& cls = classes_->at(class_index);
   if (!cls.realtime) return 0.0;
   const BitsPerSecond limit = cls.share * graph_->server(server).capacity;
-  return reserved_[class_index].at(server) / limit;
+  return reserved_rate(server, class_index) / limit;
 }
 
-BitsPerSecond AdmissionController::reserved_rate(
+BitsPerSecond ConcurrentAdmissionController::reserved_rate(
     net::ServerId server, std::size_t class_index) const {
-  return reserved_.at(class_index).at(server);
+  if (class_index >= classes_->size() || server >= servers_)
+    throw std::out_of_range("reserved_rate: bad class or server");
+  return from_fx(
+      slot(class_index, server).reserved.load(std::memory_order_relaxed));
 }
 
-const traffic::Flow* AdmissionController::find_flow(traffic::FlowId id) const {
-  const auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : &it->second;
+BitsPerSecond ConcurrentAdmissionController::peak_reserved_rate(
+    net::ServerId server, std::size_t class_index) const {
+  if (class_index >= classes_->size() || server >= servers_)
+    throw std::out_of_range("peak_reserved_rate: bad class or server");
+  return from_fx(
+      slot(class_index, server).peak.load(std::memory_order_relaxed));
+}
+
+const traffic::Flow* ConcurrentAdmissionController::find_flow(
+    traffic::FlowId id) const {
+  Shard& sh = shard(id);
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  const auto it = sh.flows.find(id);
+  // unordered_map never invalidates references on other keys' churn, so
+  // the pointer stays valid until this flow itself is erased.
+  return it == sh.flows.end() ? nullptr : &it->second;
 }
 
 }  // namespace ubac::admission

@@ -1,14 +1,58 @@
 #pragma once
 
 /// \file controller.hpp
-/// \brief Run-time utilization-based admission control (Section 4, item 2).
+/// \brief Concurrent run-time utilization-based admission control
+///        (Section 4, item 2).
 ///
 /// The whole point of the paper: once configuration has verified a safe
 /// utilization assignment, admitting a flow is a constant-time-per-hop
 /// bandwidth check — no per-flow analysis, no core router state. Per-flow
 /// state (the registry) lives only at the edge.
+///
+/// This controller serves that check from many threads at once. See
+/// docs/concurrency.md for the full protocol description.
+///
+/// ## Safety argument: no over-commit despite racing CAS loops
+///
+/// Per (class, server) the reserved rate is a single atomic fixed-point
+/// counter. A request reserves its route hop by hop; each hop reservation
+/// is one compare-and-swap that moves the counter from `cur` to
+/// `cur + rho` *only if* `cur + rho <= limit`, where
+/// `limit = floor(alpha * C * 2^20)` is precomputed per (class, server).
+///
+///  1. The counter only changes through (a) a successful admit-CAS, which
+///     by its own guard never produces a value above `limit`, and (b)
+///     `fetch_sub` of a previously added `rho` (release or rollback),
+///     which only decreases it. Since every modification is one atomic
+///     RMW, there is no window in which two racing admits can both read a
+///     low value and jointly exceed the limit: one of the two CAS's loses,
+///     re-reads the other's addition, and re-checks the guard. Hence
+///     `reserved <= alpha * C` holds at *every* instant, not just at
+///     quiescence (verified by the high-watermark in
+///     tests/concurrent_admission_test.cpp).
+///  2. A request that finds hop k saturated rolls back hops [0, k) with
+///     `fetch_sub(rho)`; each of those subtracts exactly what the same
+///     request added, so a failed request is conservation-neutral.
+///  3. Counters are integers (2^-20 bit/s grid), so admit/release pairs
+///     cancel exactly — no floating-point drift, and at quiescence each
+///     counter equals the sum of rates of registered flows crossing the
+///     hop (the conservation invariant).
+///
+/// What is *not* guaranteed under contention: a request may be rejected
+/// even though capacity would have sufficed in some serialization (a
+/// racing winner may release moments later). That is the usual
+/// conservative behaviour of optimistic admission and affects liveness
+/// statistics only, never the delay-safety property alpha certifies.
+///
+/// The per-flow edge registry is sharded: flow ids are assigned from an
+/// atomic counter and mapped to one of kShardCount mutex-guarded maps, so
+/// registry updates scale with cores instead of serializing on one lock.
 
+#include <atomic>
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -39,18 +83,22 @@ struct AdmissionDecision {
   bool admitted() const { return outcome == AdmissionOutcome::kAdmitted; }
 };
 
-/// Utilization-based admission controller over a configured network.
-class AdmissionController {
+/// Utilization-based admission controller over a configured network,
+/// safe under concurrent request()/release() from any number of threads.
+class ConcurrentAdmissionController {
  public:
-  AdmissionController(const net::ServerGraph& graph,
-                      const traffic::ClassSet& classes, RoutingTable table);
+  ConcurrentAdmissionController(const net::ServerGraph& graph,
+                                const traffic::ClassSet& classes,
+                                RoutingTable table);
 
-  /// Admission test + reservation: O(route length) utilization checks.
+  /// Admission test + reservation: O(route length) CAS utilization checks.
+  /// Thread-safe; never over-commits any hop past alpha*C.
   AdmissionDecision request(net::NodeId src, net::NodeId dst,
                             std::size_t class_index);
 
   /// Tear down an admitted flow, freeing its reservation on every hop.
-  /// Returns false when the id is unknown (double release).
+  /// Returns false when the id is unknown (double release). Thread-safe:
+  /// of two racing releases of the same id exactly one succeeds.
   bool release(traffic::FlowId id);
 
   /// Current reserved-rate fraction of class `class_index`'s share on a
@@ -61,18 +109,70 @@ class AdmissionController {
   BitsPerSecond reserved_rate(net::ServerId server,
                               std::size_t class_index) const;
 
-  std::size_t active_flows() const { return flows_.size(); }
+  /// High watermark: the largest reserved rate the (server, class) counter
+  /// ever held. Always <= alpha * C — the concurrency tests assert this.
+  BitsPerSecond peak_reserved_rate(net::ServerId server,
+                                   std::size_t class_index) const;
 
+  std::size_t active_flows() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Pointer to a registered flow, or nullptr. The pointer stays valid
+  /// until *that* flow is released (other flows' churn never moves it).
   const traffic::Flow* find_flow(traffic::FlowId id) const;
 
  private:
+  /// Rates are kept as integers on a 2^-20 bit/s grid so that concurrent
+  /// add/sub pairs cancel exactly (see safety argument above). 2^63 / 2^20
+  /// leaves headroom for link capacities up to ~8.7e3 Tbit/s.
+  using RateFx = std::int64_t;
+  static constexpr double kRateScale = 1048576.0;  // 2^20
+
+  static constexpr std::size_t kShardCount = 16;  // power of two
+
+  /// One (class, server) reservation cell; cache-line padded so counters
+  /// of adjacent servers never false-share.
+  struct alignas(64) Slot {
+    std::atomic<RateFx> reserved{0};
+    std::atomic<RateFx> peak{0};  ///< high watermark of `reserved`
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<traffic::FlowId, traffic::Flow> flows;
+  };
+
+  Slot& slot(std::size_t class_index, net::ServerId server) const {
+    return slots_[class_index * servers_ + server];
+  }
+  RateFx limit(std::size_t class_index, net::ServerId server) const {
+    return limits_[class_index * servers_ + server];
+  }
+  Shard& shard(traffic::FlowId id) const {
+    return shards_[id & (kShardCount - 1)];
+  }
+
+  /// CAS loop for one hop: add `rho` iff the result stays within `cap`.
+  static bool try_reserve(Slot& s, RateFx rho, RateFx cap);
+
   const net::ServerGraph* graph_;
   const traffic::ClassSet* classes_;
   RoutingTable table_;
-  /// reserved_[class][server]: admitted rate (bits/s).
-  std::vector<std::vector<BitsPerSecond>> reserved_;
-  std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
-  traffic::FlowId next_id_ = 1;
+  std::size_t servers_;
+  /// slots_[class * servers_ + server]: admitted rate, fixed-point.
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<RateFx> limits_;  ///< floor(alpha * C * kRateScale)
+  std::vector<RateFx> rho_fx_;  ///< per-class flow rate on the grid
+  mutable std::unique_ptr<Shard[]> shards_;
+  std::atomic<traffic::FlowId> next_id_{1};
+  std::atomic<std::size_t> active_{0};
 };
+
+/// The run-time controller of the repo; concurrent since the atomic
+/// reservation rewrite. Single-threaded callers see behaviour identical
+/// to SequentialAdmissionController (the seed implementation, kept as the
+/// regression oracle in sequential_controller.hpp).
+using AdmissionController = ConcurrentAdmissionController;
 
 }  // namespace ubac::admission

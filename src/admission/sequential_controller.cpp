@@ -1,0 +1,85 @@
+#include "admission/sequential_controller.hpp"
+
+#include <stdexcept>
+
+namespace ubac::admission {
+
+SequentialAdmissionController::SequentialAdmissionController(
+    const net::ServerGraph& graph, const traffic::ClassSet& classes,
+    RoutingTable table)
+    : graph_(&graph), classes_(&classes), table_(std::move(table)),
+      reserved_(classes.size(),
+                std::vector<BitsPerSecond>(graph.size(), 0.0)) {}
+
+AdmissionDecision SequentialAdmissionController::request(
+    net::NodeId src, net::NodeId dst, std::size_t class_index) {
+  AdmissionDecision decision;
+  if (class_index >= classes_->size() ||
+      !classes_->at(class_index).realtime) {
+    decision.outcome = AdmissionOutcome::kBadClass;
+    return decision;
+  }
+  const auto route = table_.lookup(src, dst, class_index);
+  if (!route) {
+    decision.outcome = AdmissionOutcome::kNoRoute;
+    return decision;
+  }
+
+  const traffic::ServiceClass& cls = classes_->at(class_index);
+  const BitsPerSecond rho = cls.bucket.rate;
+  auto& reserved = reserved_[class_index];
+
+  // The run-time test: along the path, does the class stay within its
+  // verified share alpha on every link?
+  for (std::size_t hop = 0; hop < route->size(); ++hop) {
+    const net::ServerId s = (*route)[hop];
+    const BitsPerSecond limit = cls.share * graph_->server(s).capacity;
+    if (reserved[s] + rho > limit) {
+      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
+      decision.blocking_hop = hop;
+      return decision;
+    }
+  }
+  for (const net::ServerId s : *route) reserved[s] += rho;
+
+  traffic::Flow flow{next_id_++, class_index, src, dst, *route};
+  decision.outcome = AdmissionOutcome::kAdmitted;
+  decision.flow_id = flow.id;
+  flows_.emplace(flow.id, std::move(flow));
+  return decision;
+}
+
+bool SequentialAdmissionController::release(traffic::FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  const traffic::Flow& flow = it->second;
+  const BitsPerSecond rho = classes_->at(flow.class_index).bucket.rate;
+  auto& reserved = reserved_[flow.class_index];
+  for (const net::ServerId s : flow.route) {
+    reserved[s] -= rho;
+    if (reserved[s] < 0.0) reserved[s] = 0.0;  // guard fp drift
+  }
+  flows_.erase(it);
+  return true;
+}
+
+double SequentialAdmissionController::class_utilization(
+    net::ServerId server, std::size_t class_index) const {
+  const traffic::ServiceClass& cls = classes_->at(class_index);
+  if (!cls.realtime) return 0.0;
+  const BitsPerSecond limit = cls.share * graph_->server(server).capacity;
+  return reserved_[class_index].at(server) / limit;
+}
+
+BitsPerSecond SequentialAdmissionController::reserved_rate(
+    net::ServerId server, std::size_t class_index) const {
+  return reserved_.at(class_index).at(server);
+}
+
+const traffic::Flow* SequentialAdmissionController::find_flow(
+    traffic::FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ubac::admission

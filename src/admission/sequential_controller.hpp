@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file sequential_controller.hpp
+/// \brief Single-threaded reference admission controller (the seed
+///        implementation, verbatim semantics).
+///
+/// Kept as the regression oracle for ConcurrentAdmissionController: on any
+/// single-threaded request/release trace the concurrent controller must be
+/// decision-for-decision identical to this one (asserted over randomized
+/// traces in tests/property_admission_test.cpp). Not thread-safe — use
+/// AdmissionController for anything that runs under threads.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "admission/controller.hpp"  // AdmissionOutcome / AdmissionDecision
+#include "admission/routing_table.hpp"
+#include "net/server_graph.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/service_class.hpp"
+
+namespace ubac::admission {
+
+/// Plain-double, mutex-free, single-threaded utilization controller.
+class SequentialAdmissionController {
+ public:
+  SequentialAdmissionController(const net::ServerGraph& graph,
+                                const traffic::ClassSet& classes,
+                                RoutingTable table);
+
+  /// Admission test + reservation: O(route length) utilization checks.
+  AdmissionDecision request(net::NodeId src, net::NodeId dst,
+                            std::size_t class_index);
+
+  /// Tear down an admitted flow, freeing its reservation on every hop.
+  /// Returns false when the id is unknown (double release).
+  bool release(traffic::FlowId id);
+
+  /// Current reserved-rate fraction of class `class_index`'s share on a
+  /// server: reserved / (alpha * C). In [0, 1].
+  double class_utilization(net::ServerId server, std::size_t class_index) const;
+
+  /// Reserved rate of a class on a server, bits/s.
+  BitsPerSecond reserved_rate(net::ServerId server,
+                              std::size_t class_index) const;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+  const traffic::Flow* find_flow(traffic::FlowId id) const;
+
+ private:
+  const net::ServerGraph* graph_;
+  const traffic::ClassSet* classes_;
+  RoutingTable table_;
+  /// reserved_[class][server]: admitted rate (bits/s).
+  std::vector<std::vector<BitsPerSecond>> reserved_;
+  std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
+  traffic::FlowId next_id_ = 1;
+};
+
+}  // namespace ubac::admission

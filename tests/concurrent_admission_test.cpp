@@ -1,0 +1,239 @@
+// Concurrency test suite for the atomic admission controller: conservation
+// and high-watermark invariants under multi-threaded churn, deterministic
+// interleavings around the last slot of a hop, rollback restoration, and
+// double-release races. Built (and run in CI) under ThreadSanitizer via
+// -DUBAC_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace ubac::admission {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+
+/// MCI backbone with shortest-path routes for every ordered pair; the
+/// share is small so concurrent churn actually saturates links and
+/// exercises the rollback path.
+struct MciFixture {
+  net::Topology topo = net::mci_backbone();
+  net::ServerGraph graph{topo, 6u};
+  ClassSet classes = ClassSet::two_class(kVoice, milliseconds(100), 0.05);
+  std::vector<traffic::Demand> demands = traffic::all_ordered_pairs(topo);
+  RoutingTable table;
+
+  MciFixture() {
+    std::vector<net::ServerPath> routes;
+    for (const auto& d : demands)
+      routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+    table = RoutingTable(demands, routes);
+  }
+};
+
+struct WorkerTally {
+  std::vector<traffic::FlowId> held;  ///< flows still registered at the end
+  std::size_t admitted = 0;
+  std::size_t util_rejected = 0;
+  std::size_t released = 0;
+};
+
+// T threads x K randomized admit/release iterations, then two invariants:
+//  1. Conservation: every reserved_rate(server, class) equals exactly the
+//     sum of rates of currently-registered flows crossing that hop.
+//  2. Safety: the high watermark of every counter never exceeded alpha*C.
+TEST(ConcurrentAdmission, ConservationAndHighWatermarkUnderChurn) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kItersPerThread = 12'500;  // 100k ops total
+
+  MciFixture f;
+  AdmissionController ctl(f.graph, f.classes, f.table);
+  std::vector<WorkerTally> tallies(kThreads);
+
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    util::Xoshiro256 rng(0xC0FFEE + t);
+    WorkerTally& tally = tallies[t];
+    for (std::size_t k = 0; k < kItersPerThread; ++k) {
+      const bool do_release =
+          !tally.held.empty() && rng.bernoulli(0.45);
+      if (do_release) {
+        const auto pos = rng.uniform_index(tally.held.size());
+        const traffic::FlowId id = tally.held[pos];
+        ASSERT_TRUE(ctl.release(id)) << "own flow vanished";
+        tally.held[pos] = tally.held.back();
+        tally.held.pop_back();
+        ++tally.released;
+      } else {
+        const auto& d = f.demands[rng.uniform_index(f.demands.size())];
+        const auto decision = ctl.request(d.src, d.dst, d.class_index);
+        if (decision.admitted()) {
+          tally.held.push_back(decision.flow_id);
+          ++tally.admitted;
+        } else {
+          ASSERT_EQ(decision.outcome,
+                    AdmissionOutcome::kUtilizationExceeded);
+          ++tally.util_rejected;
+        }
+      }
+    }
+  });
+
+  // Rollback must have been exercised: the small share saturates links.
+  std::size_t total_rejected = 0, total_held = 0;
+  for (const auto& tally : tallies) {
+    total_rejected += tally.util_rejected;
+    total_held += tally.held.size();
+  }
+  EXPECT_GT(total_rejected, 0u) << "share too generous, nothing saturated";
+  EXPECT_EQ(ctl.active_flows(), total_held);
+
+  // Conservation: rebuild the per-server registered-rate sum from the
+  // surviving flows and compare exactly (fixed-point counters cancel
+  // exactly, so no tolerance is needed).
+  std::vector<std::size_t> crossing(f.graph.size(), 0);
+  for (const auto& tally : tallies)
+    for (const traffic::FlowId id : tally.held) {
+      const auto* flow = ctl.find_flow(id);
+      ASSERT_NE(flow, nullptr);
+      for (const net::ServerId s : flow->route) ++crossing[s];
+    }
+  for (net::ServerId s = 0; s < f.graph.size(); ++s) {
+    EXPECT_DOUBLE_EQ(ctl.reserved_rate(s, 0),
+                     static_cast<double>(crossing[s]) * kVoice.rate)
+        << "server " << s;
+    // Safety: the counter never held more than alpha*C, not even
+    // transiently between racing CAS loops.
+    const BitsPerSecond cap = 0.05 * f.graph.server(s).capacity;
+    EXPECT_LE(ctl.peak_reserved_rate(s, 0), cap) << "server " << s;
+    EXPECT_GE(ctl.peak_reserved_rate(s, 0), ctl.reserved_rate(s, 0));
+  }
+
+  // Releasing every survivor returns the controller to pristine state.
+  for (const auto& tally : tallies)
+    for (const traffic::FlowId id : tally.held) ASSERT_TRUE(ctl.release(id));
+  EXPECT_EQ(ctl.active_flows(), 0u);
+  for (net::ServerId s = 0; s < f.graph.size(); ++s)
+    EXPECT_DOUBLE_EQ(ctl.reserved_rate(s, 0), 0.0);
+}
+
+// Two flows racing for the last slot on a shared hop: exactly one
+// kAdmitted and one kUtilizationExceeded, every round.
+TEST(ConcurrentAdmission, LastSlotRaceYieldsExactlyOneAdmit) {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph(topo, 6u);
+  // alpha*C/rho = 0.32 * 100e6 / 32e3 = 1000 slots on the link.
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  AdmissionController ctl(graph, classes, table);
+
+  for (int i = 0; i < 999; ++i) ASSERT_TRUE(ctl.request(0, 1, 0).admitted());
+
+  for (int round = 0; round < 200; ++round) {
+    std::barrier sync(2);
+    std::array<AdmissionDecision, 2> decisions;
+    std::array<std::thread, 2> racers;
+    for (int r = 0; r < 2; ++r)
+      racers[r] = std::thread([&, r] {
+        sync.arrive_and_wait();
+        decisions[r] = ctl.request(0, 1, 0);
+      });
+    for (auto& th : racers) th.join();
+
+    const int admits = decisions[0].admitted() + decisions[1].admitted();
+    ASSERT_EQ(admits, 1) << "round " << round;
+    const auto& loser = decisions[decisions[0].admitted() ? 1 : 0];
+    ASSERT_EQ(loser.outcome, AdmissionOutcome::kUtilizationExceeded);
+    ASSERT_EQ(loser.blocking_hop, 0u);
+    ASSERT_EQ(ctl.active_flows(), 1000u);
+    // Put the slot back for the next round.
+    const auto& winner = decisions[decisions[0].admitted() ? 0 : 1];
+    ASSERT_TRUE(ctl.release(winner.flow_id));
+  }
+  EXPECT_DOUBLE_EQ(ctl.peak_reserved_rate(graph.map_path({0, 1})[0], 0),
+                   1000.0 * kVoice.rate);
+}
+
+// A request that saturates mid-route must restore every earlier hop to
+// its prior reservation (conservation-neutral rollback).
+TEST(ConcurrentAdmission, RollbackRestoresEarlierHops) {
+  net::Topology topo = net::line(4);
+  net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 3, 0}, graph.map_path({0, 1, 2, 3}));
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  table.set({2, 3, 0}, graph.map_path({2, 3}));
+  AdmissionController ctl(graph, classes, table);
+  const auto route = table.lookup(0, 3, 0).value();  // [s01, s12, s23]
+
+  // Give the first hop a non-zero baseline, then fill the last hop.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ctl.request(0, 1, 0).admitted());
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_TRUE(ctl.request(2, 3, 0).admitted());
+
+  const BitsPerSecond before_hop0 = ctl.reserved_rate(route[0], 0);
+  const BitsPerSecond before_hop1 = ctl.reserved_rate(route[1], 0);
+  const std::size_t before_active = ctl.active_flows();
+
+  const auto decision = ctl.request(0, 3, 0);
+  EXPECT_EQ(decision.outcome, AdmissionOutcome::kUtilizationExceeded);
+  EXPECT_EQ(decision.blocking_hop, 2u);
+
+  EXPECT_DOUBLE_EQ(ctl.reserved_rate(route[0], 0), before_hop0);
+  EXPECT_DOUBLE_EQ(ctl.reserved_rate(route[1], 0), before_hop1);
+  EXPECT_EQ(ctl.active_flows(), before_active);
+  // The transient reservation on hops 0..1 may have raised their peak,
+  // but never past the cap.
+  EXPECT_LE(ctl.peak_reserved_rate(route[0], 0),
+            0.32 * graph.server(route[0]).capacity);
+}
+
+// Two threads racing to release the same flow: exactly one succeeds.
+TEST(ConcurrentAdmission, DoubleReleaseRaceExactlyOneSucceeds) {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 2, 0}, graph.map_path({0, 1, 2}));
+  AdmissionController ctl(graph, classes, table);
+
+  for (int round = 0; round < 200; ++round) {
+    const auto decision = ctl.request(0, 2, 0);
+    ASSERT_TRUE(decision.admitted());
+    std::barrier sync(2);
+    std::atomic<int> successes{0};
+    std::array<std::thread, 2> racers;
+    for (int r = 0; r < 2; ++r)
+      racers[r] = std::thread([&] {
+        sync.arrive_and_wait();
+        if (ctl.release(decision.flow_id)) successes.fetch_add(1);
+      });
+    for (auto& th : racers) th.join();
+    ASSERT_EQ(successes.load(), 1) << "round " << round;
+    ASSERT_EQ(ctl.active_flows(), 0u);
+  }
+  for (net::ServerId s = 0; s < graph.size(); ++s)
+    EXPECT_DOUBLE_EQ(ctl.reserved_rate(s, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ubac::admission

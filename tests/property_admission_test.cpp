@@ -6,6 +6,7 @@
 #include <map>
 
 #include "admission/controller.hpp"
+#include "admission/sequential_controller.hpp"
 #include "admission/statistical_controller.hpp"
 #include "net/shortest_path.hpp"
 #include "net/topology_factory.hpp"
@@ -119,6 +120,58 @@ TEST_P(AdmissionProperty, StatisticalAdmitsSupersetOfDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionProperty, ::testing::Range(1, 7));
+
+// Regression oracle for the atomic controller: on single-threaded traces
+// it must be decision-for-decision identical to the seed implementation
+// (SequentialAdmissionController) — same outcomes, same blocking hops,
+// same flow ids, same reserved rates. The tiny share (6-flow links)
+// makes saturation, rejection and rollback paths fire constantly.
+TEST(ConcurrentOracle, IdenticalToSequentialOn1000RandomTraces) {
+  const auto topo = net::line(4);
+  const net::ServerGraph graph(topo, 6u);
+  // 0.002 * 100e6 / 32e3 = 6.25 -> 6 flows per link.
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.002);
+  RoutingTable table;
+  table.set({0, 3, 0}, graph.map_path({0, 1, 2, 3}));
+  table.set({1, 3, 0}, graph.map_path({1, 2, 3}));
+  table.set({2, 3, 0}, graph.map_path({2, 3}));
+  const std::vector<traffic::Demand> demands{{0, 3, 0}, {1, 3, 0}, {2, 3, 0}};
+
+  for (int trace = 1; trace <= 1000; ++trace) {
+    AdmissionController concurrent(graph, classes, table);
+    SequentialAdmissionController sequential(graph, classes, table);
+    util::Xoshiro256 rng(trace);
+    std::vector<traffic::FlowId> active;
+
+    for (int step = 0; step < 120; ++step) {
+      if (!active.empty() && rng.bernoulli(0.4)) {
+        const auto pos = rng.uniform_index(active.size());
+        const traffic::FlowId id = active[pos];
+        active[pos] = active.back();
+        active.pop_back();
+        ASSERT_TRUE(concurrent.release(id));
+        ASSERT_TRUE(sequential.release(id));
+      } else {
+        const auto& d = demands[rng.uniform_index(demands.size())];
+        const auto got = concurrent.request(d.src, d.dst, d.class_index);
+        const auto want = sequential.request(d.src, d.dst, d.class_index);
+        ASSERT_EQ(got.outcome, want.outcome)
+            << "trace " << trace << " step " << step;
+        ASSERT_EQ(got.blocking_hop, want.blocking_hop)
+            << "trace " << trace << " step " << step;
+        if (want.admitted()) {
+          ASSERT_EQ(got.flow_id, want.flow_id);
+          active.push_back(got.flow_id);
+        }
+      }
+    }
+    ASSERT_EQ(concurrent.active_flows(), sequential.active_flows());
+    for (net::ServerId s = 0; s < graph.size(); ++s)
+      ASSERT_DOUBLE_EQ(concurrent.reserved_rate(s, 0),
+                       sequential.reserved_rate(s, 0))
+          << "trace " << trace << " server " << s;
+  }
+}
 
 }  // namespace
 }  // namespace ubac::admission
