@@ -3,16 +3,28 @@
 // offered load; reports admission probability and mean carried flows.
 // This is the operating regime the paper targets: enormous numbers of
 // flow-level events, each decided by a constant-cost utilization test.
+//
+// --metrics-out=<path> instruments the controllers and exports the merged
+// telemetry snapshot (.prom/.json/.csv chosen by extension).
 
 #include "admission/controller.hpp"
 #include "admission/load_driver.hpp"
 #include "admission/reduced_load.hpp"
+#include "admission/telemetry.hpp"
 #include "bench_common.hpp"
 #include "routing/route_selection.hpp"
+#include "util/cli.hpp"
 
 using namespace ubac;
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  args.describe("metrics-out",
+                "instrument the controllers and export the metrics snapshot "
+                "(.prom/.json/.csv chosen by extension)");
+  args.validate();
+  const std::string metrics_out = args.get("metrics-out", "");
+  telemetry::MetricsRegistry registry;
   const bench::VoipScenario scenario;
   const auto topo = net::mci_backbone();
   const net::ServerGraph graph(topo, 6u);
@@ -53,12 +65,16 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   for (const double rate : {20.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
     admission::AdmissionController controller(graph, classes, table);
+    admission::ControllerTelemetry telemetry(registry, "runtime");
+    if (!metrics_out.empty()) controller.attach_telemetry(&telemetry);
     admission::LoadDriverConfig cfg;
     cfg.arrival_rate = rate;
     cfg.mean_holding = 90.0;
     cfg.duration = 7200.0;
     cfg.seed = 20260704;
     const auto stats = admission::run_poisson_load(controller, demands, cfg);
+    if (!metrics_out.empty())
+      admission::update_utilization_gauges(registry, "runtime", controller);
     rows.push_back({util::TextTable::fmt(rate, 0),
                     std::to_string(stats.offered),
                     std::to_string(stats.admitted),
@@ -72,5 +88,7 @@ int main() {
               {"arrival_rate", "offered", "admitted", "admit_ratio",
                "erlang_prediction", "mean_active", "peak_active"},
               rows, "admission_runtime");
+  if (!metrics_out.empty())
+    bench::export_metrics(registry.snapshot(), metrics_out);
   return 0;
 }

@@ -7,12 +7,17 @@
 /// index) and prints paper-style rows; when UBAC_BENCH_CSV is set the same
 /// rows are mirrored to CSV files in that directory.
 
+#include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/server_graph.hpp"
 #include "net/topology_factory.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
 #include "traffic/leaky_bucket.hpp"
 #include "traffic/workload.hpp"
 #include "util/csv.hpp"
@@ -47,6 +52,92 @@ inline void emit(const util::TextTable& table,
     std::printf("[csv written to %s/%s.csv]\n",
                 util::CsvWriter::output_dir().c_str(), csv_name.c_str());
   }
+}
+
+/// One machine-readable result row. Renders as the stable one-line format
+///
+///   BENCH <name> key=value key=value ...
+///
+/// (fields in insertion order, no spaces inside a field) and as a JSON
+/// object for `--json` output. Scripts should key on the `BENCH <name> `
+/// prefix; fields may be appended over time but never renamed or removed.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchSummary& set(const std::string& key, const std::string& value) {
+    fields_.push_back({key, value, /*numeric=*/false});
+    return *this;
+  }
+  BenchSummary& set(const std::string& key, double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    fields_.push_back({key, buf, /*numeric=*/true});
+    return *this;
+  }
+  BenchSummary& set(const std::string& key, std::uint64_t value) {
+    fields_.push_back({key, std::to_string(value), /*numeric=*/true});
+    return *this;
+  }
+
+  const std::string& bench() const { return bench_; }
+
+  std::string line() const {
+    std::string out = "BENCH " + bench_;
+    for (const auto& f : fields_) out += " " + f.key + "=" + f.value;
+    return out;
+  }
+
+  std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].key + "\": ";
+      out += fields_[i].numeric ? fields_[i].value
+                                : "\"" + fields_[i].value + "\"";
+    }
+    return out + "}";
+  }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;
+    bool numeric;
+  };
+  std::string bench_;
+  std::vector<Field> fields_;
+};
+
+/// Write `{"bench": <name>, "rows": [...]}` for a set of summary rows.
+inline void write_summary_json(const std::string& path,
+                               const std::string& bench,
+                               const std::vector<BenchSummary>& rows) {
+  std::string out = "{\n  \"bench\": \"" + bench + "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "    " + rows[i].to_json();
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  telemetry::write_file(path, out);
+  std::printf("[json written to %s]\n", path.c_str());
+}
+
+/// Export a metrics snapshot choosing the format from the file extension:
+/// .json -> JSON, .csv -> CSV, anything else -> Prometheus text.
+inline void export_metrics(const telemetry::MetricsSnapshot& snapshot,
+                           const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".json") {
+    telemetry::write_file(path, telemetry::to_json(snapshot));
+  } else if (ext == ".csv") {
+    util::CsvWriter csv(path);
+    telemetry::write_csv(snapshot, csv);
+  } else {
+    telemetry::write_file(path, telemetry::to_prometheus(snapshot));
+  }
+  std::printf("[metrics written to %s]\n", path.c_str());
 }
 
 }  // namespace ubac::bench

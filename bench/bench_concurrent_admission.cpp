@@ -6,6 +6,15 @@
 // constant-cost claim was measured against; the multi-thread rows show
 // how the atomic per-hop reservations and the sharded flow registry
 // scale it across cores.
+//
+// Besides the human-readable table, every row is echoed as a stable
+// machine-readable line (`BENCH concurrent_admission threads=...`) so CI
+// can grep results without parsing the table. Flags:
+//   --json[-out=<path>]     write BENCH_concurrent_admission.json
+//   --metrics-out=<path>    run instrumented and export the telemetry
+//                           snapshot (.prom/.json/.csv by extension)
+//   --telemetry             run instrumented without exporting (overhead)
+//   --ops-per-thread=<n>    churn length (default 200000; CI uses less)
 
 #include <chrono>
 #include <cstdio>
@@ -13,8 +22,11 @@
 #include <vector>
 
 #include "admission/controller.hpp"
+#include "admission/telemetry.hpp"
 #include "bench_common.hpp"
 #include "net/shortest_path.hpp"
+#include "telemetry/event_trace.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,7 +42,19 @@ struct Churn {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args(argc, argv);
+  args.describe("json", "write BENCH_concurrent_admission.json")
+      .describe("json-out", "override the JSON output path")
+      .describe("metrics-out",
+                "instrument the controller and export the metrics snapshot "
+                "(.prom/.json/.csv chosen by extension)")
+      .describe("telemetry",
+                "instrument the controller without exporting (overhead runs)")
+      .describe("ops-per-thread", "churn operations per thread (default "
+                                  "200000)");
+  args.validate();
+
   const bench::VoipScenario scenario;
   const auto topo = net::mci_backbone();
   const net::ServerGraph graph(topo, 6u);
@@ -45,7 +69,17 @@ int main() {
   const auto classes = traffic::ClassSet::two_class(
       scenario.bucket, scenario.deadline, 0.32);
 
-  constexpr std::size_t kOpsPerThread = 200'000;
+  const auto ops_per_thread = static_cast<std::size_t>(
+      args.get_long("ops-per-thread", 200'000));
+  const std::string metrics_out = args.get("metrics-out", "");
+  const bool instrumented =
+      !metrics_out.empty() || args.get_bool("telemetry", false);
+
+  telemetry::MetricsRegistry registry;
+  // Sampled trace: the full churn would recycle any reasonable ring many
+  // times over, so keep ~1% of events — enough to eyeball admit/reject
+  // interleaving without measurable hot-path cost.
+  telemetry::EventTracer tracer(8192, 0.01);
 
   bench::print_header(
       "Concurrent admission stress: admits/sec vs thread count",
@@ -53,16 +87,21 @@ int main() {
       "runs randomized admit/release churn (60% admit bias) against one\n"
       "shared controller. hardware_concurrency is the ceiling on real\n"
       "parallelism; counts are exact regardless.");
-  std::printf("hardware threads available: %u\n\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware threads available: %u\ntelemetry: %s\n\n",
+              std::thread::hardware_concurrency(),
+              instrumented ? "on" : "off");
 
   util::TextTable out({"threads", "ops", "wall s", "decisions/s", "admits/s",
                        "admitted", "util-rejected", "released",
                        "leftover flows"});
   std::vector<std::vector<std::string>> rows;
+  std::vector<bench::BenchSummary> summaries;
 
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     admission::AdmissionController ctl(graph, classes, table);
+    admission::ControllerTelemetry ctl_telemetry(registry, "concurrent",
+                                                 &tracer);
+    if (instrumented) ctl.attach_telemetry(&ctl_telemetry);
     std::vector<Churn> churn(threads);
     std::vector<std::vector<traffic::FlowId>> held(threads);
     util::ThreadPool pool(threads);
@@ -72,7 +111,7 @@ int main() {
       util::Xoshiro256 rng(0xBEEF + t);
       auto& mine = held[t];
       Churn& c = churn[t];
-      for (std::size_t k = 0; k < kOpsPerThread; ++k) {
+      for (std::size_t k = 0; k < ops_per_thread; ++k) {
         if (!mine.empty() && rng.bernoulli(0.4)) {
           const auto pos = rng.uniform_index(mine.size());
           ctl.release(mine[pos]);
@@ -93,6 +132,8 @@ int main() {
     });
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
+    if (instrumented)
+      admission::update_utilization_gauges(registry, "concurrent", ctl);
 
     Churn total;
     for (const auto& c : churn) {
@@ -101,7 +142,7 @@ int main() {
       total.released += c.released;
     }
     const double ops =
-        static_cast<double>(kOpsPerThread * threads);
+        static_cast<double>(ops_per_thread * threads);
     rows.push_back({std::to_string(threads),
                     util::TextTable::fmt(ops, 0),
                     util::TextTable::fmt(wall.count(), 3),
@@ -113,11 +154,37 @@ int main() {
                     std::to_string(total.released),
                     std::to_string(ctl.active_flows())});
     out.add_row(rows.back());
+
+    summaries.emplace_back("concurrent_admission");
+    summaries.back()
+        .set("threads", static_cast<std::uint64_t>(threads))
+        .set("ops", static_cast<std::uint64_t>(ops_per_thread * threads))
+        .set("wall_s", wall.count(), 6)
+        .set("decisions_per_s", ops / wall.count(), 0)
+        .set("admits_per_s",
+             static_cast<double>(total.admitted) / wall.count(), 0)
+        .set("admitted", static_cast<std::uint64_t>(total.admitted))
+        .set("util_rejected",
+             static_cast<std::uint64_t>(total.util_rejected))
+        .set("released", static_cast<std::uint64_t>(total.released))
+        .set("leftover_flows",
+             static_cast<std::uint64_t>(ctl.active_flows()))
+        .set("telemetry", instrumented ? "on" : "off");
   }
 
   bench::emit(out,
               {"threads", "ops", "wall_s", "decisions_per_s", "admits_per_s",
                "admitted", "util_rejected", "released", "leftover_flows"},
               rows, "concurrent_admission");
+
+  for (const auto& s : summaries) std::printf("%s\n", s.line().c_str());
+
+  if (args.get_bool("json", false) || args.has("json-out")) {
+    const std::string path =
+        args.get("json-out", "BENCH_concurrent_admission.json");
+    bench::write_summary_json(path, "concurrent_admission", summaries);
+  }
+  if (!metrics_out.empty())
+    bench::export_metrics(registry.snapshot(), metrics_out);
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "admission/controller.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "admission/telemetry.hpp"
 
 namespace ubac::admission {
 
@@ -78,6 +81,60 @@ bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
 
 AdmissionDecision ConcurrentAdmissionController::request(
     net::NodeId src, net::NodeId dst, std::size_t class_index) {
+  ControllerTelemetry* const t = telemetry_;
+  if (t == nullptr) return request_impl(src, dst, class_index);
+
+  const bool timed = t->should_time();
+  const std::int64_t start_ns = timed ? telemetry::EventTracer::now_ns() : 0;
+  const AdmissionDecision decision = request_impl(src, dst, class_index);
+  record_request_telemetry(decision, src, dst, class_index, timed, start_ns);
+  return decision;
+}
+
+void ConcurrentAdmissionController::record_request_telemetry(
+    const AdmissionDecision& decision, net::NodeId src, net::NodeId dst,
+    std::size_t class_index, bool timed, std::int64_t start_ns) {
+  ControllerTelemetry* const t = telemetry_;
+  if (timed)
+    t->decision_latency->record(
+        static_cast<double>(telemetry::EventTracer::now_ns() - start_ns) *
+        1e-9);
+  t->decision(decision.outcome).add();
+  const bool rolled_back =
+      decision.outcome == AdmissionOutcome::kUtilizationExceeded &&
+      decision.blocking_hop > 0;
+  if (rolled_back) t->rollback_hops->add(decision.blocking_hop);
+  if (t->tracer == nullptr || !t->tracer->should_sample()) return;
+
+  telemetry::TraceEvent ev;
+  ev.kind = decision.admitted() ? telemetry::TraceEventKind::kAdmit
+                                : telemetry::TraceEventKind::kReject;
+  ev.flow_id = decision.flow_id;
+  ev.class_index = static_cast<std::uint32_t>(class_index);
+  ev.src = src;
+  ev.dst = dst;
+  ev.blocking_hop = static_cast<std::uint32_t>(decision.blocking_hop);
+  ev.reason = decision.admitted() ? "" : to_string(decision.outcome);
+  // Per-hop utilization at decision time: the worst hop along the route
+  // (reads the same atomics the decision used; only paid on sampled
+  // events).
+  if (class_index < classes_->size() && classes_->at(class_index).realtime) {
+    if (const auto route = table_.lookup(src, dst, class_index)) {
+      double worst = 0.0;
+      for (const net::ServerId s : *route)
+        worst = std::max(worst, class_utilization(s, class_index));
+      ev.utilization = worst;
+    }
+  }
+  t->tracer->record(ev);
+  if (rolled_back) {
+    ev.kind = telemetry::TraceEventKind::kRollback;
+    t->tracer->record(ev);
+  }
+}
+
+AdmissionDecision ConcurrentAdmissionController::request_impl(
+    net::NodeId src, net::NodeId dst, std::size_t class_index) {
   AdmissionDecision decision;
   if (class_index >= classes_->size() ||
       !classes_->at(class_index).realtime) {
@@ -122,6 +179,21 @@ AdmissionDecision ConcurrentAdmissionController::request(
 }
 
 bool ConcurrentAdmissionController::release(traffic::FlowId id) {
+  ControllerTelemetry* const t = telemetry_;
+  if (t == nullptr) return release_impl(id);
+  const bool ok = release_impl(id);
+  (ok ? t->releases : t->unknown_releases)->add();
+  if (t->tracer != nullptr && t->tracer->should_sample()) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::TraceEventKind::kRelease;
+    ev.flow_id = id;
+    ev.reason = ok ? "" : "unknown-flow";
+    t->tracer->record(ev);
+  }
+  return ok;
+}
+
+bool ConcurrentAdmissionController::release_impl(traffic::FlowId id) {
   traffic::Flow flow;
   {
     Shard& sh = shard(id);

@@ -64,6 +64,8 @@
 
 namespace ubac::admission {
 
+struct ControllerTelemetry;  // admission/telemetry.hpp
+
 /// Why a request was rejected (or kAdmitted).
 enum class AdmissionOutcome {
   kAdmitted,
@@ -118,6 +120,18 @@ class ConcurrentAdmissionController {
     return active_.load(std::memory_order_relaxed);
   }
 
+  std::size_t server_count() const { return servers_; }
+  const traffic::ClassSet& classes() const { return *classes_; }
+
+  /// Attach (or detach, with nullptr) an instrument bundle; see
+  /// admission/telemetry.hpp. The bundle and its registry must outlive the
+  /// controller's use. Call before serving requests — attaching is not
+  /// synchronized against in-flight request()/release() calls. Without
+  /// telemetry attached, request()/release() pay one branch.
+  void attach_telemetry(ControllerTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Pointer to a registered flow, or nullptr. The pointer stays valid
   /// until *that* flow is released (other flows' churn never moves it).
   const traffic::Flow* find_flow(traffic::FlowId id) const;
@@ -156,6 +170,19 @@ class ConcurrentAdmissionController {
   /// CAS loop for one hop: add `rho` iff the result stays within `cap`.
   static bool try_reserve(Slot& s, RateFx rho, RateFx cap);
 
+  /// The uninstrumented decision/teardown paths (semantics are identical
+  /// whether or not telemetry is attached).
+  AdmissionDecision request_impl(net::NodeId src, net::NodeId dst,
+                                 std::size_t class_index);
+  bool release_impl(traffic::FlowId id);
+
+  /// Telemetry tail of an instrumented request (counters, latency sample,
+  /// trace events). Out of line to keep the hot path small.
+  void record_request_telemetry(const AdmissionDecision& decision,
+                                net::NodeId src, net::NodeId dst,
+                                std::size_t class_index, bool timed,
+                                std::int64_t start_ns);
+
   const net::ServerGraph* graph_;
   const traffic::ClassSet* classes_;
   RoutingTable table_;
@@ -167,6 +194,7 @@ class ConcurrentAdmissionController {
   mutable std::unique_ptr<Shard[]> shards_;
   std::atomic<traffic::FlowId> next_id_{1};
   std::atomic<std::size_t> active_{0};
+  ControllerTelemetry* telemetry_ = nullptr;
 };
 
 /// The run-time controller of the repo; concurrent since the atomic

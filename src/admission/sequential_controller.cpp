@@ -1,6 +1,9 @@
 #include "admission/sequential_controller.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "admission/telemetry.hpp"
 
 namespace ubac::admission {
 
@@ -12,6 +15,51 @@ SequentialAdmissionController::SequentialAdmissionController(
                 std::vector<BitsPerSecond>(graph.size(), 0.0)) {}
 
 AdmissionDecision SequentialAdmissionController::request(
+    net::NodeId src, net::NodeId dst, std::size_t class_index) {
+  ControllerTelemetry* const t = telemetry_;
+  if (t == nullptr) return request_impl(src, dst, class_index);
+
+  const bool timed = t->should_time();
+  const std::int64_t start_ns = timed ? telemetry::EventTracer::now_ns() : 0;
+  const AdmissionDecision decision = request_impl(src, dst, class_index);
+  if (timed)
+    t->decision_latency->record(
+        static_cast<double>(telemetry::EventTracer::now_ns() - start_ns) *
+        1e-9);
+  t->decision(decision.outcome).add();
+  const bool rolled_back =
+      decision.outcome == AdmissionOutcome::kUtilizationExceeded &&
+      decision.blocking_hop > 0;
+  if (rolled_back) t->rollback_hops->add(decision.blocking_hop);
+  if (t->tracer != nullptr && t->tracer->should_sample()) {
+    telemetry::TraceEvent ev;
+    ev.kind = decision.admitted() ? telemetry::TraceEventKind::kAdmit
+                                  : telemetry::TraceEventKind::kReject;
+    ev.flow_id = decision.flow_id;
+    ev.class_index = static_cast<std::uint32_t>(class_index);
+    ev.src = src;
+    ev.dst = dst;
+    ev.blocking_hop = static_cast<std::uint32_t>(decision.blocking_hop);
+    ev.reason = decision.admitted() ? "" : to_string(decision.outcome);
+    if (class_index < classes_->size() &&
+        classes_->at(class_index).realtime) {
+      if (const auto route = table_.lookup(src, dst, class_index)) {
+        double worst = 0.0;
+        for (const net::ServerId s : *route)
+          worst = std::max(worst, class_utilization(s, class_index));
+        ev.utilization = worst;
+      }
+    }
+    t->tracer->record(ev);
+    if (rolled_back) {
+      ev.kind = telemetry::TraceEventKind::kRollback;
+      t->tracer->record(ev);
+    }
+  }
+  return decision;
+}
+
+AdmissionDecision SequentialAdmissionController::request_impl(
     net::NodeId src, net::NodeId dst, std::size_t class_index) {
   AdmissionDecision decision;
   if (class_index >= classes_->size() ||
@@ -50,6 +98,21 @@ AdmissionDecision SequentialAdmissionController::request(
 }
 
 bool SequentialAdmissionController::release(traffic::FlowId id) {
+  ControllerTelemetry* const t = telemetry_;
+  if (t == nullptr) return release_impl(id);
+  const bool ok = release_impl(id);
+  (ok ? t->releases : t->unknown_releases)->add();
+  if (t->tracer != nullptr && t->tracer->should_sample()) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::TraceEventKind::kRelease;
+    ev.flow_id = id;
+    ev.reason = ok ? "" : "unknown-flow";
+    t->tracer->record(ev);
+  }
+  return ok;
+}
+
+bool SequentialAdmissionController::release_impl(traffic::FlowId id) {
   const auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   const traffic::Flow& flow = it->second;

@@ -47,9 +47,23 @@ class SequentialAdmissionController {
 
   std::size_t active_flows() const { return flows_.size(); }
 
+  std::size_t server_count() const { return graph_->size(); }
+  const traffic::ClassSet& classes() const { return *classes_; }
+
+  /// Same instrument bundle as the concurrent controller (see
+  /// admission/telemetry.hpp) so oracle comparisons report through
+  /// identical metrics; label the bundle e.g. "sequential".
+  void attach_telemetry(ControllerTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   const traffic::Flow* find_flow(traffic::FlowId id) const;
 
  private:
+  AdmissionDecision request_impl(net::NodeId src, net::NodeId dst,
+                                 std::size_t class_index);
+  bool release_impl(traffic::FlowId id);
+
   const net::ServerGraph* graph_;
   const traffic::ClassSet* classes_;
   RoutingTable table_;
@@ -57,6 +71,7 @@ class SequentialAdmissionController {
   std::vector<std::vector<BitsPerSecond>> reserved_;
   std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
   traffic::FlowId next_id_ = 1;
+  ControllerTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace ubac::admission

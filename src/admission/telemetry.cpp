@@ -1,0 +1,92 @@
+#include "admission/telemetry.hpp"
+
+#include "admission/sequential_controller.hpp"
+
+namespace ubac::admission {
+
+namespace {
+
+constexpr const char* kDecisionsName = "ubac_admission_decisions_total";
+constexpr const char* kDecisionsHelp =
+    "Admission decisions by controller and outcome";
+
+/// Decision latencies from ~30 ns (uncontended single hop) up to 1 ms.
+std::vector<double> latency_bounds() {
+  return telemetry::LatencyHistogram::exponential_bounds(30e-9, 1e-3, 16);
+}
+
+template <typename Controller>
+void update_gauges(telemetry::MetricsRegistry& registry,
+                   const std::string& controller_name,
+                   const Controller& ctl) {
+  registry
+      .gauge("ubac_admission_active_flows", "Currently admitted flows",
+             {{"controller", controller_name}})
+      .set(static_cast<double>(ctl.active_flows()));
+  const traffic::ClassSet& classes = ctl.classes();
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    if (!classes.at(c).realtime) continue;
+    const std::string cls = std::to_string(c);
+    for (net::ServerId s = 0; s < ctl.server_count(); ++s) {
+      const telemetry::Labels labels{{"controller", controller_name},
+                                     {"server", std::to_string(s)},
+                                     {"class", cls}};
+      registry
+          .gauge("ubac_admission_class_utilization",
+                 "Reserved fraction of the class share alpha*C per server",
+                 labels)
+          .set(ctl.class_utilization(s, c));
+      registry
+          .gauge("ubac_admission_reserved_bps",
+                 "Reserved class rate per server, bits/s", labels)
+          .set(ctl.reserved_rate(s, c));
+    }
+  }
+}
+
+}  // namespace
+
+ControllerTelemetry::ControllerTelemetry(telemetry::MetricsRegistry& registry,
+                                         std::string controller_name,
+                                         telemetry::EventTracer* tracer,
+                                         std::uint32_t latency_sample_every)
+    : registry(&registry), controller_name(std::move(controller_name)),
+      tracer(tracer), latency_sample_every(latency_sample_every) {
+  for (const auto outcome :
+       {AdmissionOutcome::kAdmitted, AdmissionOutcome::kNoRoute,
+        AdmissionOutcome::kUtilizationExceeded, AdmissionOutcome::kBadClass}) {
+    decisions[static_cast<std::size_t>(outcome)] = &registry.counter(
+        kDecisionsName, kDecisionsHelp,
+        {{"controller", this->controller_name},
+         {"outcome", to_string(outcome)}});
+  }
+  releases = &registry.counter("ubac_admission_releases_total",
+                               "Released flows",
+                               {{"controller", this->controller_name}});
+  unknown_releases = &registry.counter(
+      "ubac_admission_unknown_releases_total",
+      "release() calls for unknown or already-released flow ids",
+      {{"controller", this->controller_name}});
+  rollback_hops = &registry.counter(
+      "ubac_admission_rollback_hops_total",
+      "Hop reservations rolled back by rejected requests",
+      {{"controller", this->controller_name}});
+  decision_latency = &registry.histogram(
+      "ubac_admission_decision_latency_seconds",
+      "request() wall time (sampled)", latency_bounds(),
+      {{"controller", this->controller_name}});
+}
+
+void update_utilization_gauges(telemetry::MetricsRegistry& registry,
+                               const std::string& controller_name,
+                               const ConcurrentAdmissionController& ctl) {
+  update_gauges(registry, controller_name, ctl);
+}
+
+void update_utilization_gauges(telemetry::MetricsRegistry& registry,
+                               const std::string& controller_name,
+                               const SequentialAdmissionController& ctl) {
+  update_gauges(registry, controller_name, ctl);
+}
+
+}  // namespace ubac::admission

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// \brief Admission-control instrument bundle and gauge refreshers.
+///
+/// ControllerTelemetry owns nothing: it resolves the admission instrument
+/// set (decision counters by outcome, release counters, rollback-hop
+/// counter, decision-latency histogram) in a caller-supplied
+/// MetricsRegistry, plus an optional EventTracer for structured
+/// admit/reject/release/rollback events. Attach one to a controller with
+/// attach_telemetry(); a controller with no telemetry attached pays a
+/// single branch per request.
+///
+/// Per-(server, class) utilization gauges are *pulled*, not pushed:
+/// update_utilization_gauges() reads the controller's existing reservation
+/// counters and refreshes `ubac_admission_class_utilization` /
+/// `ubac_admission_reserved_bps` / `ubac_admission_active_flows` right
+/// before a snapshot or scrape, so the admit hot path never touches them.
+///
+/// Latency timing is sampled (default every 16th request per thread) to
+/// keep the steady_clock reads off most decisions; counts stay exact.
+
+#include <cstdint>
+#include <string>
+
+#include "admission/controller.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ubac::admission {
+
+class SequentialAdmissionController;
+
+struct ControllerTelemetry {
+  /// `controller_name` becomes the `controller` label on every instrument
+  /// (e.g. "concurrent", "sequential"); instruments live in `registry`
+  /// and must outlive any controller this is attached to.
+  ControllerTelemetry(telemetry::MetricsRegistry& registry,
+                      std::string controller_name,
+                      telemetry::EventTracer* tracer = nullptr,
+                      std::uint32_t latency_sample_every = 16);
+
+  telemetry::Counter& decision(AdmissionOutcome outcome) {
+    return *decisions[static_cast<std::size_t>(outcome)];
+  }
+
+  /// True when this request's latency should be timed (per-thread
+  /// round-robin of latency_sample_every).
+  bool should_time() noexcept {
+    if (latency_sample_every <= 1) return true;
+    thread_local std::uint32_t n = 0;
+    return ++n % latency_sample_every == 0;
+  }
+
+  telemetry::MetricsRegistry* registry;
+  std::string controller_name;
+  telemetry::EventTracer* tracer;
+  std::uint32_t latency_sample_every;
+
+  telemetry::Counter* decisions[4];  ///< indexed by AdmissionOutcome
+  telemetry::Counter* releases;
+  telemetry::Counter* unknown_releases;
+  telemetry::Counter* rollback_hops;
+  telemetry::LatencyHistogram* decision_latency;  ///< seconds
+};
+
+/// Refresh the pull-model gauges from a controller's current state.
+void update_utilization_gauges(telemetry::MetricsRegistry& registry,
+                               const std::string& controller_name,
+                               const ConcurrentAdmissionController& ctl);
+void update_utilization_gauges(telemetry::MetricsRegistry& registry,
+                               const std::string& controller_name,
+                               const SequentialAdmissionController& ctl);
+
+}  // namespace ubac::admission

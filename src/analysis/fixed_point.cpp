@@ -2,12 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/delay_bound.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace ubac::analysis {
+
+namespace {
+
+/// Solver instruments resolved against `registry` (get-or-create, so
+/// repeated solves share one instrument set per registry).
+struct SolverInstruments {
+  explicit SolverInstruments(telemetry::MetricsRegistry& registry)
+      : iterations(&registry.histogram(
+            "ubac_analysis_fixed_point_iterations",
+            "Iterations per fixed-point solve",
+            {1, 2, 4, 8, 16, 32, 64, 128, 256, 512})),
+        residual(&registry.histogram(
+            "ubac_analysis_fixed_point_residual_seconds",
+            "Per-iteration max delay change (residual)",
+            telemetry::LatencyHistogram::exponential_bounds(1e-15, 1.0, 16))),
+        registry_(&registry) {}
+
+  void finish(const DelaySolution& sol) const {
+    registry_
+        ->counter("ubac_analysis_fixed_point_solves_total",
+                  "Fixed-point solves by outcome",
+                  {{"status", to_string(sol.status)}})
+        .add();
+    iterations->record(static_cast<double>(sol.iterations));
+  }
+
+  telemetry::LatencyHistogram* iterations;
+  telemetry::LatencyHistogram* residual;
+
+ private:
+  telemetry::MetricsRegistry* registry_;
+};
+
+}  // namespace
 
 const char* to_string(FeasibilityStatus status) {
   switch (status) {
@@ -33,6 +69,9 @@ DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
   if (deadline <= 0.0)
     throw std::invalid_argument("solve_two_class: deadline must be > 0");
   const std::size_t servers = graph.size();
+
+  std::optional<SolverInstruments> telemetry;
+  if (options.metrics) telemetry.emplace(*options.metrics);
 
   // Per-server beta factor; servers unused by any route keep delay 0.
   std::vector<double> beta_k(servers, 0.0);
@@ -79,6 +118,7 @@ DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
       // Iterates are lower bounds of the least fixed point, so exceeding
       // the deadline now proves the configuration unsafe.
       sol.status = FeasibilityStatus::kDeadlineViolated;
+      if (telemetry) telemetry->finish(sol);
       return sol;
     }
 
@@ -89,6 +129,7 @@ DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
       max_change = std::max(max_change, std::abs(next[s] - sol.server_delay[s]));
     }
     sol.server_delay.swap(next);
+    if (telemetry) telemetry->residual->record(max_change);
 
     if (max_change < options.tolerance) {
       // Converged; recompute route sums under the fixed point and accept.
@@ -101,6 +142,7 @@ DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
       }
       sol.status = ok ? FeasibilityStatus::kSafe
                       : FeasibilityStatus::kDeadlineViolated;
+      if (telemetry) telemetry->finish(sol);
       return sol;
     }
   }
@@ -109,6 +151,7 @@ DelaySolution solve_two_class(const net::ServerGraph& graph, double alpha,
                  << options.max_iterations << " iterations (alpha=" << alpha
                  << ")";
   sol.status = FeasibilityStatus::kNoConvergence;
+  if (telemetry) telemetry->finish(sol);
   return sol;
 }
 

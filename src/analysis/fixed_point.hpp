@@ -26,6 +26,10 @@
 #include "traffic/leaky_bucket.hpp"
 #include "util/units.hpp"
 
+namespace ubac::telemetry {
+class MetricsRegistry;
+}
+
 namespace ubac::analysis {
 
 enum class FeasibilityStatus { kSafe, kDeadlineViolated, kNoConvergence };
@@ -35,6 +39,11 @@ const char* to_string(FeasibilityStatus status);
 struct FixedPointOptions {
   int max_iterations = 500;
   Seconds tolerance = 1e-12;  ///< convergence threshold on max delay change
+  /// Optional solver telemetry sink. When set, each solve records its
+  /// outcome (ubac_analysis_fixed_point_solves_total{status=...}), its
+  /// iterations-to-converge histogram and the per-iteration residual
+  /// (max delay change) histogram. nullptr costs nothing.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct DelaySolution {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+
 namespace ubac::sim {
 
 NetworkSim::NetworkSim(const net::ServerGraph& graph,
@@ -69,8 +72,61 @@ SimResults NetworkSim::run(Seconds horizon) {
     const SimTime start = flows_[f].source.start;
     queue_.schedule(start, [this, f] { schedule_source(f); });
   }
+  if (telemetry_.metrics || telemetry_.tracer) {
+    const SimTime period = to_sim_time(telemetry_.sample_period);
+    if (period <= 0)
+      throw std::invalid_argument("NetworkSim: bad telemetry sample_period");
+    const SimTime end = to_sim_time(horizon);
+    if (period < end)
+      queue_.schedule(period,
+                      [this, period, end] { sample_telemetry(period, end); });
+  }
   queue_.run_until(to_sim_time(horizon));
   return std::move(results_);
+}
+
+void NetworkSim::attach_telemetry(const TelemetryConfig& config) {
+  if (ran_) throw std::logic_error("NetworkSim: attach_telemetry after run");
+  telemetry_ = config;
+  delivered_counter_ =
+      config.metrics
+          ? &config.metrics->counter("ubac_sim_packets_delivered_total",
+                                     "Packets delivered end to end")
+          : nullptr;
+}
+
+void NetworkSim::sample_telemetry(SimTime period, SimTime horizon) {
+  // Per-class queued packets across all servers, at this sampling instant.
+  std::vector<std::size_t> queued(classes_->size(), 0);
+  std::size_t total = 0;
+  for (const ServerState& server : servers_)
+    for (std::size_t c = 0; c < server.queue_per_class.size(); ++c) {
+      queued[c] += server.queue_per_class[c].size();
+      total += server.queue_per_class[c].size();
+    }
+  if (telemetry_.metrics) {
+    for (std::size_t c = 0; c < queued.size(); ++c)
+      telemetry_.metrics
+          ->gauge("ubac_sim_queued_packets",
+                  "Packets queued across all servers at the last sample",
+                  {{"class", std::to_string(c)}})
+          .set(static_cast<double>(queued[c]));
+  }
+  if (telemetry_.tracer && telemetry_.tracer->should_sample()) {
+    telemetry::TraceEvent ev;
+    ev.kind = telemetry::TraceEventKind::kSample;
+    // Sim-time stamp (ns on the simulation clock, not wall time).
+    ev.timestamp_ns = queue_.now() / 1000;
+    ev.flow_id = results_.packets_delivered;
+    ev.utilization = static_cast<double>(total);
+    ev.reason = "sim-sample";
+    telemetry_.tracer->record(ev);
+  }
+  const SimTime next = queue_.now() + period;
+  if (next < horizon)
+    queue_.schedule(next, [this, period, horizon] {
+      sample_telemetry(period, horizon);
+    });
 }
 
 void NetworkSim::schedule_source(std::uint32_t flow_index) {
@@ -257,6 +313,7 @@ void NetworkSim::transmission_done(PacketRef packet, net::ServerId server) {
     results_.class_delay[flow.class_index].add(delay);
     results_.flow_delay[packet.flow].add(delay);
     ++results_.packets_delivered;
+    if (delivered_counter_) delivered_counter_->add();
   }
   try_transmit(server);
 }

@@ -22,6 +22,12 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace ubac::telemetry {
+class EventTracer;
+class MetricsRegistry;
+class Counter;
+}
+
 namespace ubac::sim {
 
 /// Output-link scheduling discipline.
@@ -82,6 +88,21 @@ class NetworkSim {
   /// run()). Call before run().
   void attach_trace(TraceRecorder* recorder);
 
+  /// Optional run-time telemetry (see src/telemetry/). Neither pointer is
+  /// owned; both must outlive run(). Call before run().
+  struct TelemetryConfig {
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::EventTracer* tracer = nullptr;
+    /// Gauge/trace sampling cadence in sim seconds.
+    Seconds sample_period = 0.010;
+  };
+
+  /// When metrics is set: ubac_sim_packets_delivered_total counter and
+  /// per-class ubac_sim_queued_packets gauges sampled every sample_period.
+  /// When tracer is set: one kSample event per period carrying the total
+  /// queued packet count (utilization field) at sim time (timestamp_ns).
+  void attach_telemetry(const TelemetryConfig& config);
+
   /// Run to `horizon` (sim seconds) and collect results. Call once.
   SimResults run(Seconds horizon);
 
@@ -118,6 +139,7 @@ class NetworkSim {
   };
 
   double drr_quantum(std::size_t class_index) const;
+  void sample_telemetry(SimTime period, SimTime horizon);
   void schedule_source(std::uint32_t flow_index);
   void emit_packet(std::uint32_t flow_index);
   void packet_arrival(PacketRef packet, net::ServerId server);
@@ -133,6 +155,8 @@ class NetworkSim {
   std::vector<util::Xoshiro256> flow_rng_;
   SimResults results_;
   TraceRecorder* trace_ = nullptr;
+  TelemetryConfig telemetry_;
+  telemetry::Counter* delivered_counter_ = nullptr;
   std::uint64_t next_packet_id_ = 0;
   bool ran_ = false;
 };

@@ -1,0 +1,168 @@
+#include "telemetry/exporters.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ubac::telemetry {
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips doubles; trim to %g when exact to keep output tidy.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(labels[i].first) + "\":\"" +
+           json_escape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string csv_labels(const Labels& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ";";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& fam : snapshot.families) {
+    out += "# HELP " + fam.name + " " + fam.help + "\n";
+    out += "# TYPE " + fam.name + " " + to_string(fam.kind) + "\n";
+    for (const auto& sample : fam.samples) {
+      if (fam.kind != InstrumentKind::kHistogram) {
+        out += fam.name + prom_labels(sample.labels) + " " +
+               fmt_double(sample.value) + "\n";
+        continue;
+      }
+      const HistogramSnapshot& h = sample.histogram;
+      std::uint64_t cum = 0;
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        cum += h.counts[b];
+        const std::string le =
+            b < h.bounds.size() ? fmt_double(h.bounds[b]) : "+Inf";
+        out += fam.name + "_bucket" + prom_labels(sample.labels, "le", le) +
+               " " + std::to_string(cum) + "\n";
+      }
+      out += fam.name + "_sum" + prom_labels(sample.labels) + " " +
+             fmt_double(h.sum) + "\n";
+      out += fam.name + "_count" + prom_labels(sample.labels) + " " +
+             std::to_string(h.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first_fam = true;
+  for (const auto& fam : snapshot.families) {
+    if (!first_fam) out += ",";
+    first_fam = false;
+    out += "{\"name\":\"" + json_escape(fam.name) + "\",\"type\":\"" +
+           to_string(fam.kind) + "\",\"help\":\"" + json_escape(fam.help) +
+           "\",\"samples\":[";
+    for (std::size_t i = 0; i < fam.samples.size(); ++i) {
+      const auto& sample = fam.samples[i];
+      if (i) out += ",";
+      out += "{\"labels\":" + json_labels(sample.labels);
+      if (fam.kind != InstrumentKind::kHistogram) {
+        out += ",\"value\":" + fmt_double(sample.value) + "}";
+        continue;
+      }
+      const HistogramSnapshot& h = sample.histogram;
+      out += ",\"bounds\":[";
+      for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+        if (b) out += ",";
+        out += fmt_double(h.bounds[b]);
+      }
+      out += "],\"counts\":[";
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        if (b) out += ",";
+        out += std::to_string(h.counts[b]);
+      }
+      out += "],\"sum\":" + fmt_double(h.sum) +
+             ",\"count\":" + std::to_string(h.count) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void write_csv(const MetricsSnapshot& snapshot, util::CsvWriter& csv) {
+  csv.write_row({"name", "type", "labels", "le", "value"});
+  for (const auto& fam : snapshot.families) {
+    const char* type = to_string(fam.kind);
+    for (const auto& sample : fam.samples) {
+      const std::string labels = csv_labels(sample.labels);
+      if (fam.kind != InstrumentKind::kHistogram) {
+        csv.write_row({fam.name, type, labels, "", fmt_double(sample.value)});
+        continue;
+      }
+      const HistogramSnapshot& h = sample.histogram;
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        const std::string le =
+            b < h.bounds.size() ? fmt_double(h.bounds[b]) : "+Inf";
+        csv.write_row({fam.name + "_bucket", type, labels, le,
+                       std::to_string(h.counts[b])});
+      }
+      csv.write_row({fam.name + "_sum", type, labels, "", fmt_double(h.sum)});
+      csv.write_row(
+          {fam.name + "_count", type, labels, "", std::to_string(h.count)});
+    }
+  }
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << text;
+}
+
+}  // namespace ubac::telemetry

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file exporters.hpp
+/// \brief Render a MetricsSnapshot as Prometheus text, JSON, or CSV.
+///
+/// All three formats carry the same values (asserted by the round-trip
+/// test in tests/telemetry_test.cpp):
+///
+///  * Prometheus text exposition format 0.0.4 — `# HELP` / `# TYPE`
+///    headers, cumulative `_bucket{le=...}` series plus `_sum` / `_count`
+///    for histograms. Suitable for a scrape endpoint or a textfile
+///    collector.
+///  * JSON — one object per family with per-series label maps; histograms
+///    keep their non-cumulative bucket counts alongside sum/count.
+///  * CSV — one row per scalar series, one row per histogram bucket and
+///    one each for sum/count, via util::CsvWriter.
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace ubac::telemetry {
+
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+std::string to_json(const MetricsSnapshot& snapshot);
+
+void write_csv(const MetricsSnapshot& snapshot, util::CsvWriter& csv);
+
+/// Write `text` to `path` (parent directory must exist); throws on failure.
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace ubac::telemetry

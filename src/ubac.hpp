@@ -6,6 +6,8 @@
 /// Layering (each depends only on the ones above it):
 ///
 ///   util      — units, RNG, statistics, tables/CSV, CLI, logging
+///   telemetry — lock-free metrics registry, admission event tracing,
+///               Prometheus/JSON/CSV exporters (docs/observability.md)
 ///   net       — topology, link-server graph, paths, metrics, factory/io
 ///   traffic   — leaky buckets, constraint functions, classes, workloads
 ///   analysis  — Theorems 1-5, fixed point, Theorem 4 bounds, statistical
@@ -31,6 +33,10 @@
 #include "util/table.hpp"            // IWYU pragma: export
 #include "util/thread_pool.hpp"      // IWYU pragma: export
 #include "util/units.hpp"            // IWYU pragma: export
+
+#include "telemetry/event_trace.hpp"  // IWYU pragma: export
+#include "telemetry/exporters.hpp"    // IWYU pragma: export
+#include "telemetry/metrics.hpp"      // IWYU pragma: export
 
 #include "net/graph.hpp"             // IWYU pragma: export
 #include "net/ksp.hpp"               // IWYU pragma: export
@@ -70,6 +76,7 @@
 #include "admission/routing_table.hpp"           // IWYU pragma: export
 #include "admission/snapshot.hpp"                // IWYU pragma: export
 #include "admission/statistical_controller.hpp"  // IWYU pragma: export
+#include "admission/telemetry.hpp"               // IWYU pragma: export
 
 #include "config/configurator.hpp"  // IWYU pragma: export
 #include "config/report.hpp"        // IWYU pragma: export

@@ -24,6 +24,11 @@ std::atomic<int>& threshold_storage() {
   return level;
 }
 
+std::atomic<std::FILE*>& sink_storage() {
+  static std::atomic<std::FILE*> sink{nullptr};  // nullptr means stderr
+  return sink;
+}
+
 const char* prefix(LogLevel level) {
   switch (level) {
     case LogLevel::kError: return "[error] ";
@@ -49,9 +54,25 @@ bool log_enabled(LogLevel level) {
 }
 
 void log_line(LogLevel level, const std::string& message) {
-  std::fputs(prefix(level), stderr);
-  std::fputs(message.c_str(), stderr);
-  std::fputc('\n', stderr);
+  // Build the whole record first and emit it with one fwrite: stdio locks
+  // the stream per call, so concurrent threads' lines never interleave
+  // (the old fputs/fputs/fputc triple did interleave under the 8-thread
+  // concurrency tests).
+  std::string line;
+  line.reserve(message.size() + 9);
+  line += prefix(level);
+  line += message;
+  line += '\n';
+  std::FILE* out = sink_storage().load(std::memory_order_acquire);
+  if (!out) out = stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+std::FILE* set_log_sink(std::FILE* sink) {
+  std::FILE* prev =
+      sink_storage().exchange(sink, std::memory_order_acq_rel);
+  return prev ? prev : stderr;
 }
 
 }  // namespace ubac::util

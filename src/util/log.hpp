@@ -7,6 +7,7 @@
 /// benches stay quiet; set UBAC_LOG=debug to trace fixed-point iterations
 /// or route-selection decisions.
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -22,8 +23,15 @@ void set_log_threshold(LogLevel level);
 
 bool log_enabled(LogLevel level);
 
-/// Emit one line at `level` with a severity prefix.
+/// Emit one line at `level` with a severity prefix. The prefix, message
+/// and newline are written with a single stdio call, so lines from
+/// concurrent threads never interleave.
 void log_line(LogLevel level, const std::string& message);
+
+/// Redirect log output (default stderr); returns the previous sink.
+/// Passing nullptr restores stderr. The sink must stay open while any
+/// thread may log.
+std::FILE* set_log_sink(std::FILE* sink);
 
 namespace detail {
 class LogStream {

@@ -148,6 +148,111 @@ TEST(Histogram, BinningAndOverflow) {
   EXPECT_THROW(util::Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Samples, QuantileSingleSample) {
+  util::Samples s;
+  s.add(7.5);
+  // Every quantile of a one-element sample set is that element.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+}
+
+TEST(Samples, QuantileAllEqualSamples) {
+  util::Samples s;
+  for (int i = 0; i < 25; ++i) s.add(3.0);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(s.quantile(q), 3.0);
+}
+
+TEST(Samples, QuantileInterpolatesBetweenTwoSamples) {
+  util::Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 12.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+  // Boundary q values must not read past either end.
+  EXPECT_THROW(s.quantile(-0.001), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.001), std::invalid_argument);
+}
+
+TEST(Samples, EmptyAccessorsAreDefined) {
+  util::Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, EmptyAccessorsAreDefined) {
+  util::OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  util::OnlineStats s;
+  s.add(-4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), -4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -4.0);
+  EXPECT_DOUBLE_EQ(s.max(), -4.0);
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  util::OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);  // copies
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+}
+
+TEST(Histogram, BucketBoundaryValuesLandInTheUpperBin) {
+  // [lo, hi) semantics: a bin's lower edge belongs to it, its upper edge
+  // to the next bin; hi itself overflows.
+  util::Histogram h(0.0, 4.0, 4);
+  h.add(0.0);
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  h.add(4.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, SingleSampleAndAllEqualStayInOneBin) {
+  util::Histogram h(0.0, 1.0, 10);
+  h.add(0.55);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  for (int i = 0; i < 99; ++i) h.add(0.55);
+  EXPECT_EQ(h.count(5), 100u);
+  for (std::size_t b = 0; b < h.bin_count(); ++b)
+    if (b != 5) EXPECT_EQ(h.count(b), 0u);
+}
+
 TEST(TextTable, RendersAlignedColumns) {
   util::TextTable t({"name", "value"});
   t.add_row({"alpha", "0.45"});

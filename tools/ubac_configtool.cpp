@@ -1,11 +1,14 @@
 // ubac_configtool — command-line front end for the configuration module.
 //
 // Subcommands (first positional argument):
-//   bounds    print the Theorem 4 utilization envelope for a topology
-//   maximize  run Section 5.3 (binary search + heuristic route selection)
-//             and write the configuration artifact
-//   verify    re-verify a configuration artifact (Fig. 2)
-//   reroute   reroute a configuration around a failed duplex link
+//   bounds       print the Theorem 4 utilization envelope for a topology
+//   maximize     run Section 5.3 (binary search + heuristic route selection)
+//                and write the configuration artifact
+//   verify       re-verify a configuration artifact (Fig. 2)
+//   reroute      reroute a configuration around a failed duplex link
+//   metricsdump  run an instrumented admission churn (+ fixed-point solve)
+//                and export the telemetry snapshot as Prometheus text,
+//                JSON, or CSV (docs/observability.md)
 //
 // Topologies are read from --topology=<file> (net/topology_io.hpp format)
 // or default to the built-in MCI backbone. Configurations use the
@@ -15,12 +18,17 @@
 //   ubac_configtool bounds --deadline-ms=50
 //   ubac_configtool maximize --out=/tmp/net.conf
 //   ubac_configtool verify --config=/tmp/net.conf
-//   ubac_configtool reroute --config=/tmp/net.conf --fail=Chicago:NewYork \
-//                   --out=/tmp/healed.conf
+//   ubac_configtool reroute --config=/tmp/net.conf --fail=Chicago:NewYork
+//       --out=/tmp/healed.conf
+//   ubac_configtool metricsdump --threads=4 --ops=100000 --format=prom
+//   ubac_configtool metricsdump --format=all --out=/tmp/ubac_metrics
+//       --trace-out=/tmp/ubac_trace.json
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "ubac.hpp"
 
@@ -112,6 +120,112 @@ int cmd_verify(const util::ArgParser& args) {
   return result.success ? 0 : 1;
 }
 
+/// Run an instrumented admission churn over the built-in (or given)
+/// topology and export the resulting telemetry snapshot. This exercises
+/// the whole observability path end to end: controller decision counters,
+/// utilization gauges, decision-latency histogram, solver instruments,
+/// the admit/reject event trace, and all three exporters.
+int cmd_metricsdump(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo, 6u);
+  const auto bucket = bucket_from(args);
+  const Seconds deadline = deadline_from(args);
+  const double alpha = args.get_double("alpha", 0.32);
+  const auto threads =
+      static_cast<std::size_t>(args.get_long("threads", 4));
+  const auto ops = static_cast<std::size_t>(args.get_long("ops", 100'000));
+  const double sampling = args.get_double("sampling", 1.0);
+
+  const auto demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> routes;
+  for (const auto& d : demands)
+    routes.push_back(
+        graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+  const admission::RoutingTable table(demands, routes);
+  const auto classes = traffic::ClassSet::two_class(bucket, deadline, alpha);
+
+  telemetry::MetricsRegistry registry;
+  telemetry::EventTracer tracer(4096, sampling);
+
+  // Configuration-side instruments: one verifying fixed-point solve.
+  analysis::FixedPointOptions fp_options;
+  fp_options.metrics = &registry;
+  analysis::solve_two_class(graph, alpha, bucket, deadline, routes,
+                            fp_options);
+
+  // Run-time instruments: randomized admit/release churn across threads.
+  admission::AdmissionController ctl(graph, classes, table);
+  admission::ControllerTelemetry ctl_telemetry(registry, "concurrent",
+                                               &tracer);
+  ctl.attach_telemetry(&ctl_telemetry);
+  {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(threads, [&](std::size_t t) {
+      util::Xoshiro256 rng(0xD1CE + t);
+      std::vector<traffic::FlowId> held;
+      for (std::size_t k = 0; k < ops; ++k) {
+        if (!held.empty() && rng.bernoulli(0.4)) {
+          const auto pos = rng.uniform_index(held.size());
+          ctl.release(held[pos]);
+          held[pos] = held.back();
+          held.pop_back();
+        } else {
+          const auto& d = demands[rng.uniform_index(demands.size())];
+          const auto decision = ctl.request(d.src, d.dst, d.class_index);
+          if (decision.admitted()) held.push_back(decision.flow_id);
+        }
+      }
+    });
+  }
+  admission::update_utilization_gauges(registry, "concurrent", ctl);
+
+  const auto snapshot = registry.snapshot();
+  const std::string format = args.get("format", "prom");
+  const std::string out = args.get("out", "");
+  const auto emit = [&](const std::string& fmt) {
+    std::string text;
+    if (fmt == "prom") {
+      text = telemetry::to_prometheus(snapshot);
+    } else if (fmt == "json") {
+      text = telemetry::to_json(snapshot);
+    } else if (fmt == "csv") {
+      if (out.empty())
+        throw std::runtime_error("--format=csv requires --out=<prefix>");
+      util::CsvWriter csv(out + ".csv");
+      telemetry::write_csv(snapshot, csv);
+      std::printf("metrics written to %s.csv\n", out.c_str());
+      return;
+    } else {
+      throw std::runtime_error("--format must be prom, json, csv, or all");
+    }
+    if (out.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      const std::string path = out + (fmt == "prom" ? ".prom" : ".json");
+      telemetry::write_file(path, text);
+      std::printf("metrics written to %s\n", path.c_str());
+    }
+  };
+  if (format == "all") {
+    if (out.empty())
+      throw std::runtime_error("--format=all requires --out=<prefix>");
+    emit("prom");
+    emit("json");
+    emit("csv");
+  } else {
+    emit(format);
+  }
+
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    telemetry::write_file(trace_out, tracer.to_json());
+    std::printf("trace (%llu events recorded, %zu retained) written to %s\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                tracer.snapshot().size(), trace_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_reroute(const util::ArgParser& args) {
   const auto topo = load_topology(args);
   const net::ServerGraph graph(topo);
@@ -155,7 +269,13 @@ int main(int argc, char** argv) {
       .describe("candidates", "heuristic candidates per pair (default 8)")
       .describe("config", "configuration artifact to load")
       .describe("out", "file to write the resulting configuration to")
-      .describe("fail", "duplex link to fail, as NodeA:NodeB");
+      .describe("fail", "duplex link to fail, as NodeA:NodeB")
+      .describe("alpha", "metricsdump: class share (default 0.32)")
+      .describe("threads", "metricsdump: churn threads (default 4)")
+      .describe("ops", "metricsdump: ops per thread (default 100000)")
+      .describe("sampling", "metricsdump: trace sampling in [0,1] (default 1)")
+      .describe("format", "metricsdump: prom|json|csv|all (default prom)")
+      .describe("trace-out", "metricsdump: write the event trace JSON here");
   try {
     args.validate();
     const auto& pos = args.positional();
@@ -164,7 +284,9 @@ int main(int argc, char** argv) {
     if (command == "maximize") return cmd_maximize(args);
     if (command == "verify") return cmd_verify(args);
     if (command == "reroute") return cmd_reroute(args);
-    std::printf("usage: ubac_configtool <bounds|maximize|verify|reroute> "
+    if (command == "metricsdump") return cmd_metricsdump(args);
+    std::printf("usage: ubac_configtool "
+                "<bounds|maximize|verify|reroute|metricsdump> "
                 "[options]\n\n%s",
                 args.usage("ubac_configtool").c_str());
     return command == "help" ? 0 : 2;
