@@ -1,0 +1,277 @@
+#pragma once
+
+/// \file engine.hpp
+/// \brief Incremental analysis engine over the coupled delay equations.
+///
+/// The configuration pipeline (route selection, binary search on alpha,
+/// renegotiation) evaluates thousands of "committed set +/- one route"
+/// scenarios. The cold solvers in fixed_point.hpp / multiclass.hpp
+/// recompute every per-server aggregate from nothing on every call; this
+/// engine instead *owns* a scenario — server graph, traffic class(es) and
+/// the committed route set — and re-solves incrementally:
+///
+///  * **Dirty closure.** Adding or removing a route can only change the
+///    delays of the servers on that route and of servers *downstream* of
+///    them along some committed route (d_k depends on upstream delays
+///    through Y_k, Eq. 6, so changes propagate strictly downstream in the
+///    route dependency relation). solve() re-iterates only that closure,
+///    holding every other server's delay fixed — the untouched subsystem
+///    is self-contained, so its committed values remain exact.
+///
+///  * **Warm starts.** Z is monotone and the iteration runs upward, so any
+///    known lower bound of the new least fixed point is a sound starting
+///    point (fixed_point.hpp). The committed delay vector is such a bound
+///    after adding a route or raising alpha; removals and alpha decreases
+///    re-start the dirty closure from zero instead (the outside stays
+///    exact either way).
+///
+///  * **Forked probe views.** probe_route() evaluates "committed set +
+///    candidate" without mutating the engine: it copies the delay vector,
+///    solves the candidate's dirty closure on the copy, and returns the
+///    sparse delta. Probes are const and touch only immutable committed
+///    state, so independent candidates can be scored concurrently on a
+///    util::ThreadPool (probe_routes) and the winner applied with
+///    commit_probe() in O(delta) — results are identical at any thread
+///    count by construction.
+///
+/// The stateless solvers remain the regression oracle: a fresh engine's
+/// first solve() performs exactly the cold iteration, and
+/// tests/engine_equivalence_test.cpp asserts that *any* operation sequence
+/// matches a cold oracle solve of the same committed set to 1e-9.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "analysis/fixed_point.hpp"
+#include "analysis/multiclass.hpp"
+#include "net/server_graph.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/leaky_bucket.hpp"
+#include "traffic/service_class.hpp"
+
+namespace ubac::util {
+class ThreadPool;
+}
+
+namespace ubac::telemetry {
+class Counter;
+class LatencyHistogram;
+class MetricsRegistry;
+}
+
+namespace ubac::analysis {
+
+/// Stable handle for a committed route; ids of removed routes are reused.
+using EngineRouteId = std::size_t;
+
+inline constexpr EngineRouteId kInvalidEngineRoute =
+    std::numeric_limits<EngineRouteId>::max();
+
+/// Result of trial-evaluating one candidate route against the committed
+/// set. Holds the sparse state delta so the winning candidate can be
+/// committed without re-solving.
+struct RouteProbe {
+  FeasibilityStatus status = FeasibilityStatus::kNoConvergence;
+  Seconds route_delay = 0.0;  ///< end-to-end bound of the probed route
+  int iterations = 0;
+  /// Servers whose delay changed, with their new values.
+  std::vector<std::pair<net::ServerId, Seconds>> server_delta;
+  /// Committed routes whose end-to-end bound changed, with new values.
+  std::vector<std::pair<EngineRouteId, Seconds>> committed_route_delta;
+
+  bool safe() const { return status == FeasibilityStatus::kSafe; }
+};
+
+/// Shared instrument bundle (resolved lazily against the registry named in
+/// EngineOptions-style metrics pointers). See docs/observability.md.
+struct EngineTelemetry {
+  telemetry::Counter* solves_warm = nullptr;
+  telemetry::Counter* solves_cold = nullptr;
+  telemetry::Counter* probes = nullptr;
+  telemetry::LatencyHistogram* dirty_servers = nullptr;
+
+  static EngineTelemetry resolve(telemetry::MetricsRegistry& registry);
+};
+
+/// Incremental engine for the two-class system of Theorem 3 (one
+/// real-time class at utilization alpha + best effort). Not thread-safe
+/// for mutation; const probes may run concurrently.
+class AnalysisEngine {
+ public:
+  AnalysisEngine(const net::ServerGraph& graph, double alpha,
+                 traffic::LeakyBucket bucket, Seconds deadline,
+                 const FixedPointOptions& options = {});
+
+  // -- scenario mutation (marks state dirty; solve() settles it) ---------
+
+  /// Add a route (link-server granularity). O(|route|).
+  EngineRouteId add_route(const net::ServerPath& route);
+
+  /// Remove a committed route. The dirty closure restarts from zero on
+  /// the next solve (delays may decrease; warm starts are only sound
+  /// upward). O(|route|).
+  void remove_route(EngineRouteId id);
+
+  /// Change the assigned utilization. Raising alpha keeps the committed
+  /// delays as a warm start (Z grows pointwise in alpha); lowering it
+  /// restarts every used server from zero.
+  void set_alpha(double alpha);
+
+  // -- solving -----------------------------------------------------------
+
+  /// Settle all pending mutations incrementally and return the committed
+  /// solution (cached when nothing changed). After an unsafe result the
+  /// engine state is *poisoned*: the next solve after further mutations
+  /// runs cold over the full system, and probes are rejected until a safe
+  /// solve commits.
+  const DelaySolution& solve();
+
+  /// Trial-evaluate committed + `route` without mutating the engine.
+  /// Requires a clean, safely solved committed state. Thread-safe against
+  /// concurrent probes.
+  RouteProbe probe_route(const net::ServerPath& route) const;
+
+  /// Probe several candidates, on `pool` when given (nullptr or a
+  /// single-thread pool scores sequentially). Results are positionally
+  /// aligned with `candidates` and independent of the thread count.
+  std::vector<RouteProbe> probe_routes(
+      const std::vector<net::ServerPath>& candidates,
+      util::ThreadPool* pool) const;
+
+  /// Commit a candidate previously accepted by probe_route, applying its
+  /// sparse delta instead of re-solving. The probe must be safe and the
+  /// engine unchanged since the probe was taken.
+  EngineRouteId commit_probe(const net::ServerPath& route,
+                             const RouteProbe& probe);
+
+  // -- accessors ---------------------------------------------------------
+
+  double alpha() const { return alpha_; }
+  const net::ServerGraph& graph() const { return *graph_; }
+  std::size_t route_count() const { return active_routes_; }
+  /// Committed per-server delay vector (meaningful after a safe solve).
+  const std::vector<Seconds>& server_delays() const { return delay_; }
+  Seconds route_delay(EngineRouteId id) const;
+  const net::ServerPath& route(EngineRouteId id) const;
+
+ private:
+  struct RouteEntry {
+    net::ServerPath servers;
+    Seconds delay = 0.0;
+    bool active = false;
+  };
+
+  void mark_dirty(net::ServerId s);
+  void rebuild_beta();
+  void refresh_solution(int iterations);
+
+  /// Frontier-restricted upward iteration for Z-increasing changes: only
+  /// servers whose inputs actually changed (beyond the tolerance) are
+  /// re-iterated, activating downstream servers on demand. `extra`, when
+  /// given, is an uncommitted candidate route overlaid on the committed
+  /// set (the probe path). Touched committed routes and their final sums
+  /// are returned through `touched`/`touched_delay`.
+  FeasibilityStatus run_frontier(const std::vector<net::ServerId>& seeds,
+                                 const net::ServerPath* extra,
+                                 std::vector<Seconds>& d,
+                                 std::vector<EngineRouteId>& touched,
+                                 std::vector<Seconds>& touched_delay,
+                                 Seconds& extra_delay, int& iterations,
+                                 std::size_t& active_count) const;
+
+  const net::ServerGraph* graph_;
+  double alpha_;
+  traffic::LeakyBucket bucket_;
+  Seconds deadline_;
+  FixedPointOptions options_;
+  EngineTelemetry telemetry_;
+
+  std::vector<RouteEntry> routes_;
+  std::vector<EngineRouteId> free_ids_;
+  std::size_t active_routes_ = 0;
+  /// Active route ids through each server (lazily compacted).
+  std::vector<std::vector<EngineRouteId>> routes_by_server_;
+  std::vector<std::uint32_t> used_count_;  ///< active routes per server
+  std::vector<double> beta_;               ///< beta(alpha, fan_in) per server
+
+  std::vector<Seconds> delay_;  ///< committed per-server delays
+  DelaySolution solution_;      ///< cache returned by solve()
+  bool solution_fresh_ = false;
+
+  std::vector<char> pending_dirty_;
+  std::vector<net::ServerId> pending_list_;
+  bool pending_cold_ = false;  ///< reset the dirty closure to zero
+  bool poisoned_ = true;       ///< full cold solve required (also: never solved)
+};
+
+/// Incremental engine for the multi-class system of Theorem 5. Same state
+/// model and soundness argument as AnalysisEngine, with per-(class,
+/// server) delays; the dirty closure is tracked at server granularity and
+/// every real-time class re-iterates on it.
+class MulticlassEngine {
+ public:
+  MulticlassEngine(const net::ServerGraph& graph,
+                   const traffic::ClassSet& classes,
+                   const FixedPointOptions& options = {});
+
+  EngineRouteId add_route(const traffic::Demand& demand,
+                          const net::ServerPath& route);
+  void remove_route(EngineRouteId id);
+
+  const MulticlassSolution& solve();
+
+  /// Probe result reuses RouteProbe; server_delta entries are flattened as
+  /// (class_index * server_count + server, delay).
+  RouteProbe probe_route(const traffic::Demand& demand,
+                         const net::ServerPath& route) const;
+  std::vector<RouteProbe> probe_routes(
+      const traffic::Demand& demand,
+      const std::vector<net::ServerPath>& candidates,
+      util::ThreadPool* pool) const;
+  EngineRouteId commit_probe(const traffic::Demand& demand,
+                             const net::ServerPath& route,
+                             const RouteProbe& probe);
+
+  const traffic::ClassSet& classes() const { return *classes_; }
+  std::size_t route_count() const { return active_routes_; }
+  Seconds route_delay(EngineRouteId id) const;
+
+ private:
+  struct RouteEntry {
+    traffic::Demand demand;
+    net::ServerPath servers;
+    Seconds delay = 0.0;
+    bool active = false;
+  };
+
+  void mark_dirty(net::ServerId s);
+  void refresh_solution(int iterations);
+
+  const net::ServerGraph* graph_;
+  const traffic::ClassSet* classes_;
+  FixedPointOptions options_;
+  EngineTelemetry telemetry_;
+  std::size_t servers_ = 0;
+  std::size_t num_classes_ = 0;
+
+  std::vector<RouteEntry> routes_;
+  std::vector<EngineRouteId> free_ids_;
+  std::size_t active_routes_ = 0;
+  std::vector<std::vector<EngineRouteId>> routes_by_server_;
+  /// Active routes of class i through server s: used_count_[i * servers_ + s].
+  std::vector<std::uint32_t> used_count_;
+
+  /// Committed delays, flattened [class][server].
+  std::vector<Seconds> delay_;
+  MulticlassSolution solution_;
+  bool solution_fresh_ = false;
+
+  std::vector<char> pending_dirty_;
+  std::vector<net::ServerId> pending_list_;
+  bool pending_cold_ = false;
+  bool poisoned_ = true;
+};
+
+}  // namespace ubac::analysis

@@ -1,5 +1,7 @@
 #include "analysis/verification.hpp"
 
+#include "analysis/engine.hpp"
+
 namespace ubac::analysis {
 
 VerificationReport verify_safe_utilization_servers(
@@ -7,8 +9,13 @@ VerificationReport verify_safe_utilization_servers(
     const traffic::LeakyBucket& bucket, Seconds deadline,
     const std::vector<net::ServerPath>& routes,
     const FixedPointOptions& options) {
-  const DelaySolution sol =
-      solve_two_class(graph, alpha, bucket, deadline, routes, options);
+  // A fresh engine's first solve is exactly the cold fixed-point
+  // iteration; routing through it keeps verification on the same code
+  // path the incremental pipeline uses (route ids are insertion-ordered,
+  // so route_delay stays aligned with the input).
+  AnalysisEngine engine(graph, alpha, bucket, deadline, options);
+  for (const auto& route : routes) engine.add_route(route);
+  const DelaySolution& sol = engine.solve();
 
   VerificationReport report;
   report.status = sol.status;

@@ -31,6 +31,12 @@ Configurator::Configurator(const net::ServerGraph& graph,
     throw std::invalid_argument("Configurator: deadline must be > 0");
 }
 
+routing::HeuristicOptions Configurator::with_pool(
+    routing::HeuristicOptions options) const {
+  if (options.pool == nullptr) options.pool = pool_;
+  return options;
+}
+
 ConfigResult Configurator::commit(double alpha,
                                   std::vector<traffic::Demand> demands,
                                   std::vector<net::NodePath> routes,
@@ -71,7 +77,7 @@ ConfigResult Configurator::select_routes(
     double alpha, const std::vector<traffic::Demand>& demands,
     const routing::HeuristicOptions& options) const {
   const auto selection = routing::select_routes_heuristic(
-      *graph_, alpha, bucket_, deadline_, demands, options);
+      *graph_, alpha, bucket_, deadline_, demands, with_pool(options));
   if (!selection.success) {
     ConfigResult result;
     result.failure_reason =
@@ -89,7 +95,7 @@ ConfigResult Configurator::maximize(
     const routing::HeuristicOptions& heuristic,
     const routing::MaxUtilOptions& search) const {
   const auto result = routing::maximize_utilization_heuristic(
-      *graph_, bucket_, deadline_, demands, heuristic, search);
+      *graph_, bucket_, deadline_, demands, with_pool(heuristic), search);
   if (!result.any_feasible) {
     ConfigResult out;
     out.failure_reason = "maximize: no feasible utilization found";
@@ -103,7 +109,8 @@ ConfigResult Configurator::add_demands(
     const routing::HeuristicOptions& options) const {
   const auto pinned = base.server_routes(*graph_);
   const auto selection = routing::select_routes_heuristic_incremental(
-      *graph_, base.alpha, bucket_, deadline_, pinned, additions, options);
+      *graph_, base.alpha, bucket_, deadline_, pinned, additions,
+      with_pool(options));
   if (!selection.success) {
     ConfigResult result;
     result.failure_reason =
@@ -156,7 +163,8 @@ ConfigResult Configurator::reroute_avoiding(
                                   failed_servers.begin(),
                                   failed_servers.end());
   const auto selection = routing::select_routes_heuristic_incremental(
-      *graph_, base.alpha, bucket_, deadline_, pinned, affected, detour);
+      *graph_, base.alpha, bucket_, deadline_, pinned, affected,
+      with_pool(detour));
   if (!selection.success) {
     ConfigResult result;
     result.failure_reason =

@@ -1,53 +1,63 @@
 #include "routing/cycle_check.hpp"
 
-#include <queue>
-
 namespace ubac::routing {
 
 RouteDependencyGraph::RouteDependencyGraph(std::size_t server_count)
-    : server_count_(server_count) {}
+    : server_count_(server_count),
+      adj_(server_count),
+      in_degree_(server_count, 0) {}
 
 void RouteDependencyGraph::add_route(const net::ServerPath& route) {
-  for (std::size_t i = 0; i + 1 < route.size(); ++i)
-    edges_.insert({route[i], route[i + 1]});
+  bool grew = false;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const std::pair<net::ServerId, net::ServerId> e{route[i], route[i + 1]};
+    if (edges_.insert(e).second) {
+      adj_[e.first].push_back(e.second);
+      ++in_degree_[e.second];
+      grew = true;
+    }
+  }
+  // New edges can only create cycles, never break one; an unchanged or
+  // already-cyclic graph keeps its verdict without re-checking.
+  if (grew && acyclic_) acyclic_ = acyclic_with({});
 }
 
 bool RouteDependencyGraph::stays_acyclic(const net::ServerPath& route) const {
-  std::set<std::pair<net::ServerId, net::ServerId>> extra;
+  if (!acyclic_) return false;
+  std::vector<std::pair<net::ServerId, net::ServerId>> extra;
   for (std::size_t i = 0; i + 1 < route.size(); ++i) {
     const std::pair<net::ServerId, net::ServerId> e{route[i], route[i + 1]};
-    if (!edges_.count(e)) extra.insert(e);
+    if (!edges_.count(e)) extra.push_back(e);
   }
+  if (extra.empty()) return true;  // graph unchanged
+  // A route may repeat an edge only through a repeated node pair, which
+  // would be a self-cycle anyway; duplicates in `extra` just double an
+  // in-degree and are undone below, so no dedup is needed.
   return acyclic_with(extra);
 }
 
-bool RouteDependencyGraph::is_acyclic() const { return acyclic_with({}); }
-
 bool RouteDependencyGraph::acyclic_with(
-    const std::set<std::pair<net::ServerId, net::ServerId>>& extra) const {
-  // Kahn's algorithm over the union of edges_ and extra.
-  std::vector<std::vector<net::ServerId>> adj(server_count_);
-  std::vector<int> in_degree(server_count_, 0);
-  auto add_edge = [&](const std::pair<net::ServerId, net::ServerId>& e) {
-    adj[e.first].push_back(e.second);
-    ++in_degree[e.second];
-  };
-  for (const auto& e : edges_) add_edge(e);
-  for (const auto& e : extra) add_edge(e);
+    const std::vector<std::pair<net::ServerId, net::ServerId>>& extra) const {
+  scratch_degree_.assign(in_degree_.begin(), in_degree_.end());
+  for (const auto& e : extra) ++scratch_degree_[e.second];
 
-  std::queue<net::ServerId> ready;
+  scratch_ready_.clear();
   for (std::size_t v = 0; v < server_count_; ++v)
-    if (in_degree[v] == 0) ready.push(static_cast<net::ServerId>(v));
+    if (scratch_degree_[v] == 0)
+      scratch_ready_.push_back(static_cast<net::ServerId>(v));
 
-  std::size_t processed = 0;
-  while (!ready.empty()) {
-    const net::ServerId v = ready.front();
-    ready.pop();
-    ++processed;
-    for (net::ServerId w : adj[v])
-      if (--in_degree[w] == 0) ready.push(w);
+  // Kahn over committed adjacency + extra edges; scratch_ready_ doubles as
+  // the work queue and the processed list.
+  std::size_t head = 0;
+  while (head < scratch_ready_.size()) {
+    const net::ServerId v = scratch_ready_[head++];
+    for (const net::ServerId w : adj_[v])
+      if (--scratch_degree_[w] == 0) scratch_ready_.push_back(w);
+    for (const auto& e : extra)
+      if (e.first == v && --scratch_degree_[e.second] == 0)
+        scratch_ready_.push_back(e.second);
   }
-  return processed == server_count_;
+  return head == server_count_;
 }
 
 }  // namespace ubac::routing

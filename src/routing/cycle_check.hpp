@@ -19,6 +19,9 @@
 namespace ubac::routing {
 
 /// Incremental dependency graph over `server_count` link servers.
+/// Adjacency and in-degrees are maintained across add_route calls, so the
+/// (hot) stays_acyclic query costs one Kahn pass over preallocated scratch
+/// — and nothing at all when the candidate adds no new edge.
 class RouteDependencyGraph {
  public:
   explicit RouteDependencyGraph(std::size_t server_count);
@@ -31,16 +34,25 @@ class RouteDependencyGraph {
   bool stays_acyclic(const net::ServerPath& route) const;
 
   /// Is the current graph acyclic?
-  bool is_acyclic() const;
+  bool is_acyclic() const { return acyclic_; }
 
   std::size_t edge_count() const { return edges_.size(); }
 
  private:
-  bool acyclic_with(const std::set<std::pair<net::ServerId,
-                                             net::ServerId>>& extra) const;
+  /// Kahn over the committed graph plus `extra` edges (already absent from
+  /// the committed edge set, deduplicated).
+  bool acyclic_with(
+      const std::vector<std::pair<net::ServerId, net::ServerId>>& extra) const;
 
   std::size_t server_count_;
   std::set<std::pair<net::ServerId, net::ServerId>> edges_;
+  std::vector<std::vector<net::ServerId>> adj_;
+  std::vector<int> in_degree_;
+  bool acyclic_ = true;
+
+  // Query scratch, reused across calls (single-threaded callers only).
+  mutable std::vector<int> scratch_degree_;
+  mutable std::vector<net::ServerId> scratch_ready_;
 };
 
 }  // namespace ubac::routing

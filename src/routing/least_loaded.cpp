@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/engine.hpp"
 #include "net/shortest_path.hpp"
 
 namespace ubac::routing {
@@ -56,9 +57,13 @@ RouteSelectionResult select_routes_least_loaded(
       weight[*topo.find_link((*path)[i], (*path)[i + 1])] += options.penalty;
   }
 
-  result.solution = analysis::solve_two_class(graph, alpha, bucket, deadline,
-                                              result.server_routes,
-                                              options.fixed_point);
+  // Verify through the engine (cold first solve == solve_two_class); the
+  // load-adaptive weights above never look at delays, so only this final
+  // check touches the analysis layer.
+  analysis::AnalysisEngine engine(graph, alpha, bucket, deadline,
+                                  options.fixed_point);
+  for (const auto& route : result.server_routes) engine.add_route(route);
+  result.solution = engine.solve();
   result.success = result.solution.safe();
   return result;
 }

@@ -20,11 +20,26 @@ namespace ubac::routing {
 using RouteSelector =
     std::function<RouteSelectionResult(double alpha)>;
 
+/// Re-verifies an already selected route set at a (higher) utilization,
+/// warm-started from the delays it carries. Used by the binary search as a
+/// fast path: when the routes found at alpha_lo stay feasible at alpha_mid
+/// the full selector run is skipped.
+using RouteReverifier = std::function<analysis::DelaySolution(
+    double alpha, const RouteSelectionResult& last)>;
+
 struct MaxUtilOptions {
   double resolution = 0.005;  ///< paper reports two significant digits
   /// Search-interval override; when negative, Theorem 4 bounds are used.
   double search_lo = -1.0;
   double search_hi = -1.0;
+  /// Fast path: before running the selector at alpha_mid, re-verify the
+  /// last feasible route set there (sound — a feasible set is a witness
+  /// regardless of how it was found; the result can only improve). Only
+  /// effective when a reverifier is available.
+  bool reuse_feasible_routes = true;
+  /// Optional sink for search counters
+  /// (ubac_maxutil_{probes,reverify_hits}_total); nullptr costs nothing.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct MaxUtilResult {
@@ -32,17 +47,20 @@ struct MaxUtilResult {
   bool any_feasible = false;        ///< false when even the low end failed
   RouteSelectionResult best;        ///< routes at max_alpha
   int probes = 0;                   ///< selector invocations
+  int reverify_hits = 0;            ///< selector runs skipped by reuse
   double theorem4_lower = 0.0;      ///< bounds used to seed the search
   double theorem4_upper = 0.0;
 };
 
 /// Maximize alpha for an arbitrary selector. `fan_in` and `diameter` seed
-/// the Theorem 4 interval.
+/// the Theorem 4 interval. `reverifier` (optional) enables the
+/// reuse_feasible_routes fast path.
 MaxUtilResult maximize_utilization(double fan_in, int diameter,
                                    const traffic::LeakyBucket& bucket,
                                    Seconds deadline,
                                    const RouteSelector& selector,
-                                   const MaxUtilOptions& options = {});
+                                   const MaxUtilOptions& options = {},
+                                   const RouteReverifier& reverifier = {});
 
 /// Convenience wrappers for the two selectors compared in Table 1.
 MaxUtilResult maximize_utilization_heuristic(

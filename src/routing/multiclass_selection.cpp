@@ -4,10 +4,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/engine.hpp"
 #include "net/ksp.hpp"
 #include "net/shortest_path.hpp"
 #include "routing/cycle_check.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ubac::routing {
 
@@ -49,10 +51,11 @@ MulticlassSelectionResult select_routes_multiclass(
   });
 
   RouteDependencyGraph dependency(graph.size());
-  std::vector<traffic::Demand> committed_demands;
-  std::vector<net::ServerPath> committed_routes;
-  std::vector<std::vector<Seconds>> committed_delays(
-      classes.size(), std::vector<Seconds>(graph.size(), 0.0));
+  // Incremental engine over the committed multi-class set; candidates are
+  // probed against it (and in parallel on the pool) instead of cold
+  // re-solving every committed route.
+  analysis::MulticlassEngine engine(graph, classes, options.fixed_point);
+  engine.solve();
 
   for (const std::size_t demand_index : order) {
     const traffic::Demand& demand = demands[demand_index];
@@ -75,29 +78,44 @@ MulticlassSelectionResult select_routes_multiclass(
     struct Best {
       std::size_t candidate = 0;
       Seconds own_delay = 0.0;
-      analysis::MulticlassSolution solution;
+      analysis::RouteProbe probe;
       bool found = false;
     };
     auto try_group = [&](const std::vector<const net::NodePath*>& group) {
       Best best;
-      for (const net::NodePath* path : group) {
-        const auto c = static_cast<std::size_t>(path - candidates.data());
-        committed_demands.push_back(demand);
-        committed_routes.push_back(candidate_servers[c]);
-        analysis::MulticlassSolution sol = analysis::solve_multiclass(
-            graph, classes, committed_demands, committed_routes,
-            options.fixed_point, &committed_delays);
-        committed_demands.pop_back();
-        committed_routes.pop_back();
-        if (!sol.safe()) continue;
-        const Seconds own = sol.route_delay.back();
-        if (!best.found || own < best.own_delay) {
+      const bool parallel = options.pool != nullptr && group.size() > 1;
+      if (parallel || options.pick_min_delay) {
+        std::vector<net::ServerPath> paths;
+        paths.reserve(group.size());
+        for (const net::NodePath* path : group)
+          paths.push_back(
+              candidate_servers[static_cast<std::size_t>(path -
+                                                         candidates.data())]);
+        auto probes = engine.probe_routes(demand, paths, options.pool);
+        for (std::size_t g = 0; g < group.size(); ++g) {
+          if (!probes[g].safe()) continue;
+          const Seconds own = probes[g].route_delay;
+          if (!best.found || own < best.own_delay) {
+            best.found = true;
+            best.candidate = static_cast<std::size_t>(group[g] -
+                                                      candidates.data());
+            best.own_delay = own;
+            best.probe = std::move(probes[g]);
+          }
+          if (!options.pick_min_delay) break;
+        }
+      } else {
+        for (const net::NodePath* path : group) {
+          const auto c = static_cast<std::size_t>(path - candidates.data());
+          analysis::RouteProbe probe =
+              engine.probe_route(demand, candidate_servers[c]);
+          if (!probe.safe()) continue;
           best.found = true;
           best.candidate = c;
-          best.own_delay = own;
-          best.solution = std::move(sol);
+          best.own_delay = probe.route_delay;
+          best.probe = std::move(probe);
+          break;
         }
-        if (!options.pick_min_delay) break;
       }
       return best;
     };
@@ -111,9 +129,7 @@ MulticlassSelectionResult select_routes_multiclass(
     result.routes[demand_index] = candidates[best.candidate];
     result.server_routes[demand_index] = candidate_servers[best.candidate];
     dependency.add_route(candidate_servers[best.candidate]);
-    committed_demands.push_back(demand);
-    committed_routes.push_back(candidate_servers[best.candidate]);
-    committed_delays = best.solution.class_server_delay;
+    engine.commit_probe(demand, candidate_servers[best.candidate], best.probe);
   }
 
   // Final cold verification, route delays in input-demand order.

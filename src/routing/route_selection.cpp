@@ -4,11 +4,13 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/engine.hpp"
 #include "net/ksp.hpp"
 #include "net/shortest_path.hpp"
 #include "routing/cycle_check.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ubac::routing {
 
@@ -37,21 +39,28 @@ RouteSelectionResult heuristic_core(
   check_demands(topo, demands);
   if (options.candidates_per_pair == 0)
     throw std::invalid_argument("heuristic: candidates_per_pair must be >= 1");
+  if (options.candidates != nullptr &&
+      options.candidates->size() != demands.size())
+    throw std::invalid_argument(
+        "heuristic: candidate cache misaligned with demands");
 
   RouteSelectionResult result;
   result.routes.assign(demands.size(), {});
   result.server_routes.assign(demands.size(), {});
 
-  // The pinned set must itself be feasible at alpha before we extend it.
-  analysis::DelaySolution pinned_solution;
-  if (!pinned.empty()) {
-    pinned_solution = analysis::solve_two_class(graph, alpha, bucket,
-                                                deadline, pinned,
-                                                options.fixed_point);
-    if (!pinned_solution.safe()) {
-      result.solution = std::move(pinned_solution);
-      return result;
-    }
+  // The engine owns the committed scenario: pinned routes first, then the
+  // winner of every pair. Candidate evaluations are incremental probes
+  // against it instead of cold re-solves of the whole set.
+  analysis::AnalysisEngine engine(graph, alpha, bucket, deadline,
+                                  options.fixed_point);
+  for (const auto& route : pinned) engine.add_route(route);
+
+  // The pinned set must itself be feasible at alpha before we extend it
+  // (this first solve is the engine's cold baseline either way).
+  const analysis::DelaySolution& pinned_solution = engine.solve();
+  if (!pinned_solution.safe()) {
+    result.solution = pinned_solution;
+    return result;
   }
 
   // Rule (1): order pairs by decreasing shortest-path distance. A
@@ -79,20 +88,15 @@ RouteSelectionResult heuristic_core(
   RouteDependencyGraph dependency(graph.size());
   for (const auto& route : pinned) dependency.add_route(route);
 
-  std::vector<net::ServerPath> committed = pinned;
-  committed.reserve(pinned.size() + demands.size());
-  // Delay vector of the committed set: a valid warm start (lower bound of
-  // the fixed point) for every "committed + candidate" evaluation.
-  std::vector<Seconds> committed_delays =
-      pinned.empty() ? std::vector<Seconds>(graph.size(), 0.0)
-                     : pinned_solution.server_delay;
-
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const std::size_t demand_index = order[rank];
     const traffic::Demand& demand = demands[demand_index];
 
-    auto candidates = net::k_shortest_paths(
-        topo, demand.src, demand.dst, options.candidates_per_pair);
+    std::vector<net::NodePath> candidates =
+        options.candidates != nullptr
+            ? (*options.candidates)[demand_index]
+            : net::k_shortest_paths(topo, demand.src, demand.dst,
+                                    options.candidates_per_pair);
     if (!options.forbidden_servers.empty()) {
       std::erase_if(candidates, [&](const net::NodePath& path) {
         const net::ServerPath servers = graph.map_path(path);
@@ -120,29 +124,113 @@ RouteSelectionResult heuristic_core(
     struct Best {
       std::size_t candidate = 0;
       Seconds own_delay = 0.0;
-      analysis::DelaySolution solution;
+      analysis::RouteProbe probe;
       bool found = false;
     };
 
+    // Score a group of candidates against the committed set. Independent
+    // probes fork the engine's committed view, so they can run on the
+    // pool; the reduction is by (delay, group order), which makes the
+    // winner independent of thread count.
     auto try_group = [&](const std::vector<const net::NodePath*>& group) {
       Best best;
-      for (const net::NodePath* path : group) {
-        const auto c = static_cast<std::size_t>(path - candidates.data());
-        committed.push_back(candidate_servers[c]);
-        analysis::DelaySolution sol = analysis::solve_two_class(
-            graph, alpha, bucket, deadline, committed, options.fixed_point,
-            &committed_delays);
-        committed.pop_back();
-        if (!sol.safe()) continue;
-        const Seconds own = sol.route_delay.back();
-        if (!best.found || own < best.own_delay) {
+      const bool parallel = options.pool != nullptr &&
+                            options.pool->thread_count() > 1 &&
+                            group.size() > 1;
+      if (parallel && options.pick_min_delay) {
+        // Hybrid pruned-parallel: probe the lowest-bound candidate first,
+        // drop everyone it provably beats, then score the survivors on
+        // the pool. The reduction is lexicographic on (converged delay,
+        // group order), so the winner matches the sequential path and is
+        // independent of thread count.
+        const std::vector<Seconds>& committed = engine.server_delays();
+        std::vector<Seconds> bounds(group.size(), 0.0);
+        std::size_t first = 0;
+        for (std::size_t g = 0; g < group.size(); ++g) {
+          const auto c =
+              static_cast<std::size_t>(group[g] - candidates.data());
+          for (const net::ServerId s : candidate_servers[c])
+            bounds[g] += committed[s];
+          if (bounds[g] < bounds[first]) first = g;
+        }
+        const auto first_c =
+            static_cast<std::size_t>(group[first] - candidates.data());
+        analysis::RouteProbe first_probe =
+            engine.probe_route(candidate_servers[first_c]);
+        std::vector<std::size_t> rest;
+        for (std::size_t g = 0; g < group.size(); ++g) {
+          if (g == first) continue;
+          // A candidate whose lower bound already reaches the converged
+          // first-probe delay loses the (delay, group order) comparison —
+          // on an exact tie the earlier group member would win, and the
+          // pruned one is later iff first < g.
+          if (first_probe.safe() &&
+              (bounds[g] > first_probe.route_delay ||
+               (bounds[g] == first_probe.route_delay && first < g)))
+            continue;
+          rest.push_back(g);
+        }
+        std::vector<net::ServerPath> paths;
+        paths.reserve(rest.size());
+        for (const std::size_t g : rest)
+          paths.push_back(candidate_servers[static_cast<std::size_t>(
+              group[g] - candidates.data())]);
+        auto probes = engine.probe_routes(paths, options.pool);
+        auto consider = [&](std::size_t g, analysis::RouteProbe& probe) {
+          if (!probe.safe()) return;
+          const Seconds own = probe.route_delay;
+          const bool wins =
+              !best.found || own < best.own_delay ||
+              (own == best.own_delay &&
+               static_cast<std::size_t>(group[g] - candidates.data()) <
+                   best.candidate);
+          if (wins) {
+            best.found = true;
+            best.candidate = static_cast<std::size_t>(group[g] -
+                                                      candidates.data());
+            best.own_delay = own;
+            best.probe = std::move(probe);
+          }
+        };
+        consider(first, first_probe);
+        for (std::size_t i = 0; i < rest.size(); ++i)
+          consider(rest[i], probes[i]);
+      } else if (options.pick_min_delay) {
+        // Sequential min-delay with sound pruning: the committed delays
+        // are a lower bound of a candidate's converged delay, so once its
+        // bound reaches the best's *converged* delay it cannot win the
+        // strict comparison. Same winner as probing everything.
+        const std::vector<Seconds>& committed = engine.server_delays();
+        for (const net::NodePath* path : group) {
+          const auto c = static_cast<std::size_t>(path - candidates.data());
+          Seconds bound = 0.0;
+          for (const net::ServerId s : candidate_servers[c])
+            bound += committed[s];
+          if (best.found && bound >= best.own_delay) continue;
+          analysis::RouteProbe probe =
+              engine.probe_route(candidate_servers[c]);
+          if (!probe.safe()) continue;
+          if (!best.found || probe.route_delay < best.own_delay) {
+            best.found = true;
+            best.candidate = c;
+            best.own_delay = probe.route_delay;
+            best.probe = std::move(probe);
+          }
+        }
+      } else {
+        // Rule (3) off => the first feasible candidate wins; stop probing
+        // at the first success.
+        for (const net::NodePath* path : group) {
+          const auto c = static_cast<std::size_t>(path - candidates.data());
+          analysis::RouteProbe probe =
+              engine.probe_route(candidate_servers[c]);
+          if (!probe.safe()) continue;
           best.found = true;
           best.candidate = c;
-          best.own_delay = own;
-          best.solution = std::move(sol);
+          best.own_delay = probe.route_delay;
+          best.probe = std::move(probe);
+          break;
         }
-        // Rule (3) off => accept the first feasible candidate.
-        if (!options.pick_min_delay) break;
       }
       return best;
     };
@@ -161,8 +249,7 @@ RouteSelectionResult heuristic_core(
     result.routes[demand_index] = candidates[best.candidate];
     result.server_routes[demand_index] = candidate_servers[best.candidate];
     dependency.add_route(candidate_servers[best.candidate]);
-    committed.push_back(candidate_servers[best.candidate]);
-    committed_delays = best.solution.server_delay;
+    engine.commit_probe(candidate_servers[best.candidate], best.probe);
   }
 
   // Final cold verification of the committed set (pinned first, then new

@@ -27,6 +27,10 @@
 #include "traffic/flow.hpp"
 #include "traffic/leaky_bucket.hpp"
 
+namespace ubac::util {
+class ThreadPool;
+}
+
 namespace ubac::routing {
 
 struct HeuristicOptions {
@@ -43,6 +47,17 @@ struct HeuristicOptions {
   /// over this seed recover some of what backtracking would.
   std::uint64_t order_jitter_seed = 0;
   analysis::FixedPointOptions fixed_point;
+  /// When set, the independent candidate routes of a pair are scored
+  /// concurrently on forked engine views (analysis::AnalysisEngine). The
+  /// selection result is identical at any thread count; nullptr (or a
+  /// single-thread pool) scores sequentially.
+  util::ThreadPool* pool = nullptr;
+  /// Optional precomputed k-shortest-path candidate lists, aligned with
+  /// the demand vector. Candidates are alpha-independent, so a binary
+  /// search over alpha computes them once and shares them across every
+  /// probe instead of re-running Yen's algorithm per probe. Entries are
+  /// copied before the forbidden_servers filter; nullptr recomputes.
+  const std::vector<std::vector<net::NodePath>>* candidates = nullptr;
 };
 
 inline constexpr std::size_t kNoFailedDemand =

@@ -1,0 +1,283 @@
+// The incremental AnalysisEngine's contract: after ANY sequence of
+// add_route / remove_route / set_alpha mutations, solve() must agree with
+// a cold oracle solve of the same committed set — identical feasibility
+// status and per-server delays within 1e-9 — and probe/commit must be a
+// pure shortcut for add_route + solve. Randomized sequences exercise the
+// warm, frontier, dirty-closure, and poisoned re-solve paths; a final
+// group checks that heuristic selection is bit-identical at any thread
+// count (the probes fork immutable state, the reduction is by (delay,
+// candidate order)).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/engine.hpp"
+#include "analysis/fixed_point.hpp"
+#include "analysis/multiclass.hpp"
+#include "net/ksp.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/multiclass_selection.hpp"
+#include "routing/route_selection.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace ubac::analysis {
+namespace {
+
+using traffic::LeakyBucket;
+using units::kbps;
+using units::mbps;
+using units::milliseconds;
+
+constexpr double kTol = 1e-9;
+const LeakyBucket kVoice(640.0, kbps(32));
+
+/// Random simple route between two distinct nodes (one of the 3 shortest).
+net::ServerPath random_route(const net::Topology& topo,
+                             const net::ServerGraph& graph,
+                             util::Xoshiro256& rng) {
+  for (;;) {
+    const auto s =
+        static_cast<net::NodeId>(rng.uniform_index(topo.node_count()));
+    const auto d =
+        static_cast<net::NodeId>(rng.uniform_index(topo.node_count()));
+    if (s == d) continue;
+    const auto paths = net::k_shortest_paths(topo, s, d, 3);
+    if (paths.empty()) continue;
+    return graph.map_path(paths[rng.uniform_index(paths.size())]);
+  }
+}
+
+void expect_matches_oracle(AnalysisEngine& engine,
+                           const net::ServerGraph& graph, double alpha,
+                           Seconds deadline,
+                           const std::vector<net::ServerPath>& committed,
+                           std::uint64_t seed, int step) {
+  const DelaySolution& incremental = engine.solve();
+  const DelaySolution oracle =
+      solve_two_class(graph, alpha, kVoice, deadline, committed);
+  ASSERT_EQ(incremental.status, oracle.status)
+      << "seed=" << seed << " step=" << step
+      << " routes=" << committed.size() << " alpha=" << alpha;
+  if (!oracle.safe()) return;
+  ASSERT_EQ(incremental.server_delay.size(), oracle.server_delay.size());
+  for (std::size_t s = 0; s < oracle.server_delay.size(); ++s)
+    ASSERT_NEAR(incremental.server_delay[s], oracle.server_delay[s], kTol)
+        << "seed=" << seed << " step=" << step << " server=" << s;
+}
+
+/// One randomized scenario: interleave adds (plain and probe+commit),
+/// removes and alpha moves, checking the oracle after every settle.
+void run_sequence(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto topo =
+      net::random_connected(8 + rng.uniform_index(5), 3.0, seed * 101 + 7);
+  const net::ServerGraph graph(topo, 6u);
+  const Seconds deadline = milliseconds(40.0 + 40.0 * rng.uniform());
+  double alpha = 0.15 + 0.35 * rng.uniform();
+
+  AnalysisEngine engine(graph, alpha, kVoice, deadline);
+  std::vector<EngineRouteId> ids;
+  std::vector<net::ServerPath> committed;
+
+  const int steps = 6 + static_cast<int>(rng.uniform_index(5));
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t op = rng.uniform_index(8);
+    if (op < 3 || ids.empty()) {
+      // Plain add.
+      const auto route = random_route(topo, graph, rng);
+      ids.push_back(engine.add_route(route));
+      committed.push_back(route);
+    } else if (op < 5) {
+      // Probe + commit (only legal from a clean safe state). The probe
+      // must itself match the oracle for committed + candidate.
+      if (!engine.solve().safe()) continue;
+      const auto route = random_route(topo, graph, rng);
+      const RouteProbe probe = engine.probe_route(route);
+      std::vector<net::ServerPath> overlay = committed;
+      overlay.push_back(route);
+      const DelaySolution oracle =
+          solve_two_class(graph, alpha, kVoice, deadline, overlay);
+      ASSERT_EQ(probe.status, oracle.status)
+          << "seed=" << seed << " step=" << step << " (probe)";
+      if (!probe.safe()) continue;
+      EXPECT_NEAR(probe.route_delay, oracle.route_delay.back(), kTol);
+      ids.push_back(engine.commit_probe(route, probe));
+      committed.push_back(route);
+    } else if (op < 6) {
+      // Remove a random committed route.
+      const std::size_t victim = rng.uniform_index(ids.size());
+      engine.remove_route(ids[victim]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(victim));
+      committed.erase(committed.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    } else {
+      // Alpha move: raises stay warm, cuts restart the dirty closure.
+      alpha = op == 6 ? std::min(0.85, alpha * (1.05 + 0.2 * rng.uniform()))
+                      : std::max(0.05, alpha * (0.7 + 0.2 * rng.uniform()));
+      engine.set_alpha(alpha);
+    }
+    expect_matches_oracle(engine, graph, alpha, deadline, committed, seed,
+                          step);
+  }
+}
+
+TEST(EngineEquivalence, RandomizedSequencesBatch0) {
+  for (std::uint64_t seed = 0; seed < 250; ++seed) run_sequence(seed);
+}
+TEST(EngineEquivalence, RandomizedSequencesBatch1) {
+  for (std::uint64_t seed = 250; seed < 500; ++seed) run_sequence(seed);
+}
+TEST(EngineEquivalence, RandomizedSequencesBatch2) {
+  for (std::uint64_t seed = 500; seed < 750; ++seed) run_sequence(seed);
+}
+TEST(EngineEquivalence, RandomizedSequencesBatch3) {
+  for (std::uint64_t seed = 750; seed < 1000; ++seed) run_sequence(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Multiclass engine vs solve_multiclass oracle
+// ---------------------------------------------------------------------------
+
+void run_multiclass_sequence(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto topo = net::random_connected(8, 3.0, seed * 131 + 3);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = routing::scaled_class_set(
+      {{"voice", LeakyBucket(640.0, kbps(32)), milliseconds(100), 1.0},
+       {"video", LeakyBucket(16000.0, mbps(1)), milliseconds(200), 1.0}},
+      0.05 + 0.1 * rng.uniform());
+
+  MulticlassEngine engine(graph, classes);
+  std::vector<EngineRouteId> ids;
+  std::vector<traffic::Demand> demands;
+  std::vector<net::ServerPath> routes;
+
+  const int steps = 5 + static_cast<int>(rng.uniform_index(4));
+  for (int step = 0; step < steps; ++step) {
+    const std::size_t op = rng.uniform_index(5);
+    if (op < 3 || ids.empty()) {
+      const auto route = random_route(topo, graph, rng);
+      const traffic::Demand demand{route.front(), route.back(),
+                                   rng.uniform_index(2)};
+      ids.push_back(engine.add_route(demand, route));
+      demands.push_back(demand);
+      routes.push_back(route);
+    } else if (op == 3) {
+      if (!engine.solve().safe()) continue;
+      const auto route = random_route(topo, graph, rng);
+      const traffic::Demand demand{route.front(), route.back(),
+                                   rng.uniform_index(2)};
+      const RouteProbe probe = engine.probe_route(demand, route);
+      std::vector<traffic::Demand> od = demands;
+      std::vector<net::ServerPath> orr = routes;
+      od.push_back(demand);
+      orr.push_back(route);
+      const MulticlassSolution oracle =
+          solve_multiclass(graph, classes, od, orr);
+      ASSERT_EQ(probe.status, oracle.status)
+          << "seed=" << seed << " step=" << step << " (mc probe)";
+      if (!probe.safe()) continue;
+      EXPECT_NEAR(probe.route_delay, oracle.route_delay.back(), kTol);
+      ids.push_back(engine.commit_probe(demand, route, probe));
+      demands.push_back(demand);
+      routes.push_back(route);
+    } else {
+      const std::size_t victim = rng.uniform_index(ids.size());
+      engine.remove_route(ids[victim]);
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(victim));
+      demands.erase(demands.begin() + static_cast<std::ptrdiff_t>(victim));
+      routes.erase(routes.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+
+    const MulticlassSolution& incremental = engine.solve();
+    const MulticlassSolution oracle =
+        solve_multiclass(graph, classes, demands, routes);
+    ASSERT_EQ(incremental.status, oracle.status)
+        << "seed=" << seed << " step=" << step << " routes=" << routes.size();
+    if (!oracle.safe()) continue;
+    for (std::size_t i = 0; i < oracle.class_server_delay.size(); ++i)
+      for (std::size_t s = 0; s < oracle.class_server_delay[i].size(); ++s)
+        ASSERT_NEAR(incremental.class_server_delay[i][s],
+                    oracle.class_server_delay[i][s], kTol)
+            << "seed=" << seed << " step=" << step << " class=" << i
+            << " server=" << s;
+  }
+}
+
+TEST(EngineEquivalence, MulticlassRandomizedSequences) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed)
+    run_multiclass_sequence(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism
+// ---------------------------------------------------------------------------
+
+TEST(EngineEquivalence, SelectionIdenticalAcrossThreadCounts) {
+  const auto topo = net::random_connected(14, 3.5, 97);
+  const net::ServerGraph graph(topo);
+  const auto demands = traffic::all_ordered_pairs(topo);
+  const Seconds deadline = milliseconds(100);
+
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool8(8);
+  for (const double alpha : {0.15, 0.25, 0.35}) {
+    routing::HeuristicOptions base;
+    base.candidates_per_pair = 4;
+
+    routing::HeuristicOptions seq = base;
+    routing::HeuristicOptions one = base;
+    one.pool = &pool1;
+    routing::HeuristicOptions many = base;
+    many.pool = &pool8;
+
+    const auto r_seq = routing::select_routes_heuristic(
+        graph, alpha, kVoice, deadline, demands, seq);
+    const auto r_one = routing::select_routes_heuristic(
+        graph, alpha, kVoice, deadline, demands, one);
+    const auto r_many = routing::select_routes_heuristic(
+        graph, alpha, kVoice, deadline, demands, many);
+
+    EXPECT_EQ(r_seq.success, r_many.success) << "alpha=" << alpha;
+    EXPECT_EQ(r_one.success, r_many.success) << "alpha=" << alpha;
+    ASSERT_EQ(r_seq.routes.size(), r_many.routes.size());
+    for (std::size_t i = 0; i < r_seq.routes.size(); ++i) {
+      EXPECT_EQ(r_seq.routes[i], r_one.routes[i]) << "demand " << i;
+      EXPECT_EQ(r_seq.routes[i], r_many.routes[i]) << "demand " << i;
+    }
+  }
+}
+
+TEST(EngineEquivalence, ProbeBatchMatchesSequential) {
+  const auto topo = net::random_connected(12, 3.0, 55);
+  const net::ServerGraph graph(topo, 6u);
+  const Seconds deadline = milliseconds(80);
+  util::Xoshiro256 rng(2024);
+
+  AnalysisEngine engine(graph, 0.3, kVoice, deadline);
+  for (int i = 0; i < 30; ++i)
+    engine.add_route(random_route(topo, graph, rng));
+  ASSERT_TRUE(engine.solve().safe());
+
+  std::vector<net::ServerPath> candidates;
+  for (int i = 0; i < 16; ++i)
+    candidates.push_back(random_route(topo, graph, rng));
+
+  util::ThreadPool pool(8);
+  const auto parallel = engine.probe_routes(candidates, &pool);
+  const auto serial = engine.probe_routes(candidates, nullptr);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].status, serial[i].status) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(parallel[i].route_delay, serial[i].route_delay);
+    EXPECT_EQ(parallel[i].server_delta, serial[i].server_delta);
+    EXPECT_EQ(parallel[i].committed_route_delta,
+              serial[i].committed_route_delta);
+  }
+}
+
+}  // namespace
+}  // namespace ubac::analysis

@@ -90,8 +90,12 @@ int cmd_bounds(const util::ArgParser& args) {
 int cmd_maximize(const util::ArgParser& args) {
   const auto topo = load_topology(args);
   const net::ServerGraph graph(topo);
-  const config::Configurator configurator(graph, bucket_from(args),
-                                          deadline_from(args));
+  config::Configurator configurator(graph, bucket_from(args),
+                                    deadline_from(args));
+  // 0 = hardware_concurrency; candidate scoring is identical at any count.
+  util::ThreadPool pool(
+      static_cast<std::size_t>(args.get_long("threads", 0)));
+  configurator.set_thread_pool(&pool);
   const auto demands = traffic::all_ordered_pairs(topo);
   routing::HeuristicOptions heuristic;
   heuristic.candidates_per_pair =
@@ -244,7 +248,10 @@ int cmd_reroute(const util::ArgParser& args) {
     dead.push_back(graph.server_for_link(*ba));
   if (dead.empty()) throw std::runtime_error("no such link");
 
-  const config::Configurator configurator(graph, cfg.bucket, cfg.deadline);
+  config::Configurator configurator(graph, cfg.bucket, cfg.deadline);
+  util::ThreadPool pool(
+      static_cast<std::size_t>(args.get_long("threads", 0)));
+  configurator.set_thread_pool(&pool);
   const auto healed = configurator.reroute_avoiding(cfg, dead);
   if (!healed.success) {
     std::fprintf(stderr, "reroute failed: %s\n",
@@ -271,7 +278,10 @@ int main(int argc, char** argv) {
       .describe("out", "file to write the resulting configuration to")
       .describe("fail", "duplex link to fail, as NodeA:NodeB")
       .describe("alpha", "metricsdump: class share (default 0.32)")
-      .describe("threads", "metricsdump: churn threads (default 4)")
+      .describe("threads",
+                "worker threads: candidate scoring for maximize/reroute "
+                "(default 0 = hardware), churn threads for metricsdump "
+                "(default 4)")
       .describe("ops", "metricsdump: ops per thread (default 100000)")
       .describe("sampling", "metricsdump: trace sampling in [0,1] (default 1)")
       .describe("format", "metricsdump: prom|json|csv|all (default prom)")
