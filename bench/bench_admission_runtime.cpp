@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   args.describe("metrics-out",
                 "instrument the controllers and export the metrics snapshot "
-                "(.prom/.json/.csv chosen by extension)");
+                "(.prom/.json/.csv chosen by extension)")
+      .describe("trace-out", bench::kTraceOutHelp);
   args.validate();
+  bench::ScopedBenchTracing tracing(args);
   const std::string metrics_out = args.get("metrics-out", "");
   telemetry::MetricsRegistry registry;
   const bench::VoipScenario scenario;

@@ -52,8 +52,10 @@ int main(int argc, char** argv) {
   args.describe("reps", "timing repetitions per case (default 20)")
       .describe("threads", "candidate-scoring threads (default 0 = hardware)")
       .describe("json",
-                "write BENCH rows as JSON (default BENCH_analysis_perf.json)");
+                "write BENCH rows as JSON (default BENCH_analysis_perf.json)")
+      .describe("trace-out", bench::kTraceOutHelp);
   args.validate();
+  bench::ScopedBenchTracing tracing(args);
   const int reps = static_cast<int>(args.get_long("reps", 20));
   util::ThreadPool pool(
       static_cast<std::size_t>(args.get_long("threads", 0)));

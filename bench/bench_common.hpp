@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -18,8 +19,10 @@
 #include "net/topology_factory.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "traffic/leaky_bucket.hpp"
 #include "traffic/workload.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -37,6 +40,40 @@ struct VoipScenario {
 inline void print_header(const std::string& title, const std::string& setup) {
   std::printf("\n=== %s ===\n%s\n\n", title.c_str(), setup.c_str());
 }
+
+/// Span tracing for one bench invocation, gated on --trace-out=<file>:
+/// construct after ArgParser::validate(); the Chrome trace-event JSON
+/// (Perfetto-loadable) is written when the object goes out of scope.
+/// Callers must have described the flag:
+///   args.describe("trace-out", bench::kTraceOutHelp);
+/// With the flag absent, the recorder is never installed, so instrumented
+/// code pays only a relaxed atomic load per span site.
+inline constexpr const char* kTraceOutHelp =
+    "write a Chrome trace-event / Perfetto JSON span timeline here";
+
+class ScopedBenchTracing {
+ public:
+  explicit ScopedBenchTracing(const util::ArgParser& args)
+      : path_(args.get("trace-out", "")) {
+    if (path_.empty()) return;
+    recorder_ = std::make_unique<telemetry::SpanRecorder>(1u << 15);
+    telemetry::SpanRecorder::install(recorder_.get());
+  }
+  ~ScopedBenchTracing() {
+    if (recorder_ == nullptr) return;
+    telemetry::ChromeTraceWriter writer;
+    writer.add_spans(*recorder_, /*pid=*/1, "bench");
+    writer.write(path_);
+    std::printf("[span trace written to %s]\n", path_.c_str());
+  }
+
+  ScopedBenchTracing(const ScopedBenchTracing&) = delete;
+  ScopedBenchTracing& operator=(const ScopedBenchTracing&) = delete;
+
+ private:
+  std::string path_;
+  std::unique_ptr<telemetry::SpanRecorder> recorder_;
+};
 
 /// Print the table and optionally mirror it to $UBAC_BENCH_CSV/<name>.csv.
 inline void emit(const util::TextTable& table,

@@ -52,8 +52,10 @@ int main(int argc, char** argv) {
       .describe("telemetry",
                 "instrument the controller without exporting (overhead runs)")
       .describe("ops-per-thread", "churn operations per thread (default "
-                                  "200000)");
+                                  "200000)")
+      .describe("trace-out", bench::kTraceOutHelp);
   args.validate();
+  bench::ScopedBenchTracing tracing(args);
 
   const bench::VoipScenario scenario;
   const auto topo = net::mci_backbone();

@@ -40,8 +40,10 @@ int main(int argc, char** argv) {
   util::ArgParser args(argc, argv);
   args.describe("nodes", "comma-separated graph sizes (default 10,20,30,40)")
       .describe("threads", "candidate-scoring threads (default 0 = hardware)")
-      .describe("json", "write BENCH rows as JSON (default BENCH_scale.json)");
+      .describe("json", "write BENCH rows as JSON (default BENCH_scale.json)")
+      .describe("trace-out", bench::kTraceOutHelp);
   args.validate();
+  bench::ScopedBenchTracing tracing(args);
 
   const auto sizes = parse_sizes(args.get("nodes", "10,20,30,40"));
   const auto threads =

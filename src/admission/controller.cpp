@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "admission/telemetry.hpp"
+#include "telemetry/span.hpp"
 
 namespace ubac::admission {
 
@@ -81,6 +82,7 @@ bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
 
 AdmissionDecision ConcurrentAdmissionController::request(
     net::NodeId src, net::NodeId dst, std::size_t class_index) {
+  UBAC_SPAN_ARG("admission.request", "admission", "class", class_index);
   ControllerTelemetry* const t = telemetry_;
   if (t == nullptr) return request_impl(src, dst, class_index);
 

@@ -6,6 +6,7 @@
 
 #include "analysis/delay_bound.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ubac::analysis {
@@ -408,6 +409,7 @@ const DelaySolution& AnalysisEngine::solve() {
 
   const std::size_t servers = graph_->size();
   const bool warm = !poisoned_ && !pending_cold_;
+  UBAC_SPAN_ARG("engine.solve", "engine", "warm", warm ? 1.0 : 0.0);
   FeasibilityStatus status;
   int iterations = 0;
   std::size_t dirty = 0;
@@ -492,6 +494,7 @@ void AnalysisEngine::refresh_solution(int iterations) {
 }
 
 RouteProbe AnalysisEngine::probe_route(const net::ServerPath& route) const {
+  UBAC_SPAN_ARG("engine.probe_route", "engine", "hops", route.size());
   if (!solution_fresh_ || poisoned_ || !pending_list_.empty())
     throw std::logic_error(
         "probe_route: engine needs a clean, safely solved committed state");
@@ -676,6 +679,7 @@ const MulticlassSolution& MulticlassEngine::solve() {
 
   Closure cl;
   const bool warm = !poisoned_ && !pending_cold_;
+  UBAC_SPAN_ARG("engine.solve", "engine", "warm", warm ? 1.0 : 0.0);
   auto route_path = [this](EngineRouteId rid) -> const net::ServerPath* {
     return routes_[rid].active ? &routes_[rid].servers : nullptr;
   };
@@ -796,6 +800,7 @@ void MulticlassEngine::refresh_solution(int iterations) {
 
 RouteProbe MulticlassEngine::probe_route(const traffic::Demand& demand,
                                          const net::ServerPath& route) const {
+  UBAC_SPAN_ARG("engine.probe_route", "engine", "hops", route.size());
   if (!solution_fresh_ || poisoned_ || !pending_list_.empty())
     throw std::logic_error(
         "probe_route: engine needs a clean, safely solved committed state");

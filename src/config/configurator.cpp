@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/span.hpp"
 #include "util/log.hpp"
 
 namespace ubac::config {
@@ -41,6 +42,7 @@ ConfigResult Configurator::commit(double alpha,
                                   std::vector<traffic::Demand> demands,
                                   std::vector<net::NodePath> routes,
                                   std::string failure_context) const {
+  UBAC_SPAN_ARG("config.commit", "config", "alpha", alpha);
   ConfigResult result;
   result.report = analysis::verify_safe_utilization(*graph_, alpha, bucket_,
                                                     deadline_, routes);
@@ -61,6 +63,7 @@ ConfigResult Configurator::commit(double alpha,
 ConfigResult Configurator::verify(
     double alpha, const std::vector<traffic::Demand>& demands,
     const std::vector<net::NodePath>& routes) const {
+  UBAC_SPAN_ARG("config.verify", "config", "routes", demands.size());
   if (demands.size() != routes.size())
     throw std::invalid_argument("verify: demands/routes size mismatch");
   for (std::size_t i = 0; i < demands.size(); ++i) {
@@ -76,6 +79,7 @@ ConfigResult Configurator::verify(
 ConfigResult Configurator::select_routes(
     double alpha, const std::vector<traffic::Demand>& demands,
     const routing::HeuristicOptions& options) const {
+  UBAC_SPAN_ARG("config.select_routes", "config", "alpha", alpha);
   const auto selection = routing::select_routes_heuristic(
       *graph_, alpha, bucket_, deadline_, demands, with_pool(options));
   if (!selection.success) {
@@ -94,6 +98,7 @@ ConfigResult Configurator::maximize(
     const std::vector<traffic::Demand>& demands,
     const routing::HeuristicOptions& heuristic,
     const routing::MaxUtilOptions& search) const {
+  UBAC_SPAN_ARG("config.maximize", "config", "demands", demands.size());
   const auto result = routing::maximize_utilization_heuristic(
       *graph_, bucket_, deadline_, demands, with_pool(heuristic), search);
   if (!result.any_feasible) {
@@ -107,6 +112,7 @@ ConfigResult Configurator::maximize(
 ConfigResult Configurator::add_demands(
     const NetworkConfig& base, const std::vector<traffic::Demand>& additions,
     const routing::HeuristicOptions& options) const {
+  UBAC_SPAN_ARG("config.add_demands", "config", "additions", additions.size());
   const auto pinned = base.server_routes(*graph_);
   const auto selection = routing::select_routes_heuristic_incremental(
       *graph_, base.alpha, bucket_, deadline_, pinned, additions,
@@ -133,6 +139,8 @@ ConfigResult Configurator::reroute_avoiding(
     const NetworkConfig& base,
     const std::vector<net::ServerId>& failed_servers,
     const routing::HeuristicOptions& options) const {
+  UBAC_SPAN_ARG("config.reroute_avoiding", "config", "failed_servers",
+                failed_servers.size());
   const auto all_servers = base.server_routes(*graph_);
   auto hits_failure = [&](const net::ServerPath& route) {
     for (const net::ServerId bad : failed_servers)

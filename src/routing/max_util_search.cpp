@@ -5,6 +5,7 @@
 #include "net/ksp.hpp"
 #include "net/shortest_path.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "util/log.hpp"
 
 namespace ubac::routing {
@@ -43,6 +44,7 @@ MaxUtilResult maximize_utilization(double fan_in, int diameter,
   if (lo > hi) throw std::invalid_argument("maximize_utilization: lo > hi");
 
   auto probe = [&](double alpha) {
+    UBAC_SPAN_ARG("maxutil.probe", "routing", "alpha", alpha);
     ++result.probes;
     if (probes_metric != nullptr) probes_metric->add();
     RouteSelectionResult r = selector(alpha);
@@ -62,6 +64,7 @@ MaxUtilResult maximize_utilization(double fan_in, int diameter,
   auto try_reuse = [&](double alpha) -> bool {
     if (!options.reuse_feasible_routes || !reverifier || !result.any_feasible)
       return false;
+    UBAC_SPAN_ARG("maxutil.reverify", "routing", "alpha", alpha);
     analysis::DelaySolution sol = reverifier(alpha, result.best);
     if (!sol.safe()) return false;
     ++result.reverify_hits;

@@ -8,6 +8,7 @@
 #include "net/ksp.hpp"
 #include "net/shortest_path.hpp"
 #include "routing/cycle_check.hpp"
+#include "telemetry/span.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -91,6 +92,7 @@ RouteSelectionResult heuristic_core(
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const std::size_t demand_index = order[rank];
     const traffic::Demand& demand = demands[demand_index];
+    UBAC_SPAN_ARG("route.select_pair", "routing", "demand", demand_index);
 
     std::vector<net::NodePath> candidates =
         options.candidates != nullptr
@@ -254,6 +256,8 @@ RouteSelectionResult heuristic_core(
 
   // Final cold verification of the committed set (pinned first, then new
   // routes in input-demand order).
+  UBAC_SPAN_ARG("route.final_verify", "routing", "routes",
+                pinned.size() + result.server_routes.size());
   std::vector<net::ServerPath> all = pinned;
   for (const auto& route : result.server_routes) all.push_back(route);
   result.solution = analysis::solve_two_class(graph, alpha, bucket, deadline,

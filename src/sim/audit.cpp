@@ -1,0 +1,360 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ubac::sim {
+
+namespace {
+
+std::string fmt_ms(Seconds s) {
+  if (s == kUnbounded) return "inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f ms", s * 1e3);
+  return buf;
+}
+
+std::string fmt_labels(const telemetry::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+AuditBounds AuditBounds::single_class(const net::ServerGraph& graph,
+                                      const std::vector<Seconds>& server_delay,
+                                      Seconds deadline, Bits packet_size,
+                                      std::size_t num_classes) {
+  if (server_delay.size() != graph.size())
+    throw std::invalid_argument("AuditBounds: server_delay size mismatch");
+  if (num_classes == 0)
+    throw std::invalid_argument("AuditBounds: need at least one class");
+  AuditBounds bounds;
+  bounds.server_delay.assign(num_classes, {});
+  bounds.server_delay[0] = server_delay;
+  bounds.class_deadline.assign(num_classes, kUnbounded);
+  bounds.class_deadline[0] = deadline;
+  bounds.hop_slack.reserve(graph.size());
+  for (net::ServerId s = 0; s < graph.size(); ++s)
+    bounds.hop_slack.push_back(packet_size / graph.server(s).capacity);
+  return bounds;
+}
+
+AuditBounds AuditBounds::per_class(
+    const net::ServerGraph& graph,
+    const std::vector<std::vector<Seconds>>& class_server_delay,
+    const std::vector<Seconds>& class_deadline, Bits packet_size) {
+  if (class_server_delay.size() != class_deadline.size())
+    throw std::invalid_argument("AuditBounds: class count mismatch");
+  for (const auto& per_server : class_server_delay)
+    if (!per_server.empty() && per_server.size() != graph.size())
+      throw std::invalid_argument("AuditBounds: server_delay size mismatch");
+  AuditBounds bounds;
+  bounds.server_delay = class_server_delay;
+  bounds.class_deadline = class_deadline;
+  bounds.hop_slack.reserve(graph.size());
+  for (net::ServerId s = 0; s < graph.size(); ++s)
+    bounds.hop_slack.push_back(packet_size / graph.server(s).capacity);
+  return bounds;
+}
+
+Seconds AuditBounds::route_allowance(std::size_t class_index,
+                                     const net::ServerPath& route) const {
+  if (class_index >= class_deadline.size() ||
+      class_deadline[class_index] == kUnbounded)
+    return kUnbounded;
+  Seconds allowance = class_deadline[class_index];
+  for (const net::ServerId s : route) allowance += hop_slack.at(s);
+  return allowance;
+}
+
+// -- GuaranteeAuditor ------------------------------------------------------
+
+GuaranteeAuditor::GuaranteeAuditor(const net::ServerGraph& graph,
+                                   AuditBounds bounds)
+    : graph_(&graph), bounds_(std::move(bounds)) {}
+
+void GuaranteeAuditor::register_flow(std::size_t class_index,
+                                     net::ServerPath route) {
+  for (const net::ServerId s : route)
+    if (s >= graph_->size())
+      throw std::out_of_range("GuaranteeAuditor: bad server in route");
+  FlowInfo info;
+  info.class_index = class_index;
+  info.allowance = bounds_.route_allowance(class_index, route);
+  info.route = std::move(route);
+  flows_.push_back(std::move(info));
+}
+
+AuditReport GuaranteeAuditor::audit(const SimResults& results,
+                                    const TraceRecorder* trace) const {
+  AuditReport report;
+
+  // Per-(server, class) max sojourn, attributed through the flow table.
+  // Needs the hop trace: the sim's class-blind server_max_sojourn would
+  // charge real-time bounds for best-effort queueing.
+  if (trace != nullptr) {
+    report.hop_audit = true;
+    struct Cell {
+      Seconds measured = 0.0;
+      std::uint64_t packets = 0;
+    };
+    std::map<std::pair<net::ServerId, std::size_t>, Cell> cells;
+    for (const HopRecord& rec : trace->records()) {
+      if (rec.flow >= flows_.size())
+        throw std::out_of_range("audit: trace references unknown flow");
+      const std::size_t cls = flows_[rec.flow].class_index;
+      Cell& cell = cells[{rec.server, cls}];
+      cell.measured =
+          std::max(cell.measured, to_seconds(rec.departed - rec.arrived));
+      ++cell.packets;
+    }
+    for (const auto& [key, cell] : cells) {
+      const auto [server, cls] = key;
+      if (cls >= bounds_.server_delay.size() ||
+          bounds_.server_delay[cls].empty())
+        continue;  // class carries no per-server promise (e.g. best effort)
+      ServerAuditRow row;
+      row.server = server;
+      row.class_index = cls;
+      row.bound = bounds_.server_delay[cls][server];
+      row.slack = bounds_.hop_slack[server];
+      row.measured = cell.measured;
+      row.margin = row.bound + row.slack - row.measured;
+      row.packets = cell.packets;
+      row.violated = row.margin < 0.0;
+      if (row.violated) ++report.violations;
+      report.servers.push_back(row);
+    }
+  }
+
+  // End-to-end: every delivered packet's delay vs its flow's allowance
+  // (deadline + accumulated packetization slack along the route).
+  std::size_t num_classes = bounds_.class_deadline.size();
+  for (const FlowInfo& flow : flows_)
+    num_classes = std::max(num_classes, flow.class_index + 1);
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    const Seconds deadline =
+        cls < bounds_.class_deadline.size() ? bounds_.class_deadline[cls]
+                                            : kUnbounded;
+    if (deadline == kUnbounded) continue;
+    ClassAuditRow row;
+    row.class_index = cls;
+    row.deadline = deadline;
+    Seconds margin_sum = 0.0, delay_sum = 0.0;
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (flows_[f].class_index != cls) continue;
+      if (f >= results.flow_delay.size()) continue;
+      for (const double delay : results.flow_delay[f].values()) {
+        const Seconds margin = flows_[f].allowance - delay;
+        ++row.packets;
+        delay_sum += delay;
+        margin_sum += margin;
+        row.max_delay = std::max(row.max_delay, delay);
+        row.min_margin = std::min(row.min_margin, margin);
+        row.margin_hist.add(margin / deadline);
+        if (margin < 0.0) ++row.violations;
+      }
+    }
+    if (row.packets == 0) continue;
+    row.mean_delay = delay_sum / static_cast<double>(row.packets);
+    row.mean_margin = margin_sum / static_cast<double>(row.packets);
+    for (const ServerAuditRow& srow : report.servers) {
+      if (srow.class_index != cls) continue;
+      if (!row.has_tightest || srow.margin < row.tightest_margin) {
+        row.has_tightest = true;
+        row.tightest_server = srow.server;
+        row.tightest_margin = srow.margin;
+      }
+    }
+    report.violations += row.violations;
+    report.classes.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string AuditReport::to_text() const {
+  std::ostringstream out;
+  out << "guarantee audit: "
+      << (ok() ? "OK" : "VIOLATED (" + std::to_string(violations) +
+                            " violation(s))")
+      << "\n";
+  for (const ClassAuditRow& row : classes) {
+    out << "class " << row.class_index << " (deadline "
+        << fmt_ms(row.deadline) << "): packets=" << row.packets
+        << " violations=" << row.violations
+        << "\n  e2e delay: max=" << fmt_ms(row.max_delay)
+        << " mean=" << fmt_ms(row.mean_delay)
+        << "\n  margin:    min=" << fmt_ms(row.min_margin)
+        << " mean=" << fmt_ms(row.mean_margin);
+    if (row.has_tightest)
+      out << "\n  tightest server: #" << row.tightest_server << " (margin "
+          << fmt_ms(row.tightest_margin) << ")";
+    out << "\n  margin / deadline distribution:\n"
+        << row.margin_hist.render() << "\n";
+  }
+  if (!hop_audit) {
+    out << "per-server audit skipped (no hop trace attached)\n";
+    return out.str();
+  }
+  // Per-server rows: every violation, then the tightest few for context.
+  std::vector<const ServerAuditRow*> sorted;
+  sorted.reserve(servers.size());
+  for (const ServerAuditRow& row : servers) sorted.push_back(&row);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ServerAuditRow* a, const ServerAuditRow* b) {
+              return a->margin < b->margin;
+            });
+  out << "per-server sojourn vs bound (" << servers.size()
+      << " audited pairs; tightest first):\n";
+  std::size_t shown = 0;
+  for (const ServerAuditRow* row : sorted) {
+    if (!row->violated && shown >= 5) break;
+    out << "  server #" << row->server << " class " << row->class_index
+        << ": bound=" << fmt_ms(row->bound) << " +slack="
+        << fmt_ms(row->slack) << " measured=" << fmt_ms(row->measured)
+        << " margin=" << fmt_ms(row->margin)
+        << (row->violated ? "  << VIOLATED" : "") << "\n";
+    ++shown;
+  }
+  return out.str();
+}
+
+// -- FlightSnapshot --------------------------------------------------------
+
+std::string FlightSnapshot::to_text() const {
+  std::ostringstream out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "flight recorder @ sim t=%.6f s (wall %lld ns)\n",
+                to_seconds(sim_now), static_cast<long long>(wall_ns));
+  out << buf;
+  out << "-- last " << events.size() << " trace events (oldest first):\n";
+  for (const telemetry::TraceEvent& ev : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "  [%llu] %s flow=%llu class=%u util=%.4f %s\n",
+                  static_cast<unsigned long long>(ev.seq), to_string(ev.kind),
+                  static_cast<unsigned long long>(ev.flow_id), ev.class_index,
+                  ev.utilization, ev.reason);
+    out << buf;
+  }
+  out << "-- open spans (" << open_spans.size() << "):\n";
+  for (const telemetry::OpenSpanInfo& span : open_spans) {
+    out << "  thread " << span.thread << ": " << span.name << " ["
+        << span.category << "]";
+    if (span.arg_key != nullptr) {
+      std::snprintf(buf, sizeof(buf), " %s=%g", span.arg_key, span.arg_value);
+      out << buf;
+    }
+    out << "\n";
+  }
+  out << "-- gauges (" << gauges.size() << " families):\n";
+  for (const telemetry::MetricFamily& family : gauges) {
+    for (const telemetry::MetricSample& sample : family.samples) {
+      std::snprintf(buf, sizeof(buf), "%g", sample.value);
+      out << "  " << family.name << fmt_labels(sample.labels) << " = " << buf
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+// -- DeadlineWatchdog ------------------------------------------------------
+
+DeadlineWatchdog::DeadlineWatchdog(const net::ServerGraph& graph,
+                                   AuditBounds bounds)
+    : DeadlineWatchdog(graph, std::move(bounds), Options()) {}
+
+DeadlineWatchdog::DeadlineWatchdog(const net::ServerGraph& graph,
+                                   AuditBounds bounds, Options options)
+    : graph_(&graph), bounds_(std::move(bounds)), options_(options) {}
+
+void DeadlineWatchdog::register_flow(std::size_t class_index,
+                                     const net::ServerPath& route) {
+  for (const net::ServerId s : route)
+    if (s >= graph_->size())
+      throw std::out_of_range("DeadlineWatchdog: bad server in route");
+  flow_allowance_.push_back(bounds_.route_allowance(class_index, route));
+}
+
+void DeadlineWatchdog::attach(NetworkSim& sim) {
+  sim.set_delivery_hook(
+      [this](const NetworkSim::Delivery& delivery) { on_delivery(delivery); });
+}
+
+void DeadlineWatchdog::on_delivery(const NetworkSim::Delivery& delivery) {
+  if (delivery.flow >= flow_allowance_.size()) return;  // unregistered flow
+  const Seconds allowance = flow_allowance_[delivery.flow];
+  if (allowance == kUnbounded) return;
+  const Seconds delay = to_seconds(delivery.delivered - delivery.created);
+  if (delay <= allowance) return;
+
+  const bool first = total_violations_ == 0;
+  ++total_violations_;
+  if (violations_.size() < options_.max_violations) {
+    Violation v;
+    v.packet_id = delivery.packet_id;
+    v.flow = delivery.flow;
+    v.class_index = delivery.class_index;
+    v.delay = delay;
+    v.allowance = allowance;
+    v.at = delivery.delivered;
+    violations_.push_back(v);
+  }
+  if (!first) return;
+
+  // First miss: freeze the flight recorder while the run's in-flight
+  // state (recent decisions, open spans, gauge values) still exists.
+  snapshot_.sim_now = delivery.delivered;
+  snapshot_.wall_ns = telemetry::EventTracer::now_ns();
+  if (options_.tracer != nullptr) {
+    snapshot_.events = options_.tracer->snapshot();
+    if (snapshot_.events.size() > options_.max_events)
+      snapshot_.events.erase(
+          snapshot_.events.begin(),
+          snapshot_.events.end() -
+              static_cast<std::ptrdiff_t>(options_.max_events));
+  }
+  if (telemetry::SpanRecorder* recorder = telemetry::SpanRecorder::active())
+    snapshot_.open_spans = recorder->open_spans();
+  if (options_.metrics != nullptr) {
+    for (telemetry::MetricFamily& family : options_.metrics->snapshot().families)
+      if (family.kind == telemetry::InstrumentKind::kGauge)
+        snapshot_.gauges.push_back(std::move(family));
+  }
+}
+
+std::string DeadlineWatchdog::report() const {
+  if (!tripped()) return "deadline watchdog: OK (no misses)\n";
+  std::ostringstream out;
+  out << "deadline watchdog: TRIPPED (" << total_violations_
+      << " miss(es))\n";
+  for (const Violation& v : violations_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  packet %llu flow %u class %zu: delay %s > allowance %s "
+                  "at sim t=%.6f s\n",
+                  static_cast<unsigned long long>(v.packet_id), v.flow,
+                  v.class_index, fmt_ms(v.delay).c_str(),
+                  fmt_ms(v.allowance).c_str(), to_seconds(v.at));
+    out << buf;
+  }
+  if (violations_.size() <
+      static_cast<std::size_t>(total_violations_))
+    out << "  ... (" << total_violations_ - violations_.size()
+        << " more not listed)\n";
+  out << snapshot_.to_text();
+  return out.str();
+}
+
+}  // namespace ubac::sim

@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file audit.hpp
+/// \brief Guarantee auditor: measured delays vs configured bounds.
+///
+/// The configuration pipeline promises per-(server, class) delay bounds
+/// d_{i,k} and end-to-end deadlines D_i; the simulator measures what the
+/// packet system actually does. This module closes the loop:
+///
+///  - GuaranteeAuditor (post-run): correlates measured per-hop sojourns
+///    and end-to-end delays against the configured bounds, producing
+///    margin histograms and a safety-margin report (min/mean margin per
+///    class, tightest server).
+///  - DeadlineWatchdog (live): installed as the simulator's delivery
+///    hook; the first deadline miss dumps a flight-recorder snapshot
+///    (recent EventTracer events, currently open spans, utilization
+///    gauges) while the run's in-flight state still exists.
+///
+/// The analysis is a fluid model, so a measured sojourn may exceed its
+/// bound by one packet transmission per hop (packet_size / capacity);
+/// every check here grants that packetization slack (see DESIGN.md).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/server_graph.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "util/histogram.hpp"
+
+namespace ubac::sim {
+
+/// Unbounded marker for classes without a real-time guarantee.
+inline constexpr Seconds kUnbounded = std::numeric_limits<Seconds>::infinity();
+
+/// The configured promises the auditor checks against, as plain data so
+/// the sim layer needs no dependency on the analysis engine.
+struct AuditBounds {
+  /// d_{i,k} per [class][server] in seconds; kUnbounded (or an empty
+  /// per-class vector) disables the per-server check for that class.
+  std::vector<std::vector<Seconds>> server_delay;
+  /// End-to-end deadline D_i per class; kUnbounded disables the check.
+  std::vector<Seconds> class_deadline;
+  /// Per-server packetization slack (packet_size / capacity), granted
+  /// once per hop on top of every fluid bound.
+  std::vector<Seconds> hop_slack;
+
+  /// Single real-time class (the two-class model): `server_delay` from a
+  /// DelaySolution applies to class 0, every other class is unbounded.
+  static AuditBounds single_class(const net::ServerGraph& graph,
+                                  const std::vector<Seconds>& server_delay,
+                                  Seconds deadline, Bits packet_size,
+                                  std::size_t num_classes = 2);
+
+  /// General per-class bounds (e.g. MulticlassSolution::class_server_delay).
+  static AuditBounds per_class(
+      const net::ServerGraph& graph,
+      const std::vector<std::vector<Seconds>>& class_server_delay,
+      const std::vector<Seconds>& class_deadline, Bits packet_size);
+
+  /// D_i plus the accumulated packetization slack along `route`;
+  /// kUnbounded for classes without a deadline.
+  Seconds route_allowance(std::size_t class_index,
+                          const net::ServerPath& route) const;
+};
+
+/// One audited (server, class) pair with traffic.
+struct ServerAuditRow {
+  net::ServerId server = 0;
+  std::size_t class_index = 0;
+  Seconds bound = 0.0;     ///< configured d_{i,k}
+  Seconds slack = 0.0;     ///< granted packetization slack
+  Seconds measured = 0.0;  ///< max sojourn observed at this server
+  Seconds margin = 0.0;    ///< bound + slack - measured
+  std::uint64_t packets = 0;
+  bool violated = false;
+};
+
+/// Aggregated end-to-end audit for one class.
+struct ClassAuditRow {
+  std::size_t class_index = 0;
+  Seconds deadline = kUnbounded;
+  Seconds max_delay = 0.0;
+  Seconds mean_delay = 0.0;
+  /// Per-packet margin (allowance - delay) statistics; allowance is the
+  /// packet's flow deadline + route slack.
+  Seconds min_margin = kUnbounded;
+  Seconds mean_margin = 0.0;
+  /// Margin distribution normalized by the deadline (1 = a full deadline
+  /// of headroom, underflow bucket = violations).
+  util::Histogram margin_hist{0.0, 1.0, 20};
+  /// Tightest per-server margin for this class (needs a hop trace).
+  net::ServerId tightest_server = 0;
+  Seconds tightest_margin = kUnbounded;
+  bool has_tightest = false;
+  std::uint64_t packets = 0;
+  std::uint64_t violations = 0;
+};
+
+struct AuditReport {
+  std::vector<ServerAuditRow> servers;  ///< (server, class) pairs with traffic
+  std::vector<ClassAuditRow> classes;
+  std::uint64_t violations = 0;  ///< per-hop + end-to-end violations
+  bool hop_audit = false;        ///< false when no TraceRecorder was given
+
+  bool ok() const { return violations == 0; }
+  /// Human-readable safety-margin report (histograms included).
+  std::string to_text() const;
+};
+
+/// Post-run bound/deadline correlation. Flows must be registered in the
+/// same order they were added to the NetworkSim (indices must match).
+class GuaranteeAuditor {
+ public:
+  GuaranteeAuditor(const net::ServerGraph& graph, AuditBounds bounds);
+
+  void register_flow(std::size_t class_index, net::ServerPath route);
+
+  /// `trace` may be null: per-server rows are then skipped (end-to-end
+  /// checks only), since class-blind max sojourns would charge real-time
+  /// bounds for best-effort queueing.
+  AuditReport audit(const SimResults& results,
+                    const TraceRecorder* trace) const;
+
+ private:
+  struct FlowInfo {
+    std::size_t class_index;
+    net::ServerPath route;
+    Seconds allowance;  ///< deadline + route packetization slack
+  };
+
+  const net::ServerGraph* graph_;
+  AuditBounds bounds_;
+  std::vector<FlowInfo> flows_;
+};
+
+/// Everything the watchdog can grab at the moment of a deadline miss.
+struct FlightSnapshot {
+  SimTime sim_now = 0;
+  std::int64_t wall_ns = 0;
+  /// Most recent EventTracer events (newest last), when a tracer is wired.
+  std::vector<telemetry::TraceEvent> events;
+  /// Spans open across all threads at trip time (the active recorder's).
+  std::vector<telemetry::OpenSpanInfo> open_spans;
+  /// Gauge families at trip time (utilization, queue depths), when a
+  /// metrics registry is wired.
+  std::vector<telemetry::MetricFamily> gauges;
+
+  std::string to_text() const;
+};
+
+/// Live deadline-miss watchdog. Register flows (same indices as the sim),
+/// attach(), run the sim; the first violation freezes a FlightSnapshot.
+class DeadlineWatchdog {
+ public:
+  struct Options {
+    std::size_t max_events = 64;      ///< tracer tail kept in the snapshot
+    std::size_t max_violations = 16;  ///< recorded in detail; rest counted
+    telemetry::EventTracer* tracer = nullptr;     ///< not owned; optional
+    telemetry::MetricsRegistry* metrics = nullptr;  ///< not owned; optional
+  };
+
+  struct Violation {
+    std::uint64_t packet_id = 0;
+    std::uint32_t flow = 0;
+    std::size_t class_index = 0;
+    Seconds delay = 0.0;
+    Seconds allowance = 0.0;
+    SimTime at = 0;
+  };
+
+  DeadlineWatchdog(const net::ServerGraph& graph, AuditBounds bounds);
+  DeadlineWatchdog(const net::ServerGraph& graph, AuditBounds bounds,
+                   Options options);
+
+  void register_flow(std::size_t class_index, const net::ServerPath& route);
+
+  /// Install this watchdog as `sim`'s delivery hook. The watchdog must
+  /// outlive run(). Call after every register_flow().
+  void attach(NetworkSim& sim);
+
+  bool tripped() const { return !violations_.empty(); }
+  std::uint64_t violation_count() const { return total_violations_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Valid once tripped; snapshot of the *first* violation.
+  const FlightSnapshot& snapshot() const { return snapshot_; }
+
+  std::string report() const;
+
+ private:
+  void on_delivery(const NetworkSim::Delivery& delivery);
+
+  const net::ServerGraph* graph_;
+  AuditBounds bounds_;
+  Options options_;
+  std::vector<Seconds> flow_allowance_;
+  std::vector<Violation> violations_;
+  std::uint64_t total_violations_ = 0;
+  FlightSnapshot snapshot_;
+};
+
+}  // namespace ubac::sim

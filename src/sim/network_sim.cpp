@@ -5,6 +5,7 @@
 
 #include "telemetry/event_trace.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace ubac::sim {
 
@@ -66,6 +67,7 @@ std::uint32_t NetworkSim::add_flow(net::ServerPath route,
 }
 
 SimResults NetworkSim::run(Seconds horizon) {
+  UBAC_SPAN_ARG("sim.run", "sim", "horizon_s", horizon);
   if (ran_) throw std::logic_error("NetworkSim: run called twice");
   ran_ = true;
   for (std::uint32_t f = 0; f < flows_.size(); ++f) {
@@ -223,6 +225,11 @@ void NetworkSim::attach_trace(TraceRecorder* recorder) {
   trace_ = recorder;
 }
 
+void NetworkSim::set_delivery_hook(DeliveryHook hook) {
+  if (ran_) throw std::logic_error("NetworkSim: set_delivery_hook after run");
+  delivery_hook_ = std::move(hook);
+}
+
 void NetworkSim::packet_arrival(PacketRef packet, net::ServerId server) {
   packet.arrived_at_server = queue_.now();
   for (const auto& [hop, tap_id] : flows_[packet.flow].taps)
@@ -314,6 +321,9 @@ void NetworkSim::transmission_done(PacketRef packet, net::ServerId server) {
     results_.flow_delay[packet.flow].add(delay);
     ++results_.packets_delivered;
     if (delivered_counter_) delivered_counter_->add();
+    if (delivery_hook_)
+      delivery_hook_(Delivery{packet.id, packet.flow, flow.class_index,
+                              packet.created, queue_.now()});
   }
   try_transmit(server);
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "net/server_graph.hpp"
@@ -103,6 +104,23 @@ class NetworkSim {
   /// queued packet count (utilization field) at sim time (timestamp_ns).
   void attach_telemetry(const TelemetryConfig& config);
 
+  /// End-to-end delivery of one packet, reported to the delivery hook as
+  /// it happens (sim time, not wall time). Used by the guarantee auditor's
+  /// deadline-miss watchdog, which must see violations while the run's
+  /// in-flight state (queues, open spans) still exists.
+  struct Delivery {
+    std::uint64_t packet_id = 0;
+    std::uint32_t flow = 0;
+    std::size_t class_index = 0;
+    SimTime created = 0;
+    SimTime delivered = 0;
+  };
+  using DeliveryHook = std::function<void(const Delivery&)>;
+
+  /// Install a per-delivery callback (invoked synchronously from the event
+  /// loop). Call before run().
+  void set_delivery_hook(DeliveryHook hook);
+
   /// Run to `horizon` (sim seconds) and collect results. Call once.
   SimResults run(Seconds horizon);
 
@@ -155,6 +173,7 @@ class NetworkSim {
   std::vector<util::Xoshiro256> flow_rng_;
   SimResults results_;
   TraceRecorder* trace_ = nullptr;
+  DeliveryHook delivery_hook_;
   TelemetryConfig telemetry_;
   telemetry::Counter* delivered_counter_ = nullptr;
   std::uint64_t next_packet_id_ = 0;

@@ -43,4 +43,25 @@ std::string TraceRecorder::to_csv() const {
   return out;
 }
 
+void add_chrome_packet_lanes(const TraceRecorder& trace,
+                             telemetry::ChromeTraceWriter& writer,
+                             std::size_t server_count, int pid) {
+  writer.add_process_name(pid, "simulation (sim time)");
+  for (std::size_t s = 0; s < server_count; ++s)
+    writer.add_thread_name(pid, static_cast<int>(s),
+                           "server " + std::to_string(s));
+  char name[48], args[96];
+  for (const HopRecord& rec : trace.records()) {
+    std::snprintf(name, sizeof(name), "pkt %llu hop %u",
+                  static_cast<unsigned long long>(rec.packet), rec.hop);
+    std::snprintf(args, sizeof(args), "{\"flow\":%u,\"hop\":%u}", rec.flow,
+                  rec.hop);
+    // SimTime is picoseconds; the Chrome time axis is microseconds.
+    writer.add_complete_event(
+        name, "packet", pid, static_cast<int>(rec.server),
+        static_cast<double>(rec.arrived) / 1e6,
+        static_cast<double>(rec.departed - rec.arrived) / 1e6, args);
+  }
+}
+
 }  // namespace ubac::sim

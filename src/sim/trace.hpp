@@ -16,6 +16,7 @@
 
 #include "net/path.hpp"
 #include "sim/sim_time.hpp"
+#include "telemetry/span.hpp"
 #include "util/stats.hpp"
 
 namespace ubac::sim {
@@ -57,5 +58,15 @@ class TraceRecorder {
   std::vector<HopRecord> records_;
   std::uint64_t dropped_ = 0;
 };
+
+/// Bridge a packet trace onto the shared Chrome trace timeline: one lane
+/// per server (tid = server id) under its own process group, each
+/// (packet, hop) record rendered as a complete event spanning
+/// arrival..departure in *simulated* microseconds. Configuration-time
+/// spans live on wall time under their own pid, so Perfetto shows the two
+/// domains as separate process tracks without unit clashes.
+void add_chrome_packet_lanes(const TraceRecorder& trace,
+                             telemetry::ChromeTraceWriter& writer,
+                             std::size_t server_count, int pid = 2);
 
 }  // namespace ubac::sim

@@ -20,6 +20,23 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+// Label-value escaping per the Prometheus 0.0.4 exposition format:
+// backslash, double quote, and line feed must be escaped inside the
+// quoted label value.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
                         const std::string& extra_value = "") {
   if (labels.empty() && extra_key.empty()) return "";
@@ -28,11 +45,11 @@ std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape(v) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";
-    out += extra_key + "=\"" + extra_value + "\"";
+    out += extra_key + "=\"" + prom_escape(extra_value) + "\"";
   }
   out += "}";
   return out;
@@ -41,8 +58,14 @@ std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
   }
   return out;
 }

@@ -35,6 +35,7 @@
 #include "util/units.hpp"            // IWYU pragma: export
 
 #include "telemetry/event_trace.hpp"  // IWYU pragma: export
+#include "telemetry/span.hpp"         // IWYU pragma: export
 #include "telemetry/exporters.hpp"    // IWYU pragma: export
 #include "telemetry/metrics.hpp"      // IWYU pragma: export
 
@@ -81,6 +82,7 @@
 #include "config/configurator.hpp"  // IWYU pragma: export
 #include "config/report.hpp"        // IWYU pragma: export
 
+#include "sim/audit.hpp"        // IWYU pragma: export
 #include "sim/event_queue.hpp"  // IWYU pragma: export
 #include "sim/network_sim.hpp"  // IWYU pragma: export
 #include "sim/sim_time.hpp"     // IWYU pragma: export

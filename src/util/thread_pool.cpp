@@ -1,8 +1,19 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ubac::util {
+
+namespace {
+std::atomic<void* (*)()> g_task_begin{nullptr};
+std::atomic<void (*)(void*)> g_task_end{nullptr};
+}  // namespace
+
+void set_task_trace_hooks(TaskTraceHooks hooks) {
+  g_task_begin.store(hooks.begin, std::memory_order_release);
+  g_task_end.store(hooks.end, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -52,7 +63,11 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++active_;
     }
+    auto* const begin = g_task_begin.load(std::memory_order_acquire);
+    auto* const end = g_task_end.load(std::memory_order_acquire);
+    void* const token = begin != nullptr ? begin() : nullptr;
     task();
+    if (end != nullptr) end(token);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

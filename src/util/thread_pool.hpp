@@ -17,6 +17,19 @@
 
 namespace ubac::util {
 
+/// Instrumentation hooks wrapped around every executed pool task. The
+/// util layer sits below telemetry, so span tracing installs plain
+/// function pointers here instead of being linked in: `begin` runs just
+/// before a task (its return value is handed to `end` right after).
+/// Either pointer may be null. Installation is process-global and must
+/// happen while the hooked pools are quiescent.
+struct TaskTraceHooks {
+  void* (*begin)() = nullptr;
+  void (*end)(void* token) = nullptr;
+};
+
+void set_task_trace_hooks(TaskTraceHooks hooks);
+
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).

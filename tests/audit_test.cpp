@@ -1,0 +1,294 @@
+// Tests for the guarantee auditor and deadline-miss watchdog: bound
+// bookkeeping, margin reporting, flight-recorder snapshots, and the
+// Table 1 MCI scenario — at a verified alpha the watchdog stays silent
+// under static priority and deterministically trips under FIFO once
+// best-effort cross traffic overloads a shared link.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/route_selection.hpp"
+#include "sim/audit.hpp"
+#include "sim/network_sim.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac::sim {
+namespace {
+
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using traffic::ServiceClass;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+constexpr Bits kPacket = 640.0;
+
+TEST(AuditBounds, SingleClassShapeAndRouteAllowance) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<Seconds> d(graph.size(), 0.01);
+  const auto bounds =
+      AuditBounds::single_class(graph, d, milliseconds(100), kPacket);
+
+  ASSERT_EQ(bounds.server_delay.size(), 2u);
+  EXPECT_EQ(bounds.server_delay[0], d);
+  EXPECT_TRUE(bounds.server_delay[1].empty());  // best effort: unbounded
+  ASSERT_EQ(bounds.class_deadline.size(), 2u);
+  EXPECT_EQ(bounds.class_deadline[0], 0.1);
+  EXPECT_EQ(bounds.class_deadline[1], kUnbounded);
+  ASSERT_EQ(bounds.hop_slack.size(), graph.size());
+  for (const Seconds slack : bounds.hop_slack)
+    EXPECT_DOUBLE_EQ(slack, kPacket / 100e6);
+
+  const auto route = graph.map_path({0, 1, 2});
+  EXPECT_DOUBLE_EQ(bounds.route_allowance(0, route),
+                   0.1 + 2.0 * kPacket / 100e6);
+  EXPECT_EQ(bounds.route_allowance(1, route), kUnbounded);
+}
+
+/// Shared fixture: one greedy voice flow over two hops, traced.
+struct SmallRun {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph{topo, 6u};
+  ClassSet classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  TraceRecorder trace;
+  SimResults results;
+  net::ServerPath route;
+
+  explicit SmallRun(DeadlineWatchdog* watchdog = nullptr) {
+    NetworkSim sim(graph, classes);
+    sim.attach_trace(&trace);
+    route = graph.map_path({0, 1, 2});
+    SourceConfig src;
+    src.model = SourceModel::kGreedy;
+    src.packet_size = kPacket;
+    src.stop = to_sim_time(1.0);
+    sim.add_flow(route, 0, src);
+    if (watchdog != nullptr) {
+      watchdog->register_flow(0, route);
+      watchdog->attach(sim);
+    }
+    results = sim.run(2.0);
+  }
+};
+
+TEST(GuaranteeAuditor, CleanRunReportsPositiveMargins) {
+  SmallRun run;
+  ASSERT_GT(run.results.packets_delivered, 0u);
+
+  const std::vector<Seconds> d(run.graph.size(), milliseconds(10));
+  GuaranteeAuditor auditor(
+      run.graph,
+      AuditBounds::single_class(run.graph, d, milliseconds(100), kPacket));
+  auditor.register_flow(0, run.route);
+  const AuditReport report = auditor.audit(run.results, &run.trace);
+
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.hop_audit);
+  // Both traversed servers audited for the real-time class only.
+  EXPECT_EQ(report.servers.size(), 2u);
+  for (const auto& row : report.servers) {
+    EXPECT_EQ(row.class_index, 0u);
+    EXPECT_GT(row.packets, 0u);
+    EXPECT_GT(row.margin, 0.0);
+    EXPECT_FALSE(row.violated);
+  }
+  ASSERT_FALSE(report.classes.empty());
+  const auto& cls = report.classes[0];
+  EXPECT_EQ(cls.violations, 0u);
+  EXPECT_GT(cls.min_margin, 0.0);
+  EXPECT_TRUE(cls.has_tightest);
+  EXPECT_NE(report.to_text().find("class"), std::string::npos);
+}
+
+TEST(GuaranteeAuditor, TightBoundsProduceViolations) {
+  SmallRun run;
+  // A 1 ns per-server bound (and deadline) that no packet can meet.
+  const std::vector<Seconds> d(run.graph.size(), 1e-9);
+  AuditBounds bounds =
+      AuditBounds::single_class(run.graph, d, 1e-9, kPacket);
+  std::fill(bounds.hop_slack.begin(), bounds.hop_slack.end(), 0.0);
+  GuaranteeAuditor auditor(run.graph, bounds);
+  auditor.register_flow(0, run.route);
+  const AuditReport report = auditor.audit(run.results, &run.trace);
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.violations, 0u);
+  bool any_server_violated = false;
+  for (const auto& row : report.servers) any_server_violated |= row.violated;
+  EXPECT_TRUE(any_server_violated);
+  EXPECT_GT(report.classes[0].violations, 0u);
+  EXPECT_NE(report.to_text().find("VIOLATED"), std::string::npos);
+}
+
+TEST(DeadlineWatchdog, SilentWhenBoundsHold) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+  const std::vector<Seconds> d(graph.size(), milliseconds(10));
+  DeadlineWatchdog watchdog(
+      graph, AuditBounds::single_class(graph, d, milliseconds(100), kPacket));
+  SmallRun run(&watchdog);
+  ASSERT_GT(run.results.packets_delivered, 0u);
+  EXPECT_FALSE(watchdog.tripped());
+  EXPECT_EQ(watchdog.violation_count(), 0u);
+  EXPECT_NE(watchdog.report().find("OK (no misses)"), std::string::npos);
+}
+
+TEST(DeadlineWatchdog, TripFreezesFlightSnapshot) {
+  const auto topo = net::line(3);
+  const net::ServerGraph graph(topo, 6u);
+
+  telemetry::EventTracer tracer(128);
+  telemetry::TraceEvent ev;
+  ev.kind = telemetry::TraceEventKind::kAdmit;
+  ev.flow_id = 1;
+  tracer.record(ev);
+  telemetry::MetricsRegistry registry;
+  registry.gauge("ubac_test_util", "utilization").set(0.75);
+  registry.counter("ubac_test_total", "not a gauge").add(3);
+
+  DeadlineWatchdog::Options options;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  options.max_violations = 4;
+  const std::vector<Seconds> d(graph.size(), 1e-9);
+  AuditBounds bounds = AuditBounds::single_class(graph, d, 1e-9, kPacket);
+  std::fill(bounds.hop_slack.begin(), bounds.hop_slack.end(), 0.0);
+  DeadlineWatchdog watchdog(graph, bounds, options);
+
+  telemetry::SpanRecorder spans(64);
+  telemetry::SpanRecorder::install(&spans);
+  spans.begin("test.outer", "test");
+  SmallRun run(&watchdog);
+  spans.end();
+  telemetry::SpanRecorder::install(nullptr);
+
+  ASSERT_TRUE(watchdog.tripped());
+  // Every delivered packet misses a 1 ns deadline; only the first
+  // max_violations are kept in detail, all are counted.
+  EXPECT_EQ(watchdog.violations().size(), 4u);
+  EXPECT_EQ(watchdog.violation_count(), run.results.packets_delivered);
+  const auto& first = watchdog.violations().front();
+  EXPECT_GT(first.delay, first.allowance);
+
+  const FlightSnapshot& snapshot = watchdog.snapshot();
+  EXPECT_GT(snapshot.sim_now, 0);
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].flow_id, 1u);
+  // The span open across the sim run is captured.
+  ASSERT_FALSE(snapshot.open_spans.empty());
+  EXPECT_STREQ(snapshot.open_spans[0].name, "test.outer");
+  // Only gauge families make the snapshot.
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "ubac_test_util");
+  EXPECT_NE(snapshot.to_text().find("test.outer"), std::string::npos);
+  EXPECT_NE(watchdog.report().find("flight recorder"), std::string::npos);
+}
+
+/// Table 1 (MCI backbone) end to end: configure verified shortest-path
+/// routes at alpha = 0.30, flood them with greedy voice sources plus
+/// large-packet best-effort cross traffic that overloads one shared link
+/// (16 x 10 Mb/s offered to a 100 Mb/s server). Static priority keeps
+/// every promise; FIFO lets the best-effort backlog starve the voice
+/// class and must trip the watchdog.
+class MciTable1Audit : public ::testing::Test {
+ protected:
+  struct Outcome {
+    bool tripped = false;
+    bool audit_ok = false;
+    std::uint64_t misses = 0;
+  };
+
+  Outcome run_policy(SchedulingPolicy policy) {
+    const auto topo = net::mci_backbone();
+    const net::ServerGraph graph(topo, 6u);
+    const double alpha = 0.30;
+    const Seconds deadline = milliseconds(100);
+    const Seconds horizon = 0.4;
+    const Bits be_packet = 12'000.0;
+
+    auto demands = traffic::all_ordered_pairs(topo);
+    const auto hops = net::all_pairs_hops(topo);
+    std::stable_sort(demands.begin(), demands.end(),
+                     [&](const auto& a, const auto& b) {
+                       return hops[a.src][a.dst] > hops[b.src][b.dst];
+                     });
+    demands.resize(6);
+    const auto selection = routing::select_routes_shortest_path(
+        graph, alpha, kVoice, deadline, demands);
+    EXPECT_TRUE(selection.success);
+    if (!selection.success) return {};
+
+    ClassSet classes;
+    classes.add(ServiceClass("realtime", kVoice, deadline, alpha));
+    classes.add(ServiceClass("best-effort",
+                             LeakyBucket(4.0 * be_packet, kbps(10'000)), 0.0,
+                             0.0, /*rt=*/false));
+
+    NetworkSim sim(graph, classes, policy);
+    TraceRecorder trace;
+    sim.attach_trace(&trace);
+
+    // Non-preemptive blocking: any class's in-flight packet can hold the
+    // link, so the slack must cover the large best-effort packets.
+    const AuditBounds bounds = AuditBounds::single_class(
+        graph, selection.solution.server_delay, deadline, be_packet);
+    GuaranteeAuditor auditor(graph, bounds);
+    DeadlineWatchdog watchdog(graph, bounds);
+
+    for (const auto& route : selection.server_routes)
+      for (int f = 0; f < 10; ++f) {
+        SourceConfig src;
+        src.model = SourceModel::kGreedy;
+        src.packet_size = kPacket;
+        src.stop = to_sim_time(horizon);
+        sim.add_flow(route, 0, src);
+        auditor.register_flow(0, route);
+        watchdog.register_flow(0, route);
+      }
+    for (int f = 0; f < 16; ++f) {
+      SourceConfig src;
+      src.model = SourceModel::kGreedy;
+      src.packet_size = be_packet;
+      src.stop = to_sim_time(horizon);
+      sim.add_flow(selection.server_routes.front(), 1, src);
+      auditor.register_flow(1, selection.server_routes.front());
+      watchdog.register_flow(1, selection.server_routes.front());
+    }
+    watchdog.attach(sim);
+    const SimResults results = sim.run(2.0 * horizon);
+    EXPECT_GT(results.packets_delivered, 0u);
+
+    Outcome outcome;
+    outcome.tripped = watchdog.tripped();
+    outcome.misses = watchdog.violation_count();
+    outcome.audit_ok = auditor.audit(results, &trace).ok();
+    return outcome;
+  }
+};
+
+TEST_F(MciTable1Audit, StaticPriorityKeepsEveryPromise) {
+  const Outcome sp = run_policy(SchedulingPolicy::kStaticPriority);
+  EXPECT_FALSE(sp.tripped);
+  EXPECT_EQ(sp.misses, 0u);
+  EXPECT_TRUE(sp.audit_ok);
+}
+
+TEST_F(MciTable1Audit, FifoUnderOverloadTripsTheWatchdog) {
+  const Outcome fifo = run_policy(SchedulingPolicy::kFifo);
+  EXPECT_TRUE(fifo.tripped);
+  EXPECT_GT(fifo.misses, 0u);
+  EXPECT_FALSE(fifo.audit_ok);
+}
+
+}  // namespace
+}  // namespace ubac::sim

@@ -340,6 +340,37 @@ TEST(Exporters, PrometheusCarriesExactValues) {
   EXPECT_EQ(prom_value(text, "ubac_rt_seconds_count"), 3.0);
 }
 
+TEST(Exporters, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .counter("ubac_esc_total", "escaping",
+               {{"path", "C:\\tmp\\\"x\"\nend"}})
+      .add(1);
+  const std::string text = to_prometheus(registry.snapshot());
+  // 0.0.4 exposition format: backslash, quote, and newline are escaped
+  // inside the quoted label value.
+  EXPECT_NE(
+      text.find(
+          "ubac_esc_total{path=\"C:\\\\tmp\\\\\\\"x\\\"\\nend\"} 1"),
+      std::string::npos)
+      << text;
+  // No literal newline may survive inside a sample line.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("ubac_esc_total", 0) == 0)
+      EXPECT_NE(line.find("end\"} 1"), std::string::npos) << line;
+  }
+}
+
+TEST(Exporters, JsonEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("ubac_esc_total", "escaping", {{"k", "a\"b\\c\nd"}}).add(1);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
 TEST(Exporters, JsonCarriesTheSameValues) {
   MetricsRegistry registry;
   const auto snapshot = round_trip_registry(registry).snapshot();

@@ -1,0 +1,284 @@
+/// \file bench_diff.cpp
+/// \brief Compare two BENCH_*.json summary files and flag regressions.
+///
+/// Usage:
+///   bench_diff <baseline.json> <current.json> [--threshold=0.10]
+///              [--warn-only]
+///
+/// Both files must be bench::write_summary_json output:
+///   {"bench": "<name>", "rows": [{"case": "...", "min_ms": 1.2, ...}]}
+///
+/// Rows are matched by the concatenation of their string-valued fields
+/// (e.g. `case`), so reordering rows or appending new ones is never a
+/// failure. For each numeric field present in both rows the tool knows
+/// the improvement direction from the key:
+///
+///   lower is better:  keys ending in _ns/_us/_ms/_s/_seconds
+///   higher is better: `speedup`, keys ending in _per_sec or _ops
+///
+/// Other numeric keys (reps, threads, sizes...) are configuration, not
+/// performance, and are only checked for equality as a comparability
+/// warning. A change beyond --threshold (default 0.10 = 10%) in the bad
+/// direction is a regression; without --warn-only any regression makes
+/// the exit status 1.
+
+#include <cctype>
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the summary subset: one object with a "rows"
+// array of flat objects whose values are strings or numbers. Anything
+// outside that subset is a parse error (these files are machine-written).
+
+struct Row {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+
+  // Defined below Parser; identity includes configuration-valued numeric
+  // fields (reps, k, routes...) so sweeps over them stay distinguishable.
+  std::string identity() const;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  std::string bench;
+  std::vector<Row> rows;
+
+  void parse() {
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "bench") {
+        bench = parse_string();
+      } else if (key == "rows") {
+        parse_rows();
+      } else {
+        throw err("unexpected top-level key '" + key + "'");
+      }
+    }
+    expect('}');
+  }
+
+ private:
+  void parse_rows() {
+    expect('[');
+    while (!peek_is(']')) {
+      if (!rows.empty()) expect(',');
+      rows.push_back(parse_row());
+    }
+    expect(']');
+  }
+
+  Row parse_row() {
+    Row row;
+    expect('{');
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '"')
+        row.strings[key] = parse_string();
+      else
+        row.numbers[key] = parse_number();
+    }
+    expect('}');
+    return row;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: c = esc;
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) throw err("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) throw err("expected a number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      throw err(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  std::runtime_error err(const std::string& what) const {
+    return std::runtime_error("JSON error at byte " + std::to_string(pos_) +
+                              ": " + what);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+Parser load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Parser parser(buf.str());
+  parser.parse();
+  return parser;
+}
+
+// ---------------------------------------------------------------------------
+
+enum class Direction { kLowerBetter, kHigherBetter, kConfig };
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Direction direction_of(const std::string& key) {
+  for (const char* suffix : {"_ns", "_us", "_ms", "_s", "_seconds"})
+    if (ends_with(key, suffix)) return Direction::kLowerBetter;
+  if (key == "speedup" || ends_with(key, "_per_sec") || ends_with(key, "_ops"))
+    return Direction::kHigherBetter;
+  return Direction::kConfig;
+}
+
+std::string Row::identity() const {
+  std::string id;
+  for (const auto& [k, v] : strings) id += k + "=" + v + " ";
+  for (const auto& [k, v] : numbers) {
+    if (direction_of(k) != Direction::kConfig) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%g ", k.c_str(), v);
+    id += buf;
+  }
+  return id.empty() ? "<row>" : id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ubac::util::ArgParser args(argc, argv);
+  args.describe("threshold",
+                "relative change that counts as a regression (default 0.10)")
+      .describe("warn-only", "report regressions but always exit 0");
+  try {
+    args.validate();
+    if (args.positional().size() != 2) {
+      std::fprintf(stderr,
+                   "usage: bench_diff <baseline.json> <current.json> "
+                   "[--threshold=0.10] [--warn-only]\n");
+      return 2;
+    }
+    const double threshold = args.get_double("threshold", 0.10);
+    const bool warn_only = args.get_bool("warn-only", false);
+
+    const Parser baseline = load(args.positional()[0]);
+    const Parser current = load(args.positional()[1]);
+    if (baseline.bench != current.bench)
+      std::printf("note: comparing different benches '%s' vs '%s'\n",
+                  baseline.bench.c_str(), current.bench.c_str());
+
+    std::map<std::string, const Row*> base_rows;
+    for (const Row& row : baseline.rows) base_rows[row.identity()] = &row;
+
+    int regressions = 0, improvements = 0, compared = 0;
+    for (const Row& row : current.rows) {
+      const auto it = base_rows.find(row.identity());
+      if (it == base_rows.end()) {
+        std::printf("NEW        %s(no baseline row)\n", row.identity().c_str());
+        continue;
+      }
+      const Row& base = *it->second;
+      for (const auto& [key, value] : row.numbers) {
+        const auto bit = base.numbers.find(key);
+        if (bit == base.numbers.end()) continue;
+        const double old_value = bit->second;
+        const Direction dir = direction_of(key);
+        if (dir == Direction::kConfig) {
+          if (old_value != value)
+            std::printf("CONFIG     %s%s: %g -> %g (rows may not be "
+                        "comparable)\n",
+                        row.identity().c_str(), key.c_str(), old_value, value);
+          continue;
+        }
+        ++compared;
+        // Relative change in the *bad* direction for this key.
+        const double denom = std::abs(old_value) > 0 ? std::abs(old_value)
+                                                     : 1.0;
+        const double worse = dir == Direction::kLowerBetter
+                                 ? (value - old_value) / denom
+                                 : (old_value - value) / denom;
+        const char* tag = "ok        ";
+        if (worse > threshold) {
+          tag = "REGRESSION";
+          ++regressions;
+        } else if (worse < -threshold) {
+          tag = "improved  ";
+          ++improvements;
+        }
+        std::printf("%s %s%s: %g -> %g (%+.1f%%)\n", tag,
+                    row.identity().c_str(), key.c_str(), old_value, value,
+                    100.0 * (value - old_value) / denom);
+      }
+    }
+    std::printf(
+        "\nbench_diff: %d metric(s) compared, %d regression(s), "
+        "%d improvement(s) at threshold %.0f%%\n",
+        compared, regressions, improvements, threshold * 100.0);
+    if (compared == 0) {
+      std::fprintf(stderr, "bench_diff: no comparable metrics found\n");
+      return 2;
+    }
+    return regressions > 0 && !warn_only ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out file against the Chrome trace-event schema.
+
+Checks the subset ChromeTraceWriter emits (and Perfetto requires):
+
+  * top level is an object with a "traceEvents" list (and optionally
+    "displayTimeUnit");
+  * every event is an object with string "name"/"ph" and integer
+    "pid"/"tid";
+  * "X" (complete) events carry numeric "ts" and non-negative "dur";
+  * "i" (instant) events carry numeric "ts";
+  * "M" (metadata) events are process_name/thread_name with a
+    string args.name;
+  * any "args" value is a JSON object.
+
+Usage: check_trace_schema.py <trace.json> [<trace.json> ...]
+Exit status 0 when every file conforms, 1 otherwise.
+"""
+
+import json
+import numbers
+import sys
+
+
+def fail(path, index, message):
+    raise ValueError(f"{path}: event {index}: {message}")
+
+
+def check_event(path, index, event):
+    if not isinstance(event, dict):
+        fail(path, index, "not an object")
+    for key in ("name", "ph"):
+        if not isinstance(event.get(key), str):
+            fail(path, index, f"missing string '{key}'")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            fail(path, index, f"missing integer '{key}'")
+    ph = event["ph"]
+    if ph not in ("X", "i", "M"):
+        fail(path, index, f"unexpected phase {ph!r}")
+    if ph in ("X", "i"):
+        if not isinstance(event.get("ts"), numbers.Real):
+            fail(path, index, "missing numeric 'ts'")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, numbers.Real) or dur < 0:
+            fail(path, index, "'X' event needs non-negative 'dur'")
+    if ph == "M":
+        if event["name"] not in ("process_name", "thread_name"):
+            fail(path, index, f"unexpected metadata {event['name']!r}")
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+            fail(path, index, "metadata needs args.name")
+    elif "args" in event and not isinstance(event["args"], dict):
+        fail(path, index, "'args' must be an object")
+
+
+def check_file(path):
+    with open(path) as handle:
+        trace = json.load(handle)
+    if not isinstance(trace, dict):
+        raise ValueError(f"{path}: top level must be an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: missing 'traceEvents' list")
+    if not events:
+        raise ValueError(f"{path}: empty trace")
+    unit = trace.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        raise ValueError(f"{path}: bad displayTimeUnit {unit!r}")
+    for index, event in enumerate(events):
+        check_event(path, index, event)
+    phases = {e["ph"] for e in events}
+    print(f"{path}: OK ({len(events)} events, phases {sorted(phases)})")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            check_file(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,24 +9,38 @@
 //   metricsdump  run an instrumented admission churn (+ fixed-point solve)
 //                and export the telemetry snapshot as Prometheus text,
 //                JSON, or CSV (docs/observability.md)
+//   audit        configure -> simulate -> audit in one shot: verify a
+//                utilization, drive greedy packet traffic over the chosen
+//                routes, and check every measured delay against the
+//                configured bounds (guarantee auditor + deadline watchdog)
 //
 // Topologies are read from --topology=<file> (net/topology_io.hpp format)
 // or default to the built-in MCI backbone. Configurations use the
 // config/configurator.hpp text format.
 //
+// --trace-out=<file> works with every subcommand: it enables span tracing
+// for the whole invocation and writes a Chrome trace-event / Perfetto
+// compatible JSON timeline on exit (config-time spans on wall time;
+// `audit` adds per-server packet lanes on sim time, `metricsdump` adds
+// the admission event trace).
+//
 // Examples:
 //   ubac_configtool bounds --deadline-ms=50
-//   ubac_configtool maximize --out=/tmp/net.conf
+//   ubac_configtool maximize --out=/tmp/net.conf --trace-out=/tmp/trace.json
 //   ubac_configtool verify --config=/tmp/net.conf
 //   ubac_configtool reroute --config=/tmp/net.conf --fail=Chicago:NewYork
 //       --out=/tmp/healed.conf
 //   ubac_configtool metricsdump --threads=4 --ops=100000 --format=prom
 //   ubac_configtool metricsdump --format=all --out=/tmp/ubac_metrics
 //       --trace-out=/tmp/ubac_trace.json
+//   ubac_configtool audit --alpha=0.30 --policy=sp
+//   ubac_configtool audit --policy=fifo --be-flows=8 --deadline-ms=20
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -35,6 +49,11 @@
 using namespace ubac;
 
 namespace {
+
+// Non-null while --trace-out is active: commands append extra lanes (packet
+// trace, admission events) to the same Chrome timeline main() writes out.
+telemetry::SpanRecorder* g_spans = nullptr;
+telemetry::ChromeTraceWriter* g_chrome = nullptr;
 
 net::Topology load_topology(const util::ArgParser& args) {
   const std::string path = args.get("topology", "");
@@ -220,14 +239,137 @@ int cmd_metricsdump(const util::ArgParser& args) {
     emit(format);
   }
 
-  const std::string trace_out = args.get("trace-out", "");
-  if (!trace_out.empty()) {
-    telemetry::write_file(trace_out, tracer.to_json());
-    std::printf("trace (%llu events recorded, %zu retained) written to %s\n",
+  if (g_chrome != nullptr) {
+    // Bridge the admission event ring into the shared Chrome timeline
+    // (wall-clock instants, rebased to the span recorder's epoch).
+    g_chrome->add_tracer_events(tracer, telemetry::span_epoch_ns(*g_spans),
+                                /*pid=*/1, /*tid=*/9999);
+    std::printf("trace: %llu admission events bridged (%zu retained)\n",
                 static_cast<unsigned long long>(tracer.recorded()),
-                tracer.snapshot().size(), trace_out.c_str());
+                tracer.snapshot().size());
   }
   return 0;
+}
+
+/// Configure -> simulate -> audit in one shot (docs/observability.md).
+/// Selects verified shortest-path routes for the longest demand pairs,
+/// floods them with adversarial greedy sources, and audits every measured
+/// per-hop sojourn and end-to-end delay against the configured bounds.
+/// Exit code 0 iff the audit finds no violation and the deadline-miss
+/// watchdog never trips.
+int cmd_audit(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo, 6u);
+  const auto bucket = bucket_from(args);
+  const Seconds deadline = deadline_from(args);
+  const double alpha = args.get_double("alpha", 0.30);
+  const auto pairs = static_cast<std::size_t>(args.get_long("pairs", 12));
+  const int flows = static_cast<int>(args.get_long("flows", 20));
+  const int be_flows = static_cast<int>(args.get_long("be-flows", 0));
+  const Seconds horizon = args.get_double("horizon-s", 0.5);
+  const Bits packet = args.get_double("packet", 640.0);
+  const Bits be_packet = 12'000.0;
+
+  const std::string policy_name = args.get("policy", "sp");
+  sim::SchedulingPolicy policy;
+  if (policy_name == "sp") {
+    policy = sim::SchedulingPolicy::kStaticPriority;
+  } else if (policy_name == "fifo") {
+    policy = sim::SchedulingPolicy::kFifo;
+  } else if (policy_name == "drr") {
+    policy = sim::SchedulingPolicy::kDeficitRoundRobin;
+  } else {
+    throw std::runtime_error("--policy must be sp, fifo, or drr");
+  }
+
+  // 1. Configure: verified bounds for the longest shortest-path pairs
+  //    (diameter-length routes are where the fixed point is tightest).
+  auto demands = traffic::all_ordered_pairs(topo);
+  const auto hops = net::all_pairs_hops(topo);
+  std::stable_sort(demands.begin(), demands.end(),
+                   [&](const auto& a, const auto& b) {
+                     return hops[a.src][a.dst] > hops[b.src][b.dst];
+                   });
+  if (demands.size() > pairs) demands.resize(pairs);
+  const auto selection = routing::select_routes_shortest_path(
+      graph, alpha, bucket, deadline, demands);
+  if (!selection.success) {
+    std::fprintf(stderr,
+                 "audit: configuration does not verify at alpha=%.3f "
+                 "(nothing to audit)\n",
+                 alpha);
+    return 2;
+  }
+  std::printf("configured %zu routes at alpha=%.3f (deadline %.1f ms, "
+              "policy %s)\n",
+              demands.size(), alpha, units::to_ms(deadline),
+              policy_name.c_str());
+
+  // 2. Simulate: adversarial greedy sources on every route; optional
+  //    large-packet best-effort cross traffic on the longest route (under
+  //    static priority it cannot break the bounds; under FIFO it does).
+  traffic::ClassSet classes;
+  classes.add(traffic::ServiceClass("realtime", bucket, deadline, alpha));
+  classes.add(traffic::ServiceClass(
+      "best-effort", traffic::LeakyBucket(4.0 * be_packet, units::kbps(10'000)),
+      0.0, 0.0, /*rt=*/false));
+
+  sim::NetworkSim netsim(graph, classes, policy);
+  sim::TraceRecorder trace;
+  netsim.attach_trace(&trace);
+  telemetry::MetricsRegistry registry;
+  telemetry::EventTracer tracer(4096);
+  sim::NetworkSim::TelemetryConfig sim_telemetry;
+  sim_telemetry.metrics = &registry;
+  sim_telemetry.tracer = &tracer;
+  netsim.attach_telemetry(sim_telemetry);
+
+  // Non-preemptive blocking: one in-flight packet of *any* class can hold
+  // the link, so the packetization slack must cover the largest packet.
+  const Bits slack_packet = be_flows > 0 ? std::max(packet, be_packet)
+                                         : packet;
+  const sim::AuditBounds bounds = sim::AuditBounds::single_class(
+      graph, selection.solution.server_delay, deadline, slack_packet);
+  sim::GuaranteeAuditor auditor(graph, bounds);
+  sim::DeadlineWatchdog::Options wd_options;
+  wd_options.tracer = &tracer;
+  wd_options.metrics = &registry;
+  sim::DeadlineWatchdog watchdog(graph, bounds, wd_options);
+
+  for (const auto& route : selection.server_routes) {
+    for (int f = 0; f < flows; ++f) {
+      sim::SourceConfig src;
+      src.model = sim::SourceModel::kGreedy;
+      src.packet_size = packet;
+      src.stop = sim::to_sim_time(horizon);
+      netsim.add_flow(route, 0, src);
+      auditor.register_flow(0, route);
+      watchdog.register_flow(0, route);
+    }
+  }
+  for (int f = 0; f < be_flows; ++f) {
+    sim::SourceConfig src;
+    src.model = sim::SourceModel::kGreedy;
+    src.packet_size = be_packet;
+    src.stop = sim::to_sim_time(horizon);
+    netsim.add_flow(selection.server_routes.front(), 1, src);
+    auditor.register_flow(1, selection.server_routes.front());
+    watchdog.register_flow(1, selection.server_routes.front());
+  }
+  watchdog.attach(netsim);
+  const auto results = netsim.run(2.0 * horizon);
+  std::printf("simulated %.2f s: %llu packets delivered\n\n", 2.0 * horizon,
+              static_cast<unsigned long long>(results.packets_delivered));
+
+  // 3. Audit.
+  const sim::AuditReport report = auditor.audit(results, &trace);
+  std::fputs(report.to_text().c_str(), stdout);
+  std::fputs(watchdog.report().c_str(), stdout);
+
+  if (g_chrome != nullptr)
+    sim::add_chrome_packet_lanes(trace, *g_chrome, graph.size());
+
+  return report.ok() && !watchdog.tripped() ? 0 : 1;
 }
 
 int cmd_reroute(const util::ArgParser& args) {
@@ -277,7 +419,7 @@ int main(int argc, char** argv) {
       .describe("config", "configuration artifact to load")
       .describe("out", "file to write the resulting configuration to")
       .describe("fail", "duplex link to fail, as NodeA:NodeB")
-      .describe("alpha", "metricsdump: class share (default 0.32)")
+      .describe("alpha", "class share (metricsdump default 0.32, audit 0.30)")
       .describe("threads",
                 "worker threads: candidate scoring for maximize/reroute "
                 "(default 0 = hardware), churn threads for metricsdump "
@@ -285,21 +427,66 @@ int main(int argc, char** argv) {
       .describe("ops", "metricsdump: ops per thread (default 100000)")
       .describe("sampling", "metricsdump: trace sampling in [0,1] (default 1)")
       .describe("format", "metricsdump: prom|json|csv|all (default prom)")
-      .describe("trace-out", "metricsdump: write the event trace JSON here");
+      .describe("trace-out",
+                "write a Chrome trace-event / Perfetto JSON timeline of "
+                "this invocation (spans + events) here")
+      .describe("policy", "audit: sp|fifo|drr scheduling (default sp)")
+      .describe("pairs", "audit: longest demand pairs to route (default 12)")
+      .describe("flows", "audit: greedy flows per route (default 20)")
+      .describe("be-flows",
+                "audit: large-packet best-effort cross flows on the longest "
+                "route (default 0)")
+      .describe("horizon-s", "audit: source horizon in sim seconds "
+                             "(default 0.5; run lasts twice that)")
+      .describe("packet", "audit: real-time packet size in bits (default 640)");
   try {
     args.validate();
     const auto& pos = args.positional();
     const std::string command = pos.empty() ? "help" : pos[0];
-    if (command == "bounds") return cmd_bounds(args);
-    if (command == "maximize") return cmd_maximize(args);
-    if (command == "verify") return cmd_verify(args);
-    if (command == "reroute") return cmd_reroute(args);
-    if (command == "metricsdump") return cmd_metricsdump(args);
-    std::printf("usage: ubac_configtool "
-                "<bounds|maximize|verify|reroute|metricsdump> "
-                "[options]\n\n%s",
-                args.usage("ubac_configtool").c_str());
-    return command == "help" ? 0 : 2;
+
+    // --trace-out: record spans for the whole invocation; every command
+    // is instrumented and may append extra lanes through g_chrome.
+    const std::string trace_out = args.get("trace-out", "");
+    std::unique_ptr<telemetry::SpanRecorder> spans;
+    telemetry::ChromeTraceWriter chrome;
+    if (!trace_out.empty()) {
+      spans = std::make_unique<telemetry::SpanRecorder>(1u << 15);
+      telemetry::SpanRecorder::install(spans.get());
+      g_spans = spans.get();
+      g_chrome = &chrome;
+    }
+
+    int rc = 2;
+    bool dispatched = true;
+    if (command == "bounds") {
+      rc = cmd_bounds(args);
+    } else if (command == "maximize") {
+      rc = cmd_maximize(args);
+    } else if (command == "verify") {
+      rc = cmd_verify(args);
+    } else if (command == "reroute") {
+      rc = cmd_reroute(args);
+    } else if (command == "metricsdump") {
+      rc = cmd_metricsdump(args);
+    } else if (command == "audit") {
+      rc = cmd_audit(args);
+    } else {
+      dispatched = false;
+      std::printf("usage: ubac_configtool "
+                  "<bounds|maximize|verify|reroute|metricsdump|audit> "
+                  "[options]\n\n%s",
+                  args.usage("ubac_configtool").c_str());
+      rc = command == "help" ? 0 : 2;
+    }
+
+    if (spans != nullptr && dispatched) {
+      chrome.add_spans(*spans, /*pid=*/1, "configuration pipeline");
+      chrome.write(trace_out);
+      std::printf("span trace written to %s (load in ui.perfetto.dev or "
+                  "chrome://tracing)\n",
+                  trace_out.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
