@@ -15,9 +15,17 @@
 //                           snapshot (.prom/.json/.csv by extension)
 //   --telemetry             run instrumented without exporting (overhead)
 //   --ops-per-thread=<n>    churn length (default 200000; CI uses less)
+//   --serve-port=<p>        expose /metrics, /healthz and /series on an
+//                           embedded HTTP endpoint for the duration of the
+//                           run (0 = ephemeral port), with a sampler
+//                           refreshing the utilization gauges every tick —
+//                           scrape the bench live while it churns
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -26,6 +34,8 @@
 #include "bench_common.hpp"
 #include "net/shortest_path.hpp"
 #include "telemetry/event_trace.hpp"
+#include "telemetry/http_endpoint.hpp"
+#include "telemetry/timeseries.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +63,9 @@ int main(int argc, char** argv) {
                 "instrument the controller without exporting (overhead runs)")
       .describe("ops-per-thread", "churn operations per thread (default "
                                   "200000)")
+      .describe("serve-port",
+                "serve /metrics, /healthz and /series on this port while "
+                "the bench runs (0 = ephemeral)")
       .describe("trace-out", bench::kTraceOutHelp);
   args.validate();
   bench::ScopedBenchTracing tracing(args);
@@ -74,14 +87,43 @@ int main(int argc, char** argv) {
   const auto ops_per_thread = static_cast<std::size_t>(
       args.get_long("ops-per-thread", 200'000));
   const std::string metrics_out = args.get("metrics-out", "");
-  const bool instrumented =
-      !metrics_out.empty() || args.get_bool("telemetry", false);
+  const bool serving = args.has("serve-port");
+  const bool instrumented = !metrics_out.empty() ||
+                            args.get_bool("telemetry", false) || serving;
 
   telemetry::MetricsRegistry registry;
   // Sampled trace: the full churn would recycle any reasonable ring many
   // times over, so keep ~1% of events — enough to eyeball admit/reject
   // interleaving without measurable hot-path cost.
   telemetry::EventTracer tracer(8192, 0.01);
+
+  // --serve-port: scrape endpoint + background sampler for the whole run.
+  // The gauge hook reads whichever controller row is currently live (the
+  // controller is rebuilt per thread count), guarded against teardown.
+  std::mutex live_ctl_mutex;
+  admission::AdmissionController* live_ctl = nullptr;
+  std::unique_ptr<telemetry::TelemetrySampler> sampler;
+  std::unique_ptr<telemetry::HttpEndpoint> endpoint;
+  if (serving) {
+    sampler = std::make_unique<telemetry::TelemetrySampler>(registry);
+    sampler->add_tick_hook([&registry, &live_ctl_mutex, &live_ctl] {
+      std::lock_guard<std::mutex> lock(live_ctl_mutex);
+      if (live_ctl != nullptr)
+        admission::update_utilization_gauges(registry, "concurrent",
+                                             *live_ctl);
+    });
+    telemetry::HttpEndpoint::Options http_options;
+    http_options.port =
+        static_cast<std::uint16_t>(args.get_long("serve-port", 0));
+    endpoint = std::make_unique<telemetry::HttpEndpoint>(http_options);
+    telemetry::install_standard_routes(*endpoint, registry, sampler.get(),
+                                       nullptr);
+    sampler->start();
+    endpoint->start();
+    std::printf("scrape endpoint: http://127.0.0.1:%u (for the duration of "
+                "the run)\n",
+                endpoint->port());
+  }
 
   bench::print_header(
       "Concurrent admission stress: admits/sec vs thread count",
@@ -104,6 +146,10 @@ int main(int argc, char** argv) {
     admission::ControllerTelemetry ctl_telemetry(registry, "concurrent",
                                                  &tracer);
     if (instrumented) ctl.attach_telemetry(&ctl_telemetry);
+    if (serving) {
+      std::lock_guard<std::mutex> lock(live_ctl_mutex);
+      live_ctl = &ctl;
+    }
     std::vector<Churn> churn(threads);
     std::vector<std::vector<traffic::FlowId>> held(threads);
     util::ThreadPool pool(threads);
@@ -172,6 +218,12 @@ int main(int argc, char** argv) {
         .set("leftover_flows",
              static_cast<std::uint64_t>(ctl.active_flows()))
         .set("telemetry", instrumented ? "on" : "off");
+    if (serving) {
+      // This row's controller is about to be destroyed; stop the sampler
+      // hook from touching it.
+      std::lock_guard<std::mutex> lock(live_ctl_mutex);
+      live_ctl = nullptr;
+    }
   }
 
   bench::emit(out,
@@ -188,5 +240,11 @@ int main(int argc, char** argv) {
   }
   if (!metrics_out.empty())
     bench::export_metrics(registry.snapshot(), metrics_out);
+  if (serving) {
+    std::printf("scrape endpoint: %llu requests served\n",
+                static_cast<unsigned long long>(endpoint->requests_served()));
+    endpoint->stop();
+    sampler->stop();
+  }
   return 0;
 }

@@ -72,4 +72,138 @@ LoadStats run_poisson_load(AdmissionController& controller,
   return stats;
 }
 
+// -- PacedLoadDriver --------------------------------------------------------
+
+PacedLoadDriver::PacedLoadDriver(AdmissionController& controller,
+                                 std::vector<traffic::Demand> demands,
+                                 Options options)
+    : controller_(controller),
+      demands_(std::move(demands)),
+      options_(options) {
+  if (demands_.empty())
+    throw std::invalid_argument("PacedLoadDriver: no demands");
+  if (options_.arrival_rate <= 0.0 || options_.mean_holding <= 0.0)
+    throw std::invalid_argument("PacedLoadDriver: bad options");
+}
+
+PacedLoadDriver::~PacedLoadDriver() { stop(); }
+
+void PacedLoadDriver::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  stats_ = LoadStats{};
+  active_ = 0;
+  active_integral_ = 0.0;
+  start_ = last_event_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void PacedLoadDriver::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+bool PacedLoadDriver::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return thread_.joinable() && !stop_requested_;
+}
+
+LoadStats PacedLoadDriver::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LoadStats out = stats_;
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - start_).count();
+  const double integral =
+      active_integral_ + static_cast<double>(active_) *
+                             std::chrono::duration<double>(now - last_event_)
+                                 .count();
+  out.mean_active = elapsed > 0.0 ? integral / elapsed : 0.0;
+  return out;
+}
+
+std::size_t PacedLoadDriver::active_flows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+void PacedLoadDriver::run() {
+  using Clock = std::chrono::steady_clock;
+  util::Xoshiro256 rng(options_.seed);
+  const auto exp_after = [&rng](Seconds mean) {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(rng.exponential(mean)));
+  };
+
+  // Departures: (wall time, flow id), min-heap on time.
+  using Departure = std::pair<Clock::time_point, traffic::FlowId>;
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
+      departures;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto next_arrival = Clock::now() + exp_after(1.0 / options_.arrival_rate);
+  const auto advance = [this](Clock::time_point to) {
+    active_integral_ += static_cast<double>(active_) *
+                        std::chrono::duration<double>(to - last_event_)
+                            .count();
+    last_event_ = to;
+  };
+
+  while (!stop_requested_) {
+    const bool departure_next =
+        !departures.empty() && departures.top().first < next_arrival;
+    const Clock::time_point next_event =
+        departure_next ? departures.top().first : next_arrival;
+    if (cv_.wait_until(lock, next_event,
+                       [this] { return stop_requested_; }))
+      break;
+
+    if (departure_next) {
+      const auto [t, id] = departures.top();
+      departures.pop();
+      advance(t);
+      --active_;
+      lock.unlock();
+      controller_.release(id);
+      lock.lock();
+      continue;
+    }
+
+    advance(next_arrival);
+    ++stats_.offered;
+    const traffic::Demand& demand =
+        demands_[rng.uniform_index(demands_.size())];
+    lock.unlock();
+    const AdmissionDecision decision =
+        controller_.request(demand.src, demand.dst, demand.class_index);
+    lock.lock();
+    if (decision.admitted()) {
+      ++stats_.admitted;
+      ++active_;
+      stats_.peak_active = std::max(stats_.peak_active, active_);
+      departures.emplace(
+          next_arrival + exp_after(options_.mean_holding), decision.flow_id);
+    } else {
+      ++stats_.rejected;
+    }
+    next_arrival = Clock::now() + exp_after(1.0 / options_.arrival_rate);
+  }
+
+  // Drain: give every still-held flow back so the controller ends empty.
+  advance(Clock::now());
+  lock.unlock();
+  while (!departures.empty()) {
+    controller_.release(departures.top().second);
+    departures.pop();
+  }
+  lock.lock();
+  active_ = 0;
+}
+
 }  // namespace ubac::admission

@@ -8,12 +8,24 @@
 /// admitted. Measures admission ratio and the time-average number of
 /// carried flows — the flow-level view of the system the paper targets
 /// (hundreds of thousands of flow arrivals, constant-cost decisions).
+///
+/// Two drivers share the model:
+///  * run_poisson_load — simulated-time batch run (as fast as possible),
+///    used by benchmarks and the configtool's loadtest command.
+///  * PacedLoadDriver  — wall-clock paced background churn, used by the
+///    long-running `ubac_configtool serve` mode so live telemetry (rollups,
+///    alerts, scrape endpoint) has a moving system to observe.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "admission/controller.hpp"
 #include "traffic/flow.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -45,5 +57,56 @@ struct LoadStats {
 LoadStats run_poisson_load(AdmissionController& controller,
                            const std::vector<traffic::Demand>& demands,
                            const LoadDriverConfig& config);
+
+/// Background thread that drives `controller` with the same Poisson
+/// flow-level model, but paced against the wall clock: each arrival or
+/// departure is slept to its scheduled instant, so a scrape endpoint or
+/// sampler watching the controller sees realistic churn. stop() (or
+/// destruction) wakes the sleeper and drains every still-held flow so
+/// the controller is left empty.
+class PacedLoadDriver {
+ public:
+  struct Options {
+    double arrival_rate = 50.0;   ///< flow requests per wall-clock second
+    Seconds mean_holding = 10.0;  ///< mean flow lifetime (wall seconds)
+    std::uint64_t seed = 1;
+  };
+
+  PacedLoadDriver(AdmissionController& controller,
+                  std::vector<traffic::Demand> demands, Options options);
+  ~PacedLoadDriver();  ///< stops if still running
+
+  PacedLoadDriver(const PacedLoadDriver&) = delete;
+  PacedLoadDriver& operator=(const PacedLoadDriver&) = delete;
+
+  void start();
+  /// Stop the churn thread and release every flow it still holds.
+  void stop();
+  bool running() const;
+
+  /// Offered/admitted/rejected so far plus currently-active count in
+  /// peak_active-compatible LoadStats form. Thread-safe.
+  LoadStats stats() const;
+  /// Flows currently held by the driver.
+  std::size_t active_flows() const;
+
+ private:
+  void run();
+
+  AdmissionController& controller_;
+  std::vector<traffic::Demand> demands_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  LoadStats stats_;
+  std::size_t active_ = 0;
+  /// Time-average bookkeeping (wall clock).
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_event_{};
+  double active_integral_ = 0.0;
+};
 
 }  // namespace ubac::admission

@@ -89,4 +89,12 @@ void update_utilization_gauges(telemetry::MetricsRegistry& registry,
   update_gauges(registry, controller_name, ctl);
 }
 
+std::function<void()> utilization_gauge_hook(
+    telemetry::MetricsRegistry& registry, std::string controller_name,
+    const ConcurrentAdmissionController& ctl) {
+  return [&registry, name = std::move(controller_name), &ctl] {
+    update_utilization_gauges(registry, name, ctl);
+  };
+}
+
 }  // namespace ubac::admission

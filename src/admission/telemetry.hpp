@@ -16,11 +16,15 @@
 /// counters and refreshes `ubac_admission_class_utilization` /
 /// `ubac_admission_reserved_bps` / `ubac_admission_active_flows` right
 /// before a snapshot or scrape, so the admit hot path never touches them.
+/// In a live deployment hand utilization_gauge_hook() to the
+/// TelemetrySampler instead: the gauges then refresh on every sampler
+/// tick and manual update_utilization_gauges() calls are not required.
 ///
 /// Latency timing is sampled (default every 16th request per thread) to
 /// keep the steady_clock reads off most decisions; counts stay exact.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "admission/controller.hpp"
@@ -71,5 +75,13 @@ void update_utilization_gauges(telemetry::MetricsRegistry& registry,
 void update_utilization_gauges(telemetry::MetricsRegistry& registry,
                                const std::string& controller_name,
                                const SequentialAdmissionController& ctl);
+
+/// TelemetrySampler tick hook that refreshes the pull-model gauges from
+/// `ctl` before every snapshot, so scrapes and rollups always see current
+/// utilization without any manual refresh at the call sites. `registry`
+/// and `ctl` must outlive the sampler the hook is registered with.
+std::function<void()> utilization_gauge_hook(
+    telemetry::MetricsRegistry& registry, std::string controller_name,
+    const ConcurrentAdmissionController& ctl);
 
 }  // namespace ubac::admission

@@ -18,17 +18,6 @@ std::string fmt_ms(Seconds s) {
   return buf;
 }
 
-std::string fmt_labels(const telemetry::Labels& labels) {
-  if (labels.empty()) return "";
-  std::string out = "{";
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (i) out += ",";
-    out += labels[i].first + "=" + labels[i].second;
-  }
-  out += "}";
-  return out;
-}
-
 }  // namespace
 
 AuditBounds AuditBounds::single_class(const net::ServerGraph& graph,
@@ -233,40 +222,11 @@ std::string AuditReport::to_text() const {
 // -- FlightSnapshot --------------------------------------------------------
 
 std::string FlightSnapshot::to_text() const {
-  std::ostringstream out;
   char buf[128];
   std::snprintf(buf, sizeof(buf),
                 "flight recorder @ sim t=%.6f s (wall %lld ns)\n",
                 to_seconds(sim_now), static_cast<long long>(wall_ns));
-  out << buf;
-  out << "-- last " << events.size() << " trace events (oldest first):\n";
-  for (const telemetry::TraceEvent& ev : events) {
-    std::snprintf(buf, sizeof(buf),
-                  "  [%llu] %s flow=%llu class=%u util=%.4f %s\n",
-                  static_cast<unsigned long long>(ev.seq), to_string(ev.kind),
-                  static_cast<unsigned long long>(ev.flow_id), ev.class_index,
-                  ev.utilization, ev.reason);
-    out << buf;
-  }
-  out << "-- open spans (" << open_spans.size() << "):\n";
-  for (const telemetry::OpenSpanInfo& span : open_spans) {
-    out << "  thread " << span.thread << ": " << span.name << " ["
-        << span.category << "]";
-    if (span.arg_key != nullptr) {
-      std::snprintf(buf, sizeof(buf), " %s=%g", span.arg_key, span.arg_value);
-      out << buf;
-    }
-    out << "\n";
-  }
-  out << "-- gauges (" << gauges.size() << " families):\n";
-  for (const telemetry::MetricFamily& family : gauges) {
-    for (const telemetry::MetricSample& sample : family.samples) {
-      std::snprintf(buf, sizeof(buf), "%g", sample.value);
-      out << "  " << family.name << fmt_labels(sample.labels) << " = " << buf
-          << "\n";
-    }
-  }
-  return out.str();
+  return buf + telemetry::FlightSnapshot::to_text();
 }
 
 // -- DeadlineWatchdog ------------------------------------------------------
@@ -277,7 +237,12 @@ DeadlineWatchdog::DeadlineWatchdog(const net::ServerGraph& graph,
 
 DeadlineWatchdog::DeadlineWatchdog(const net::ServerGraph& graph,
                                    AuditBounds bounds, Options options)
-    : graph_(&graph), bounds_(std::move(bounds)), options_(options) {}
+    : graph_(&graph), bounds_(std::move(bounds)), options_(options) {
+  if (options_.metrics != nullptr)
+    misses_total_ = &options_.metrics->counter(
+        "ubac_watchdog_deadline_misses_total",
+        "Deadline misses seen by the live watchdog");
+}
 
 void DeadlineWatchdog::register_flow(std::size_t class_index,
                                      const net::ServerPath& route) {
@@ -301,6 +266,7 @@ void DeadlineWatchdog::on_delivery(const NetworkSim::Delivery& delivery) {
 
   const bool first = total_violations_ == 0;
   ++total_violations_;
+  if (misses_total_ != nullptr) misses_total_->add();
   if (violations_.size() < options_.max_violations) {
     Violation v;
     v.packet_id = delivery.packet_id;
@@ -315,23 +281,10 @@ void DeadlineWatchdog::on_delivery(const NetworkSim::Delivery& delivery) {
 
   // First miss: freeze the flight recorder while the run's in-flight
   // state (recent decisions, open spans, gauge values) still exists.
+  static_cast<telemetry::FlightSnapshot&>(snapshot_) =
+      telemetry::FlightSnapshot::capture(options_.tracer, options_.metrics,
+                                         options_.max_events);
   snapshot_.sim_now = delivery.delivered;
-  snapshot_.wall_ns = telemetry::EventTracer::now_ns();
-  if (options_.tracer != nullptr) {
-    snapshot_.events = options_.tracer->snapshot();
-    if (snapshot_.events.size() > options_.max_events)
-      snapshot_.events.erase(
-          snapshot_.events.begin(),
-          snapshot_.events.end() -
-              static_cast<std::ptrdiff_t>(options_.max_events));
-  }
-  if (telemetry::SpanRecorder* recorder = telemetry::SpanRecorder::active())
-    snapshot_.open_spans = recorder->open_spans();
-  if (options_.metrics != nullptr) {
-    for (telemetry::MetricFamily& family : options_.metrics->snapshot().families)
-      if (family.kind == telemetry::InstrumentKind::kGauge)
-        snapshot_.gauges.push_back(std::move(family));
-  }
 }
 
 std::string DeadlineWatchdog::report() const {

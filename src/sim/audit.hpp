@@ -29,6 +29,7 @@
 #include "sim/network_sim.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/event_trace.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
 #include "util/histogram.hpp"
@@ -139,17 +140,12 @@ class GuaranteeAuditor {
   std::vector<FlowInfo> flows_;
 };
 
-/// Everything the watchdog can grab at the moment of a deadline miss.
-struct FlightSnapshot {
+/// Everything the watchdog can grab at the moment of a deadline miss:
+/// the telemetry-layer flight snapshot (tracer tail, open spans, gauge
+/// families — the same capture the AlertEngine freezes on fire) plus the
+/// sim time of the miss.
+struct FlightSnapshot : telemetry::FlightSnapshot {
   SimTime sim_now = 0;
-  std::int64_t wall_ns = 0;
-  /// Most recent EventTracer events (newest last), when a tracer is wired.
-  std::vector<telemetry::TraceEvent> events;
-  /// Spans open across all threads at trip time (the active recorder's).
-  std::vector<telemetry::OpenSpanInfo> open_spans;
-  /// Gauge families at trip time (utilization, queue depths), when a
-  /// metrics registry is wired.
-  std::vector<telemetry::MetricFamily> gauges;
 
   std::string to_text() const;
 };
@@ -201,6 +197,9 @@ class DeadlineWatchdog {
   std::vector<Seconds> flow_allowance_;
   std::vector<Violation> violations_;
   std::uint64_t total_violations_ = 0;
+  /// ubac_watchdog_deadline_misses_total, when Options.metrics is wired;
+  /// the AlertEngine's deadline_miss_rule watches its rate.
+  telemetry::Counter* misses_total_ = nullptr;
   FlightSnapshot snapshot_;
 };
 

@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file alerts.hpp
+/// \brief Declarative alert rules evaluated on the sampler tick.
+///
+/// An AlertRule is a predicate over the current MetricsSnapshot and the
+/// rollup store: it returns the observed value when the condition is
+/// breached, nothing otherwise. The engine adds firing/resolved
+/// hysteresis on top:
+///
+///   inactive -> pending   first breached tick
+///   pending  -> firing    `for_ticks` consecutive breached ticks
+///   pending  -> inactive  any quiet tick (the streak restarts)
+///   firing   -> inactive  `resolve_ticks` consecutive quiet ticks
+///
+/// so one noisy window neither fires nor resolves an alert. Transitions
+/// are mirrored as kAlert events into the EventTracer (visible in Chrome
+/// traces next to the admit/reject stream), counted in the metrics
+/// registry (`ubac_alerts_fired_total`, `ubac_alerts_active`), and the
+/// first fire freezes the same FlightSnapshot the DeadlineWatchdog grabs
+/// on a deadline miss.
+///
+/// Ships three built-ins:
+///  * headroom_rule        — some ubac_admission_class_utilization gauge
+///                           holds above a threshold (default 0.9) of the
+///                           verified class share: the reservation pool is
+///                           nearly exhausted and rejects are imminent.
+///  * rejection_spike_rule — the utilization-exceeded decision rate from
+///                           the rollups exceeds a per-second threshold.
+///  * deadline_miss_rule   — the DeadlineWatchdog miss counter moved: a
+///                           configured guarantee was broken (should never
+///                           breach at a verified alpha).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_trace.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace ubac::telemetry {
+
+enum class AlertState { kInactive, kPending, kFiring };
+
+const char* to_string(AlertState state);
+
+struct AlertRule {
+  std::string name;  ///< stable identifier (label value, event reason)
+  std::string description;
+  /// Returns the observed value when breached, std::nullopt when quiet.
+  std::function<std::optional<double>(const MetricsSnapshot&,
+                                      const TimeSeriesStore&)>
+      check;
+  std::size_t for_ticks = 3;      ///< consecutive breaches before firing
+  std::size_t resolve_ticks = 3;  ///< consecutive quiet ticks to resolve
+};
+
+struct AlertStatus {
+  std::string rule;
+  std::string description;
+  AlertState state = AlertState::kInactive;
+  double value = 0.0;           ///< last breached value (0 while inactive)
+  std::size_t streak = 0;       ///< current breach (pending) / quiet (firing) run
+  std::uint64_t fired = 0;      ///< lifetime fire transitions
+  std::int64_t since_ns = 0;    ///< entry time of the current state
+};
+
+class AlertEngine {
+ public:
+  struct Options {
+    /// Fire/resolve events are mirrored here (optional, not owned).
+    EventTracer* tracer = nullptr;
+    /// Self-instrumentation (`ubac_alerts_*`) plus the gauge families of
+    /// the fire-time flight snapshot (optional, not owned).
+    MetricsRegistry* metrics = nullptr;
+    /// Tracer tail kept in the fire-time flight snapshot.
+    std::size_t snapshot_max_events = 64;
+  };
+
+  AlertEngine() = default;
+  explicit AlertEngine(Options options);
+
+  void add_rule(AlertRule rule);
+  std::size_t rule_count() const;
+
+  /// One hysteresis step over every rule; called by TelemetrySampler per
+  /// tick. Thread-safe against status()/to_json() readers.
+  void evaluate(const MetricsSnapshot& snapshot, const TimeSeriesStore& store,
+                std::int64_t t_ns);
+
+  std::vector<AlertStatus> status() const;
+  /// Any rule currently in kFiring.
+  bool any_firing() const;
+  /// Ticks evaluated, total.
+  std::uint64_t evaluations() const;
+
+  /// Flight snapshot frozen at the most recent inactive/pending -> firing
+  /// transition (empty before the first fire).
+  FlightSnapshot last_fire_snapshot() const;
+  bool has_fire_snapshot() const;
+
+  /// JSON for the /alerts endpoint: evaluation count plus one object per
+  /// rule (state, value, streak, fired count, since timestamp).
+  std::string to_json() const;
+
+  // -- built-in rules ------------------------------------------------------
+
+  /// Fires when any ubac_admission_class_utilization sample of
+  /// `controller` holds above `threshold` (fraction of the verified class
+  /// share alpha*C) for `k` ticks.
+  static AlertRule headroom_rule(const std::string& controller,
+                                 double threshold = 0.9, std::size_t k = 3);
+
+  /// Fires when the utilization-exceeded decision rate (from the rollup
+  /// store, per second) of `controller` exceeds `per_second` for `k`
+  /// ticks.
+  static AlertRule rejection_spike_rule(const std::string& controller,
+                                        double per_second = 100.0,
+                                        std::size_t k = 3);
+
+  /// Fires when ubac_watchdog_deadline_misses_total moves (any positive
+  /// miss rate): a configured delay guarantee was broken.
+  static AlertRule deadline_miss_rule(std::size_t k = 1);
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    /// Stable strings the mirrored TraceEvents' `reason` points at (the
+    /// tracer never owns reasons; these live as long as the engine).
+    std::unique_ptr<std::string> fire_reason;
+    std::unique_ptr<std::string> resolve_reason;
+    AlertState state = AlertState::kInactive;
+    double value = 0.0;
+    std::size_t streak = 0;
+    std::uint64_t fired = 0;
+    std::int64_t since_ns = 0;
+    Counter* fired_total = nullptr;  ///< when metrics are wired
+    Gauge* active = nullptr;
+  };
+
+  void mirror(const RuleState& rs, bool fire, double value,
+              std::int64_t t_ns);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+  std::uint64_t evaluations_ = 0;
+  bool has_fire_snapshot_ = false;
+  FlightSnapshot fire_snapshot_;
+};
+
+}  // namespace ubac::telemetry

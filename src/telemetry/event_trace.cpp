@@ -61,6 +61,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kRelease: return "release";
     case TraceEventKind::kRollback: return "rollback";
     case TraceEventKind::kSample: return "sample";
+    case TraceEventKind::kAlert: return "alert";
   }
   return "?";
 }
@@ -105,10 +106,31 @@ void EventTracer::record(TraceEvent ev) noexcept {
   ev.seq = seq;
   if (ev.timestamp_ns == 0) ev.timestamp_ns = now_ns();
   Slot& slot = slots_[seq & (capacity_ - 1)];
-  // Seqlock-style publish: invalidate, write payload, stamp with seq + 1.
-  slot.stamp.store(0, std::memory_order_release);
+  // Per-slot seqlock with writer exclusion. Two writers meet at one slot
+  // only when one has been lapped by a whole ring rotation; without
+  // exclusion their payload copies would race. The stamp holds
+  // 2 * (seq + 1) once published and goes odd while a writer owns the
+  // slot, so:
+  //   * a writer that finds a claim >= its own is the lapped one — its
+  //     event is stale by a full ring and is dropped;
+  //   * a writer that finds an older claim mid-write waits it out (bounded
+  //     by one payload copy), then takes the slot;
+  // which guarantees the newest seq's payload is what quiesces in place.
+  const std::uint64_t published = 2 * (seq + 1);
+  std::uint64_t cur = slot.stamp.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= published) return;  // lapped: a newer event owns this slot
+    if (cur & 1) {  // older writer mid-copy; it cannot block, so spin
+      cur = slot.stamp.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (slot.stamp.compare_exchange_weak(cur, published | 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      break;
+  }
   slot.ev = ev;
-  slot.stamp.store(seq + 1, std::memory_order_release);
+  slot.stamp.store(published, std::memory_order_release);
 }
 
 std::vector<TraceEvent> EventTracer::snapshot() const {
@@ -118,10 +140,11 @@ std::vector<TraceEvent> EventTracer::snapshot() const {
   events.reserve(n);
   for (std::uint64_t seq = head - n; seq < head; ++seq) {
     const Slot& slot = slots_[seq & (capacity_ - 1)];
+    const std::uint64_t published = 2 * (seq + 1);
     const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
-    if (before != seq + 1) continue;  // mid-write or already overwritten
+    if (before != published) continue;  // mid-write or already overwritten
     TraceEvent ev = slot.ev;
-    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    if (slot.stamp.load(std::memory_order_acquire) != published) continue;
     events.push_back(ev);
   }
   return events;

@@ -8,13 +8,16 @@
 /// the blocking hop and the observed utilization at decision time, a static
 /// reject-reason string, and a nanosecond timestamp.
 ///
-/// Writers claim a slot with one fetch_add and fill it without locks, so
-/// the tracer is safe to call from the concurrent admission hot path. The
-/// ring keeps the most recent `capacity` events: at sampling = 1.0 the
-/// last `capacity` recorded events are always retrievable (each of the
-/// last `capacity` sequence numbers maps to a distinct slot and nothing
-/// newer has overwritten it). snapshot() taken while writers are active is
-/// best-effort (slots mid-write are skipped); at quiescence it is exact.
+/// Writers claim a slot with one fetch_add and publish it through a
+/// per-slot seqlock, so the tracer is safe to call from the concurrent
+/// admission hot path; the only wait is the rare case of a writer lapped
+/// by a whole ring rotation, which briefly yields the slot to the newer
+/// event. The ring keeps the most recent `capacity` events: at
+/// sampling = 1.0 the last `capacity` recorded events are always
+/// retrievable (each of the last `capacity` sequence numbers maps to a
+/// distinct slot and nothing newer has overwritten it). snapshot() taken
+/// while writers are active is best-effort (slots mid-write are skipped);
+/// at quiescence it is exact.
 ///
 /// Sampling < 1.0 keeps a uniform random subset via geometric skipping:
 /// the gap to the next sampled event is drawn once per hit, so a
@@ -39,6 +42,9 @@ enum class TraceEventKind : std::uint8_t {
   kRelease,
   kRollback,
   kSample,
+  /// AlertEngine fire/resolve transition; `reason` names the rule and the
+  /// polarity, `utilization` carries the rule's observed value.
+  kAlert,
 };
 
 const char* to_string(TraceEventKind kind);
@@ -70,7 +76,9 @@ class EventTracer {
   bool should_sample() noexcept;
 
   /// Claims the next slot and stores `ev` (seq and, when 0, timestamp_ns
-  /// are filled in). Wait-free apart from the slot memcpy.
+  /// are filled in). Lock-free: the only wait is a writer lapped by a
+  /// full ring rotation briefly waiting out (or yielding to) the
+  /// colliding writer.
   void record(TraceEvent ev) noexcept;
 
   std::size_t capacity() const noexcept { return capacity_; }
@@ -93,7 +101,9 @@ class EventTracer {
 
  private:
   struct Slot {
-    /// seq + 1 of the event the payload holds; 0 while unwritten/mid-write.
+    /// 2 * (seq + 1) of the event the payload holds; odd while a writer
+    /// owns the slot; 0 while unwritten. The parity bit serializes the
+    /// rare lapped-writer collision (see record()).
     std::atomic<std::uint64_t> stamp{0};
     TraceEvent ev;
   };

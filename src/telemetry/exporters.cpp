@@ -55,6 +55,17 @@ std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
   return out;
 }
 
+std::string csv_labels(const Labels& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ";";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -80,17 +91,6 @@ std::string json_labels(const Labels& labels) {
   out += "}";
   return out;
 }
-
-std::string csv_labels(const Labels& labels) {
-  std::string out;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (i) out += ";";
-    out += labels[i].first + "=" + labels[i].second;
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;

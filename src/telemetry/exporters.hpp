@@ -22,6 +22,13 @@
 
 namespace ubac::telemetry {
 
+/// JSON string escaping shared by the JSON exporter and the live
+/// endpoints (/series, /alerts).
+std::string json_escape(const std::string& s);
+
+/// `labels` as a JSON object literal, e.g. {"controller":"concurrent"}.
+std::string json_labels(const Labels& labels);
+
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
 std::string to_json(const MetricsSnapshot& snapshot);

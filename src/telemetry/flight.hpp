@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file flight.hpp
+/// \brief Telemetry-layer flight-recorder snapshot.
+///
+/// Everything an in-process watcher can grab the moment something goes
+/// wrong: the tail of the structured event ring, the spans currently open
+/// across all threads, and all gauge families. sim::DeadlineWatchdog
+/// (deadline misses) and telemetry::AlertEngine (rule transitions to
+/// firing) both freeze one of these, so a paged-in operator sees the same
+/// shape of evidence whether the trigger came from the packet simulator
+/// or from the live metric stream.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace ubac::telemetry {
+
+struct FlightSnapshot {
+  std::int64_t wall_ns = 0;
+  /// Most recent EventTracer events (newest last), when a tracer is wired.
+  std::vector<TraceEvent> events;
+  /// Spans open across all threads (the installed recorder's) at capture.
+  std::vector<OpenSpanInfo> open_spans;
+  /// Gauge families at capture time (utilization, queue depths), when a
+  /// metrics registry is wired.
+  std::vector<MetricFamily> gauges;
+
+  /// Grab the tail of `tracer` (last `max_events`), the active
+  /// SpanRecorder's open spans, and `metrics`' gauge families. Either
+  /// pointer may be null; the corresponding section stays empty.
+  static FlightSnapshot capture(const EventTracer* tracer,
+                                const MetricsRegistry* metrics,
+                                std::size_t max_events);
+
+  /// The events / open-spans / gauges sections (no header line — callers
+  /// prefix their own trigger context).
+  std::string to_text() const;
+};
+
+}  // namespace ubac::telemetry

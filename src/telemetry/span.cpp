@@ -31,19 +31,6 @@ void pool_task_end(void* token) {
   if (token != nullptr) static_cast<SpanRecorder*>(token)->end();
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
-  }
-  return out;
-}
-
 std::string fmt_us(double us) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3f", us);
@@ -135,11 +122,26 @@ void SpanRecorder::end() {
 void SpanRecorder::record(const SpanEvent& ev) noexcept {
   const std::uint64_t seq = head_.fetch_add(1, std::memory_order_acq_rel);
   Slot& slot = slots_[seq & (capacity_ - 1)];
-  // Seqlock-style publish, as in EventTracer: invalidate, write, stamp.
-  slot.stamp.store(0, std::memory_order_release);
+  // Per-slot seqlock with writer exclusion, as in EventTracer::record():
+  // stamp = 2 * (seq + 1) once published, odd while a writer owns the
+  // slot. A lapped writer drops its stale span; a newer writer waits out
+  // an older mid-copy, so the newest seq's payload quiesces in place.
+  const std::uint64_t published = 2 * (seq + 1);
+  std::uint64_t cur = slot.stamp.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= published) return;  // lapped: a newer span owns this slot
+    if (cur & 1) {
+      cur = slot.stamp.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (slot.stamp.compare_exchange_weak(cur, published | 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      break;
+  }
   slot.ev = ev;
   slot.ev.seq = seq;
-  slot.stamp.store(seq + 1, std::memory_order_release);
+  slot.stamp.store(published, std::memory_order_release);
 }
 
 std::vector<SpanEvent> SpanRecorder::snapshot() const {
@@ -149,10 +151,11 @@ std::vector<SpanEvent> SpanRecorder::snapshot() const {
   events.reserve(n);
   for (std::uint64_t seq = head - n; seq < head; ++seq) {
     const Slot& slot = slots_[seq & (capacity_ - 1)];
-    if (slot.stamp.load(std::memory_order_acquire) != seq + 1)
+    const std::uint64_t published = 2 * (seq + 1);
+    if (slot.stamp.load(std::memory_order_acquire) != published)
       continue;  // overwritten or mid-write
     SpanEvent ev = slot.ev;
-    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    if (slot.stamp.load(std::memory_order_acquire) != published) continue;
     events.push_back(ev);
   }
   return events;

@@ -113,7 +113,9 @@ class SpanRecorder {
 
  private:
   struct Slot {
-    std::atomic<std::uint64_t> stamp{0};  ///< seq + 1; 0 while mid-write
+    /// 2 * (seq + 1) once published; odd while a writer owns the slot
+    /// (serializes the rare lapped-writer collision); 0 while unwritten.
+    std::atomic<std::uint64_t> stamp{0};
     SpanEvent ev;
   };
 

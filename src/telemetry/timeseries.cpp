@@ -1,0 +1,268 @@
+#include "telemetry/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "telemetry/alerts.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/exporters.hpp"
+
+namespace ubac::telemetry {
+
+// -- RollupRing -------------------------------------------------------------
+
+RollupRing::RollupRing(std::size_t capacity, std::size_t ticks_per_window)
+    : capacity_(capacity), ticks_per_window_(ticks_per_window) {
+  if (capacity_ == 0 || ticks_per_window_ == 0)
+    throw std::invalid_argument("RollupRing: capacity and ticks_per_window "
+                                "must be positive");
+  ring_.resize(capacity_);
+}
+
+void RollupRing::observe(std::int64_t t_ns, double value, double raw_last) {
+  const std::uint64_t window_index = ticks_ / ticks_per_window_;
+  RollupWindow& w = ring_[window_index % capacity_];
+  if (ticks_ % ticks_per_window_ == 0) {
+    // First tick of a (possibly recycled) window: reset in place.
+    w = RollupWindow{};
+    w.start_ns = t_ns;
+    w.min = value;
+    w.max = value;
+  } else {
+    w.min = std::min(w.min, value);
+    w.max = std::max(w.max, value);
+  }
+  w.end_ns = t_ns;
+  w.last = raw_last;
+  w.sum += value;
+  ++w.count;
+  ++ticks_;
+}
+
+std::uint64_t RollupRing::windows_started() const {
+  return (ticks_ + ticks_per_window_ - 1) / ticks_per_window_;
+}
+
+std::vector<RollupWindow> RollupRing::windows(std::size_t max_windows) const {
+  const std::uint64_t started = windows_started();
+  std::uint64_t n = started < capacity_ ? started : capacity_;
+  if (max_windows != 0 && n > max_windows) n = max_windows;
+  std::vector<RollupWindow> out;
+  out.reserve(n);
+  for (std::uint64_t i = started - n; i < started; ++i)
+    out.push_back(ring_[i % capacity_]);
+  return out;
+}
+
+RollupWindow RollupRing::latest() const {
+  if (ticks_ == 0) return RollupWindow{};
+  return ring_[((ticks_ - 1) / ticks_per_window_) % capacity_];
+}
+
+// -- TimeSeriesStore --------------------------------------------------------
+
+TimeSeriesStore::TimeSeriesStore(std::size_t windows,
+                                 std::size_t ticks_per_window)
+    : windows_(windows), ticks_per_window_(ticks_per_window) {
+  // Validate eagerly rather than on the first ingested series.
+  RollupRing probe(windows_, ticks_per_window_);
+  (void)probe;
+}
+
+void TimeSeriesStore::ingest(const MetricsSnapshot& snapshot,
+                             std::int64_t t_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const MetricFamily& family : snapshot.families) {
+    for (const MetricSample& sample : family.samples) {
+      switch (family.kind) {
+        case InstrumentKind::kGauge:
+          ingest_value(family.name, sample.labels, family.kind,
+                       /*rate_derived=*/false, sample.value, t_ns);
+          break;
+        case InstrumentKind::kCounter:
+          ingest_value(family.name, sample.labels, family.kind,
+                       /*rate_derived=*/true, sample.value, t_ns);
+          break;
+        case InstrumentKind::kHistogram:
+          // Histograms roll up through their event count (rate of
+          // observations per second); bucket shapes stay with /metrics.
+          ingest_value(family.name + "_count", sample.labels, family.kind,
+                       /*rate_derived=*/true,
+                       static_cast<double>(sample.histogram.count), t_ns);
+          break;
+      }
+    }
+  }
+}
+
+void TimeSeriesStore::ingest_value(const std::string& name,
+                                   const Labels& labels, InstrumentKind kind,
+                                   bool rate_derived, double value,
+                                   std::int64_t t_ns) {
+  auto& bucket = by_name_[name];
+  Series* series = nullptr;
+  for (auto& s : bucket)
+    if (s->labels == labels) {
+      series = s.get();
+      break;
+    }
+  if (series == nullptr) {
+    auto fresh = std::make_unique<Series>(
+        Series{labels, kind, rate_derived, false, 0.0, 0,
+               RollupRing(windows_, ticks_per_window_)});
+    series = fresh.get();
+    bucket.push_back(std::move(fresh));
+  }
+
+  double tick_sample = value;
+  if (rate_derived) {
+    if (!series->has_prev || t_ns <= series->prev_t_ns) {
+      tick_sample = 0.0;  // first tick establishes the baseline
+    } else {
+      const double dt =
+          static_cast<double>(t_ns - series->prev_t_ns) / 1e9;
+      // Counters are monotone; a reset (registry swap) shows as a drop —
+      // clamp to zero instead of reporting a huge negative rate.
+      tick_sample = std::max(0.0, (value - series->prev_value) / dt);
+    }
+    series->prev_value = value;
+    series->prev_t_ns = t_ns;
+    series->has_prev = true;
+  }
+  series->ring.observe(t_ns, tick_sample, value);
+}
+
+std::vector<TimeSeriesStore::SeriesView> TimeSeriesStore::series(
+    const std::string& name, std::size_t max_windows) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesView> out;
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return out;
+  for (const auto& s : it->second) {
+    SeriesView view;
+    view.name = name;
+    view.labels = s->labels;
+    view.kind = s->kind;
+    view.rate_derived = s->rate_derived;
+    view.windows = s->ring.windows(max_windows);
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+bool TimeSeriesStore::latest(const std::string& name, const Labels& labels,
+                             RollupWindow& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return false;
+  for (const auto& s : it->second)
+    if (s->labels == labels && s->ring.ticks() > 0) {
+      out = s->ring.latest();
+      return true;
+    }
+  return false;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, bucket] : by_name_) n += bucket.size();
+  return n;
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, bucket] : by_name_) out.push_back(name);
+  return out;
+}
+
+std::string TimeSeriesStore::to_json(const std::string& name,
+                                     std::size_t max_windows) const {
+  const auto views = series(name, max_windows);
+  std::string out =
+      "{\"name\":\"" + json_escape(name) + "\",\"series\":[";
+  char buf[256];
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const SeriesView& view = views[i];
+    if (i) out += ",";
+    out += "\n {\"labels\":" + json_labels(view.labels) +
+           ",\"kind\":\"" + to_string(view.kind) + "\",\"rate\":" +
+           (view.rate_derived ? "true" : "false") + ",\"windows\":[";
+    for (std::size_t w = 0; w < view.windows.size(); ++w) {
+      const RollupWindow& win = view.windows[w];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"start_ns\":%lld,\"end_ns\":%lld,\"min\":%.9g,"
+                    "\"max\":%.9g,\"avg\":%.9g,\"last\":%.9g,\"count\":%llu}",
+                    w == 0 ? "" : ",", static_cast<long long>(win.start_ns),
+                    static_cast<long long>(win.end_ns), win.min, win.max,
+                    win.avg(), win.last,
+                    static_cast<unsigned long long>(win.count));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+// -- TelemetrySampler -------------------------------------------------------
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry& registry)
+    : TelemetrySampler(registry, Options()) {}
+
+TelemetrySampler::TelemetrySampler(MetricsRegistry& registry, Options options)
+    : registry_(&registry), options_(options),
+      store_(options.windows, options.ticks_per_window) {
+  if (options_.tick.count() <= 0)
+    throw std::invalid_argument("TelemetrySampler: tick must be positive");
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::add_tick_hook(std::function<void()> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void TelemetrySampler::tick_now() {
+  for (const auto& hook : hooks_) hook();
+  const std::int64_t t_ns = EventTracer::now_ns();
+  const MetricsSnapshot snapshot = registry_->snapshot();
+  store_.ingest(snapshot, t_ns);
+  if (alerts_ != nullptr) alerts_->evaluate(snapshot, store_, t_ns);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetrySampler::start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void TelemetrySampler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    tick_now();
+    lock.lock();
+    cv_.wait_for(lock, options_.tick, [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace ubac::telemetry

@@ -1,0 +1,219 @@
+#pragma once
+
+/// \file timeseries.hpp
+/// \brief Time-series rollups over the metrics registry and the sampler
+///        thread that feeds them.
+///
+/// The instruments in metrics.hpp are point-in-time: exporters render
+/// whatever the counters hold *now*, and the per-(server, class) gauges go
+/// stale unless a caller remembers to refresh them before a scrape. This
+/// file adds the time dimension for a long-running admission service:
+///
+///  * RollupRing     — fixed-size ring of per-window aggregates
+///                     (min / max / last / avg over the tick samples that
+///                     landed in the window). Memory is bounded and
+///                     pre-allocated; old windows are overwritten.
+///  * TimeSeriesStore — one RollupRing per (name, labels) series, fed from
+///                     MetricsSnapshots. Counters are *rate-derived*: the
+///                     per-tick sample is (value delta) / (tick seconds),
+///                     so a counter's rollup answers "how many per second"
+///                     while `last` keeps the raw cumulative value.
+///                     Histograms contribute their `_count` the same way.
+///  * TelemetrySampler — a background thread that every tick runs the
+///                     registered refresh hooks (e.g. the admission
+///                     pull-model gauges), snapshots the registry, feeds
+///                     the store, and evaluates the AlertEngine. With a
+///                     sampler running, a /metrics scrape is never stale
+///                     and manual update_utilization_gauges() calls are
+///                     unnecessary.
+///
+/// Threading: the store is mutex-guarded — ticks happen a few times per
+/// second, scrapes read snapshots; neither is on the admission hot path.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ubac::telemetry {
+
+class AlertEngine;  // telemetry/alerts.hpp
+
+/// One completed (or in-progress) rollup window of tick samples.
+struct RollupWindow {
+  std::int64_t start_ns = 0;  ///< timestamp of the first tick in the window
+  std::int64_t end_ns = 0;    ///< timestamp of the last tick so far
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  ///< raw instrument value at the last tick (counters:
+                      ///< cumulative count, not the rate)
+  double sum = 0.0;   ///< sum of tick samples (avg() = sum / count)
+  std::uint64_t count = 0;  ///< tick samples aggregated so far
+
+  double avg() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Fixed-size ring of rollup windows. Every `ticks_per_window` consecutive
+/// observe() calls share one window; the ring keeps the most recent
+/// `capacity` windows and overwrites the oldest in place.
+class RollupRing {
+ public:
+  RollupRing(std::size_t capacity, std::size_t ticks_per_window);
+
+  /// Aggregate one tick sample. `value` is what min/max/avg roll up
+  /// (gauge value, or derived rate for counters); `raw_last` is the
+  /// instrument's raw value recorded as the window's `last`.
+  void observe(std::int64_t t_ns, double value, double raw_last);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t ticks_per_window() const { return ticks_per_window_; }
+  /// Ticks observed, total.
+  std::uint64_t ticks() const { return ticks_; }
+  /// Windows ever started (>= capacity means the ring has wrapped).
+  std::uint64_t windows_started() const;
+
+  /// Retained windows, oldest first; the newest entry may still be
+  /// partial (count < ticks_per_window). At most `max_windows` newest
+  /// windows when non-zero.
+  std::vector<RollupWindow> windows(std::size_t max_windows = 0) const;
+
+  /// The newest window, partial or not; default-constructed when empty.
+  RollupWindow latest() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t ticks_per_window_;
+  std::uint64_t ticks_ = 0;
+  std::vector<RollupWindow> ring_;
+};
+
+/// Rollup rings keyed by (metric name, labels), fed from MetricsSnapshots.
+class TimeSeriesStore {
+ public:
+  /// Every series gets a `windows`-deep ring of `ticks_per_window`-tick
+  /// windows.
+  TimeSeriesStore(std::size_t windows, std::size_t ticks_per_window);
+
+  /// Fold one registry snapshot taken at `t_ns` into the rollups.
+  /// Counters (and histogram counts) are rate-derived against the
+  /// previous tick; the very first tick of a series establishes the
+  /// baseline and contributes rate 0.
+  void ingest(const MetricsSnapshot& snapshot, std::int64_t t_ns);
+
+  struct SeriesView {
+    std::string name;
+    Labels labels;
+    InstrumentKind kind = InstrumentKind::kGauge;
+    bool rate_derived = false;  ///< window min/max/avg are per-second rates
+    std::vector<RollupWindow> windows;  ///< oldest first
+  };
+
+  /// All series whose metric name is `name` (every label set), each with
+  /// its newest `max_windows` windows (0 = all retained).
+  std::vector<SeriesView> series(const std::string& name,
+                                 std::size_t max_windows = 0) const;
+
+  /// Newest window of one exact (name, labels) series; false when absent.
+  bool latest(const std::string& name, const Labels& labels,
+              RollupWindow& out) const;
+
+  std::size_t series_count() const;
+  /// Distinct metric names with at least one series.
+  std::vector<std::string> names() const;
+
+  /// JSON for the /series endpoint: {"name": ..., "series": [...]}.
+  /// Each series carries its labels, kind, and per-window
+  /// start/end/min/max/avg/last/count (min/max/avg are per-second rates
+  /// for rate-derived series).
+  std::string to_json(const std::string& name,
+                      std::size_t max_windows = 0) const;
+
+ private:
+  struct Series {
+    Labels labels;
+    InstrumentKind kind;
+    bool rate_derived;
+    bool has_prev = false;
+    double prev_value = 0.0;
+    std::int64_t prev_t_ns = 0;
+    RollupRing ring;
+  };
+
+  void ingest_value(const std::string& name, const Labels& labels,
+                    InstrumentKind kind, bool rate_derived, double value,
+                    std::int64_t t_ns);
+
+  std::size_t windows_;
+  std::size_t ticks_per_window_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<std::unique_ptr<Series>>> by_name_;
+};
+
+/// Background sampler: every tick, run the refresh hooks, snapshot the
+/// registry, feed the store, evaluate alerts. Construct, add hooks/alerts,
+/// then start(); or drive tick_now() manually (tests, single-shot tools).
+class TelemetrySampler {
+ public:
+  struct Options {
+    std::chrono::milliseconds tick{250};
+    std::size_t ticks_per_window = 4;  ///< 1 s windows at the default tick
+    std::size_t windows = 64;          ///< ring depth (~1 min of history)
+  };
+
+  explicit TelemetrySampler(MetricsRegistry& registry);
+  TelemetrySampler(MetricsRegistry& registry, Options options);
+  ~TelemetrySampler();  ///< stops the thread if still running
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Run `hook` at the start of every tick, before the snapshot — this is
+  /// where pull-model gauge refreshers (update_utilization_gauges) belong.
+  /// Not synchronized against a running sampler: add hooks before start().
+  void add_tick_hook(std::function<void()> hook);
+
+  /// Evaluate `engine` after every ingest (same tick cadence). The engine
+  /// must outlive the sampler's run. Set before start().
+  void set_alert_engine(AlertEngine* engine) { alerts_ = engine; }
+
+  void start();
+  void stop();  ///< idempotent; joins the thread
+  bool running() const { return thread_.joinable(); }
+
+  /// One synchronous tick on the caller's thread (hooks -> snapshot ->
+  /// ingest -> alerts). Safe to call while the background thread runs
+  /// (the store and engine are internally locked), but meant for manual
+  /// driving when the thread is off.
+  void tick_now();
+
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  const TimeSeriesStore& store() const { return store_; }
+  TimeSeriesStore& store() { return store_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void run();
+
+  MetricsRegistry* registry_;
+  Options options_;
+  TimeSeriesStore store_;
+  std::vector<std::function<void()>> hooks_;
+  AlertEngine* alerts_ = nullptr;
+  std::atomic<std::uint64_t> ticks_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ubac::telemetry

@@ -34,10 +34,14 @@
 #include "util/thread_pool.hpp"      // IWYU pragma: export
 #include "util/units.hpp"            // IWYU pragma: export
 
-#include "telemetry/event_trace.hpp"  // IWYU pragma: export
-#include "telemetry/span.hpp"         // IWYU pragma: export
-#include "telemetry/exporters.hpp"    // IWYU pragma: export
-#include "telemetry/metrics.hpp"      // IWYU pragma: export
+#include "telemetry/alerts.hpp"         // IWYU pragma: export
+#include "telemetry/event_trace.hpp"    // IWYU pragma: export
+#include "telemetry/flight.hpp"         // IWYU pragma: export
+#include "telemetry/http_endpoint.hpp"  // IWYU pragma: export
+#include "telemetry/span.hpp"           // IWYU pragma: export
+#include "telemetry/exporters.hpp"      // IWYU pragma: export
+#include "telemetry/metrics.hpp"        // IWYU pragma: export
+#include "telemetry/timeseries.hpp"     // IWYU pragma: export
 
 #include "net/graph.hpp"             // IWYU pragma: export
 #include "net/ksp.hpp"               // IWYU pragma: export

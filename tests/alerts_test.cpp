@@ -1,0 +1,363 @@
+// AlertEngine tests: the firing/resolved hysteresis state machine on a
+// synthetic rule, the mirrored kAlert trace events and self-metrics, and
+// both polarities of the built-in rules against a real controller — the
+// headroom rule stays silent at a verified alpha under light load and
+// fires when the class share is nearly exhausted, and the deadline-miss
+// rule reproduces Table 1: silent under static priority, firing once
+// FIFO overload breaks the voice guarantee.
+#include "telemetry/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/routing_table.hpp"
+#include "admission/telemetry.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "routing/route_selection.hpp"
+#include "sim/audit.hpp"
+#include "sim/network_sim.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using telemetry::AlertEngine;
+using telemetry::AlertRule;
+using telemetry::AlertState;
+using telemetry::MetricsSnapshot;
+using telemetry::TimeSeriesStore;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+/// Synthetic rule breached whenever the shared flag is up; for_ticks=3,
+/// resolve_ticks=2 so fire and resolve thresholds differ.
+struct HysteresisHarness {
+  telemetry::MetricsRegistry registry;
+  telemetry::EventTracer tracer{64};
+  AlertEngine engine;
+  TimeSeriesStore store{4, 1};
+  MetricsSnapshot empty;
+  bool breach = false;
+  std::int64_t t = 0;
+
+  HysteresisHarness()
+      : engine(AlertEngine::Options{&tracer, &registry, 16}) {
+    AlertRule rule;
+    rule.name = "test-rule";
+    rule.description = "synthetic flag rule";
+    rule.for_ticks = 3;
+    rule.resolve_ticks = 2;
+    rule.check = [this](const MetricsSnapshot&,
+                        const TimeSeriesStore&) -> std::optional<double> {
+      if (breach) return 1.25;
+      return std::nullopt;
+    };
+    engine.add_rule(std::move(rule));
+  }
+
+  AlertState tick(bool b) {
+    breach = b;
+    engine.evaluate(empty, store, ++t);
+    return engine.status().front().state;
+  }
+
+  std::vector<const char*> alert_reasons() const {
+    std::vector<const char*> out;
+    for (const auto& ev : tracer.snapshot())
+      if (ev.kind == telemetry::TraceEventKind::kAlert)
+        out.push_back(ev.reason);
+    return out;
+  }
+};
+
+TEST(AlertHysteresis, FiresAfterConsecutiveBreachesAndResolvesAfterQuiet) {
+  HysteresisHarness h;
+  EXPECT_EQ(h.tick(false), AlertState::kInactive);
+  EXPECT_EQ(h.tick(true), AlertState::kPending);  // streak 1
+  EXPECT_EQ(h.tick(true), AlertState::kPending);  // streak 2
+  EXPECT_FALSE(h.engine.any_firing());
+  EXPECT_EQ(h.tick(true), AlertState::kFiring);   // streak 3 == for_ticks
+  EXPECT_TRUE(h.engine.any_firing());
+
+  const auto firing = h.engine.status().front();
+  EXPECT_EQ(firing.fired, 1u);
+  EXPECT_DOUBLE_EQ(firing.value, 1.25);
+
+  // One quiet tick is not enough (resolve_ticks = 2).
+  EXPECT_EQ(h.tick(false), AlertState::kFiring);
+  EXPECT_EQ(h.tick(false), AlertState::kInactive);
+  EXPECT_FALSE(h.engine.any_firing());
+  EXPECT_EQ(h.engine.evaluations(), 6u);
+
+  // Both transitions were mirrored into the tracer, in order.
+  const auto reasons = h.alert_reasons();
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_STREQ(reasons[0], "test-rule:fire");
+  EXPECT_STREQ(reasons[1], "test-rule:resolved");
+}
+
+TEST(AlertHysteresis, PendingStreakRestartsOnAQuietTick) {
+  HysteresisHarness h;
+  // Two breaches, a gap, two breaches, a gap: never 3 consecutive.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_NE(h.tick(true), AlertState::kFiring);
+    EXPECT_NE(h.tick(true), AlertState::kFiring);
+    EXPECT_EQ(h.tick(false), AlertState::kInactive);
+  }
+  EXPECT_EQ(h.engine.status().front().fired, 0u);
+  EXPECT_TRUE(h.alert_reasons().empty());
+}
+
+TEST(AlertHysteresis, ResolveQuietRunMustBeConsecutive) {
+  HysteresisHarness h;
+  h.tick(true);
+  h.tick(true);
+  ASSERT_EQ(h.tick(true), AlertState::kFiring);
+  // Alternating quiet/breach never accumulates resolve_ticks quiet ticks.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.tick(false), AlertState::kFiring);
+    EXPECT_EQ(h.tick(true), AlertState::kFiring);
+  }
+  EXPECT_EQ(h.engine.status().front().fired, 1u);
+}
+
+TEST(AlertHysteresis, FireUpdatesSelfMetricsAndFreezesFlightSnapshot) {
+  HysteresisHarness h;
+  EXPECT_FALSE(h.engine.has_fire_snapshot());
+  h.registry.gauge("ubac_test_util", "gauge for the snapshot").set(0.5);
+
+  h.tick(true);
+  h.tick(true);
+  h.tick(true);
+  EXPECT_TRUE(h.engine.has_fire_snapshot());
+  const auto snapshot = h.engine.last_fire_snapshot();
+  // The frozen snapshot carries the gauge families and the alert event.
+  bool saw_gauge = false;
+  for (const auto& family : snapshot.gauges)
+    saw_gauge |= family.name == "ubac_test_util";
+  EXPECT_TRUE(saw_gauge);
+
+  const auto metrics = h.registry.snapshot();
+  const auto* fired = metrics.find("ubac_alerts_fired_total",
+                                   {{"rule", "test-rule"}});
+  ASSERT_NE(fired, nullptr);
+  EXPECT_DOUBLE_EQ(fired->value, 1.0);
+  const auto* active = metrics.find("ubac_alerts_active",
+                                    {{"rule", "test-rule"}});
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value, 1.0);
+
+  h.tick(false);
+  h.tick(false);
+  EXPECT_DOUBLE_EQ(h.registry.snapshot()
+                       .find("ubac_alerts_active", {{"rule", "test-rule"}})
+                       ->value,
+                   0.0);
+}
+
+TEST(AlertHysteresis, ToJsonReportsStates) {
+  HysteresisHarness h;
+  h.tick(true);
+  const std::string json = h.engine.to_json();
+  EXPECT_NE(json.find("\"rule\":\"test-rule\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"pending\""), std::string::npos);
+  EXPECT_NE(json.find("\"firing\":false"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in rule polarities against a real controller: a line network with
+// one voice demand, the sampler's gauge hook refreshing utilization each
+// tick exactly as `ubac_configtool serve` wires it.
+
+struct ControllerHarness {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph{topo, 6u};
+  traffic::ClassSet classes;
+  telemetry::MetricsRegistry registry;
+  admission::AdmissionController ctl;
+  admission::ControllerTelemetry ctl_telemetry;
+  telemetry::TelemetrySampler sampler;
+  AlertEngine alerts;
+
+  static admission::RoutingTable route_all(const net::Topology& topo,
+                                           const net::ServerGraph& graph) {
+    const auto demands = traffic::all_ordered_pairs(topo);
+    std::vector<net::ServerPath> routes;
+    for (const auto& d : demands)
+      routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+    return admission::RoutingTable(demands, routes);
+  }
+
+  static telemetry::TelemetrySampler::Options tick_per_window() {
+    telemetry::TelemetrySampler::Options options;
+    options.ticks_per_window = 1;
+    return options;
+  }
+
+  explicit ControllerHarness(double alpha)
+      : classes(traffic::ClassSet::two_class(LeakyBucket(640.0, kbps(32)),
+                                             milliseconds(100), alpha)),
+        ctl(graph, classes, route_all(topo, graph)),
+        ctl_telemetry(registry, "test"),
+        sampler(registry, tick_per_window()) {
+    ctl.attach_telemetry(&ctl_telemetry);
+    sampler.add_tick_hook(
+        admission::utilization_gauge_hook(registry, "test", ctl));
+    alerts.add_rule(AlertEngine::headroom_rule("test", 0.9, /*k=*/2));
+    alerts.add_rule(
+        AlertEngine::rejection_spike_rule("test", /*per_second=*/0.5, 1));
+    sampler.set_alert_engine(&alerts);
+  }
+
+  AlertState state_of(const std::string& rule) const {
+    for (const auto& st : alerts.status())
+      if (st.rule == rule) return st.state;
+    ADD_FAILURE() << "no rule named " << rule;
+    return AlertState::kInactive;
+  }
+};
+
+TEST(AlertBuiltins, SilentAtVerifiedAlphaUnderLightLoad) {
+  // alpha = 0.32 is the verified Table 1 operating point; a few voice
+  // flows use a sliver of the 32 Mb/s class share.
+  ControllerHarness h(0.32);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(h.ctl.request(0, 2, 0).admitted());
+  for (int tick = 0; tick < 6; ++tick) h.sampler.tick_now();
+
+  EXPECT_FALSE(h.alerts.any_firing());
+  EXPECT_EQ(h.state_of("headroom-exhaustion"), AlertState::kInactive);
+  EXPECT_EQ(h.state_of("rejection-spike"), AlertState::kInactive);
+  EXPECT_FALSE(h.alerts.has_fire_snapshot());
+}
+
+TEST(AlertBuiltins, HeadroomAndRejectionSpikeFireAtExhaustion) {
+  // Tiny alpha: the 100 kb/s class share takes three 32 kb/s flows, so
+  // saturating it parks utilization at 0.96 > 0.9.
+  ControllerHarness h(0.001);
+  std::vector<traffic::FlowId> held;
+  for (auto d = h.ctl.request(0, 2, 0); d.admitted();
+       d = h.ctl.request(0, 2, 0))
+    held.push_back(d.flow_id);
+  EXPECT_EQ(held.size(), 3u);
+
+  h.sampler.tick_now();  // breach 1 of 2; counter rates get a baseline
+  // Rejections between the baseline tick and the next one turn into a
+  // positive utilization-exceeded rate, breaching the 0.5/s spike rule.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_FALSE(h.ctl.request(0, 2, 0).admitted());
+  h.sampler.tick_now();  // breach 2: headroom fires (k=2), spike fires (k=1)
+
+  EXPECT_EQ(h.state_of("headroom-exhaustion"), AlertState::kFiring);
+  EXPECT_EQ(h.state_of("rejection-spike"), AlertState::kFiring);
+  for (const auto& st : h.alerts.status())
+    if (st.rule == "headroom-exhaustion") EXPECT_GE(st.value, 0.9);
+  EXPECT_TRUE(h.alerts.has_fire_snapshot());
+
+  // Releasing everything resolves both rules after k quiet ticks.
+  for (const traffic::FlowId id : held) h.ctl.release(id);
+  for (int tick = 0; tick < 3; ++tick) h.sampler.tick_now();
+  EXPECT_FALSE(h.alerts.any_firing());
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-miss rule on the Table 1 MCI scenario (same setup as
+// tests/audit_test.cpp): verified shortest-path voice routes at
+// alpha = 0.30 plus best-effort cross traffic overloading one link.
+// The watchdog's miss counter feeds the rollup store; the rule must stay
+// silent under static priority and fire under FIFO.
+
+bool deadline_rule_fires(sim::SchedulingPolicy policy) {
+  const auto topo = net::mci_backbone();
+  const net::ServerGraph graph(topo, 6u);
+  const double alpha = 0.30;
+  const Seconds deadline = milliseconds(100);
+  const Seconds horizon = 0.4;
+  const Bits voice_packet = 640.0;
+  const Bits be_packet = 12'000.0;
+  const LeakyBucket voice(voice_packet, kbps(32));
+
+  auto demands = traffic::all_ordered_pairs(topo);
+  const auto hops = net::all_pairs_hops(topo);
+  std::stable_sort(demands.begin(), demands.end(),
+                   [&](const auto& a, const auto& b) {
+                     return hops[a.src][a.dst] > hops[b.src][b.dst];
+                   });
+  demands.resize(6);
+  const auto selection = routing::select_routes_shortest_path(
+      graph, alpha, voice, deadline, demands);
+  EXPECT_TRUE(selection.success);
+  if (!selection.success) return false;
+
+  traffic::ClassSet classes;
+  classes.add(traffic::ServiceClass("realtime", voice, deadline, alpha));
+  classes.add(traffic::ServiceClass("best-effort",
+                                    LeakyBucket(4.0 * be_packet, kbps(10'000)),
+                                    0.0, 0.0, /*rt=*/false));
+
+  telemetry::MetricsRegistry registry;
+  telemetry::TelemetrySampler::Options sampler_options;
+  sampler_options.ticks_per_window = 1;
+  telemetry::TelemetrySampler sampler(registry, sampler_options);
+  AlertEngine alerts;
+  alerts.add_rule(AlertEngine::deadline_miss_rule());
+  sampler.set_alert_engine(&alerts);
+
+  sim::NetworkSim sim(graph, classes, policy);
+  const sim::AuditBounds bounds = sim::AuditBounds::single_class(
+      graph, selection.solution.server_delay, deadline, be_packet);
+  sim::DeadlineWatchdog::Options watchdog_options;
+  watchdog_options.metrics = &registry;
+  sim::DeadlineWatchdog watchdog(graph, bounds, watchdog_options);
+
+  for (const auto& route : selection.server_routes)
+    for (int f = 0; f < 10; ++f) {
+      sim::SourceConfig src;
+      src.model = sim::SourceModel::kGreedy;
+      src.packet_size = voice_packet;
+      src.stop = sim::to_sim_time(horizon);
+      sim.add_flow(route, 0, src);
+      watchdog.register_flow(0, route);
+    }
+  for (int f = 0; f < 16; ++f) {
+    sim::SourceConfig src;
+    src.model = sim::SourceModel::kGreedy;
+    src.packet_size = be_packet;
+    src.stop = sim::to_sim_time(horizon);
+    sim.add_flow(selection.server_routes.front(), 1, src);
+    watchdog.register_flow(1, selection.server_routes.front());
+  }
+  watchdog.attach(sim);
+
+  sampler.tick_now();  // counter baseline before the run
+  const sim::SimResults results = sim.run(2.0 * horizon);
+  EXPECT_GT(results.packets_delivered, 0u);
+  EXPECT_EQ(watchdog.tripped(),
+            policy == sim::SchedulingPolicy::kFifo);
+  sampler.tick_now();  // any misses now show as a positive rate
+
+  return alerts.any_firing();
+}
+
+TEST(AlertDeadlineMiss, SilentUnderStaticPriorityAtVerifiedAlpha) {
+  EXPECT_FALSE(deadline_rule_fires(sim::SchedulingPolicy::kStaticPriority));
+}
+
+TEST(AlertDeadlineMiss, FiresUnderFifoOverload) {
+  EXPECT_TRUE(deadline_rule_fires(sim::SchedulingPolicy::kFifo));
+}
+
+}  // namespace
+}  // namespace ubac

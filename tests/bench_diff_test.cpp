@@ -1,0 +1,119 @@
+// bench_diff end to end: runs the real binary (path injected by CMake as
+// UBAC_BENCH_DIFF_BIN) over small temporary summary files and checks the
+// regression / improvement verdicts, the exit status, and the ADDED /
+// REMOVED reporting for rows present in only one file.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_bench_diff(const std::string& args) {
+  const std::string command =
+      std::string(UBAC_BENCH_DIFF_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr)
+    result.output += buf.data();
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Writes `json` to a unique temp file and returns its path.
+class TempSummary {
+ public:
+  explicit TempSummary(const std::string& json) {
+    char name[] = "/tmp/ubac_bench_diff_XXXXXX";
+    const int fd = mkstemp(name);
+    if (fd >= 0) ::close(fd);
+    path_ = name;
+    std::ofstream(path_) << json;
+  }
+  ~TempSummary() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kBaseline = R"({"bench":"demo","rows":[
+  {"case":"fast","reps":3,"min_ms":10.0,"admissions_per_sec":1000.0},
+  {"case":"gone","reps":3,"min_ms":5.0}
+]})";
+
+TEST(BenchDiff, EqualFilesCompareClean) {
+  TempSummary base(kBaseline);
+  const RunResult r = run_bench_diff(base.path() + " " + base.path());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("0 regression(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("0 row(s) added, 0 removed"), std::string::npos);
+}
+
+TEST(BenchDiff, RegressionFailsAndWarnOnlyDoesNot) {
+  TempSummary base(kBaseline);
+  // min_ms doubled (lower is better) and throughput halved: 2 regressions.
+  TempSummary cur(R"({"bench":"demo","rows":[
+    {"case":"fast","reps":3,"min_ms":20.0,"admissions_per_sec":500.0},
+    {"case":"gone","reps":3,"min_ms":5.0}
+  ]})");
+  RunResult r = run_bench_diff(base.path() + " " + cur.path());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(r.output.find("2 regression(s)"), std::string::npos);
+
+  r = run_bench_diff(base.path() + " " + cur.path() + " --warn-only");
+  EXPECT_EQ(r.exit_code, 0);
+
+  // An improvement in the other direction is reported, not failed.
+  TempSummary better(R"({"bench":"demo","rows":[
+    {"case":"fast","reps":3,"min_ms":5.0,"admissions_per_sec":2000.0},
+    {"case":"gone","reps":3,"min_ms":5.0}
+  ]})");
+  r = run_bench_diff(base.path() + " " + better.path());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("2 improvement(s)"), std::string::npos);
+}
+
+TEST(BenchDiff, ReportsAddedAndRemovedRows) {
+  TempSummary base(kBaseline);
+  // "gone" vanished, "fresh" appeared; "fast" unchanged.
+  TempSummary cur(R"({"bench":"demo","rows":[
+    {"case":"fast","reps":3,"min_ms":10.0,"admissions_per_sec":1000.0},
+    {"case":"fresh","reps":3,"min_ms":7.0}
+  ]})");
+  const RunResult r = run_bench_diff(base.path() + " " + cur.path());
+  // A dropped case is loud but not an exit failure (no regression).
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("ADDED"), std::string::npos);
+  EXPECT_NE(r.output.find("case=fresh"), std::string::npos);
+  EXPECT_NE(r.output.find("REMOVED"), std::string::npos);
+  EXPECT_NE(r.output.find("case=gone"), std::string::npos);
+  EXPECT_NE(r.output.find("1 row(s) added, 1 removed"), std::string::npos);
+}
+
+TEST(BenchDiff, ConfigChangeWarnsAndNoMetricsIsAnError) {
+  TempSummary base(kBaseline);
+  TempSummary cur(R"({"bench":"demo","rows":[
+    {"case":"fast","reps":5,"min_ms":10.0,"admissions_per_sec":1000.0}
+  ]})");
+  // reps changed: the row identities differ, so everything is ADDED /
+  // REMOVED and zero metrics compare -> exit 2.
+  const RunResult r = run_bench_diff(base.path() + " " + cur.path());
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("no comparable metrics"), std::string::npos);
+}
+
+}  // namespace

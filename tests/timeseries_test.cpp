@@ -1,0 +1,254 @@
+// Rollup rings, the time-series store's rate derivation, and the
+// telemetry sampler that feeds them (telemetry/timeseries.hpp).
+//
+// The rollup math is checked against hand-computed values: fixed tick
+// timestamps, known samples, expected min/max/avg/last per window —
+// including ring wraparound (old windows recycled in place) and the
+// counter -> per-second-rate derivation with its reset clamp.
+
+#include "telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace ubac::telemetry {
+namespace {
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+TEST(RollupRing, AggregatesTicksIntoWindows) {
+  RollupRing ring(/*capacity=*/4, /*ticks_per_window=*/3);
+  // Window 0: samples 2, 8, 5 at t = 1s, 2s, 3s.
+  ring.observe(1 * kSecond, 2.0, 2.0);
+  ring.observe(2 * kSecond, 8.0, 8.0);
+  ring.observe(3 * kSecond, 5.0, 5.0);
+  EXPECT_EQ(ring.ticks(), 3u);
+  EXPECT_EQ(ring.windows_started(), 1u);
+
+  const RollupWindow w = ring.latest();
+  EXPECT_EQ(w.start_ns, 1 * kSecond);
+  EXPECT_EQ(w.end_ns, 3 * kSecond);
+  EXPECT_DOUBLE_EQ(w.min, 2.0);
+  EXPECT_DOUBLE_EQ(w.max, 8.0);
+  EXPECT_DOUBLE_EQ(w.last, 5.0);
+  EXPECT_DOUBLE_EQ(w.avg(), (2.0 + 8.0 + 5.0) / 3.0);
+  EXPECT_EQ(w.count, 3u);
+}
+
+TEST(RollupRing, PartialWindowIsVisible) {
+  RollupRing ring(4, 3);
+  ring.observe(1 * kSecond, 10.0, 10.0);
+  ring.observe(2 * kSecond, 4.0, 4.0);
+  const RollupWindow w = ring.latest();
+  EXPECT_EQ(w.count, 2u);
+  EXPECT_DOUBLE_EQ(w.min, 4.0);
+  EXPECT_DOUBLE_EQ(w.max, 10.0);
+  EXPECT_DOUBLE_EQ(w.avg(), 7.0);
+}
+
+TEST(RollupRing, WraparoundKeepsNewestWindows) {
+  // capacity 2, 2 ticks per window: after 6 ticks (3 windows) the ring
+  // holds windows 1 and 2; window 0 was recycled in place.
+  RollupRing ring(/*capacity=*/2, /*ticks_per_window=*/2);
+  for (int tick = 0; tick < 6; ++tick)
+    ring.observe((tick + 1) * kSecond, static_cast<double>(tick),
+                 static_cast<double>(tick));
+  EXPECT_EQ(ring.ticks(), 6u);
+  EXPECT_EQ(ring.windows_started(), 3u);
+
+  const auto windows = ring.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  // Window 1 held ticks 2,3 (values 2,3); window 2 ticks 4,5.
+  EXPECT_DOUBLE_EQ(windows[0].min, 2.0);
+  EXPECT_DOUBLE_EQ(windows[0].max, 3.0);
+  EXPECT_EQ(windows[0].start_ns, 3 * kSecond);
+  EXPECT_DOUBLE_EQ(windows[1].min, 4.0);
+  EXPECT_DOUBLE_EQ(windows[1].max, 5.0);
+  EXPECT_EQ(windows[1].end_ns, 6 * kSecond);
+
+  // The recycled slot must carry no residue of window 0: after 2 more
+  // ticks the oldest retained window is window 2, freshly reset.
+  ring.observe(7 * kSecond, 100.0, 100.0);
+  ring.observe(8 * kSecond, 200.0, 200.0);
+  const auto after = ring.windows(/*max_windows=*/2);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_DOUBLE_EQ(after[1].min, 100.0);
+  EXPECT_DOUBLE_EQ(after[1].max, 200.0);
+  EXPECT_EQ(after[1].count, 2u);
+}
+
+TEST(RollupRing, MaxWindowsLimitsOutput) {
+  RollupRing ring(8, 1);
+  for (int tick = 0; tick < 5; ++tick)
+    ring.observe(tick * kSecond, tick, tick);
+  EXPECT_EQ(ring.windows().size(), 5u);
+  const auto newest = ring.windows(2);
+  ASSERT_EQ(newest.size(), 2u);
+  EXPECT_DOUBLE_EQ(newest[0].last, 3.0);
+  EXPECT_DOUBLE_EQ(newest[1].last, 4.0);
+}
+
+TEST(RollupRing, RejectsZeroSizes) {
+  EXPECT_THROW(RollupRing(0, 1), std::invalid_argument);
+  EXPECT_THROW(RollupRing(1, 0), std::invalid_argument);
+}
+
+TEST(TimeSeries, GaugeRollsUpItsValue) {
+  TimeSeriesStore store(/*windows=*/8, /*ticks_per_window=*/2);
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("g", "help");
+  gauge.set(1.5);
+  store.ingest(registry.snapshot(), 1 * kSecond);
+  gauge.set(2.5);
+  store.ingest(registry.snapshot(), 2 * kSecond);
+
+  RollupWindow w;
+  ASSERT_TRUE(store.latest("g", {}, w));
+  EXPECT_DOUBLE_EQ(w.min, 1.5);
+  EXPECT_DOUBLE_EQ(w.max, 2.5);
+  EXPECT_DOUBLE_EQ(w.avg(), 2.0);
+  EXPECT_DOUBLE_EQ(w.last, 2.5);
+}
+
+TEST(TimeSeries, CounterDerivesPerSecondRate) {
+  TimeSeriesStore store(8, /*ticks_per_window=*/4);
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("c_total", "help");
+
+  // t=10s: count 100 (baseline tick, rate 0)
+  counter.add(100);
+  store.ingest(registry.snapshot(), 10 * kSecond);
+  // t=12s: count 160 -> (160-100)/2s = 30/s
+  counter.add(60);
+  store.ingest(registry.snapshot(), 12 * kSecond);
+  // t=13s: count 220 -> 60/s
+  counter.add(60);
+  store.ingest(registry.snapshot(), 13 * kSecond);
+  // t=17s: count 230 -> 2.5/s
+  counter.add(10);
+  store.ingest(registry.snapshot(), 17 * kSecond);
+
+  const auto views = store.series("c_total");
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_TRUE(views[0].rate_derived);
+  ASSERT_EQ(views[0].windows.size(), 1u);
+  const RollupWindow& w = views[0].windows[0];
+  EXPECT_EQ(w.count, 4u);
+  EXPECT_DOUBLE_EQ(w.min, 0.0);   // baseline tick
+  EXPECT_DOUBLE_EQ(w.max, 60.0);  // the 13s tick
+  EXPECT_DOUBLE_EQ(w.avg(), (0.0 + 30.0 + 60.0 + 2.5) / 4.0);
+  // `last` keeps the raw cumulative count, not the rate.
+  EXPECT_DOUBLE_EQ(w.last, 230.0);
+}
+
+TEST(TimeSeries, CounterResetClampsToZeroRate) {
+  TimeSeriesStore store(4, 1);
+  MetricsRegistry registry_a;
+  Counter& counter = registry_a.counter("c_total", "help");
+  counter.add(1000);
+  store.ingest(registry_a.snapshot(), 1 * kSecond);
+
+  // A registry swap (process restart, new controller) drops the count;
+  // the rate must clamp to 0 instead of going hugely negative.
+  MetricsRegistry registry_b;
+  registry_b.counter("c_total", "help").add(5);
+  store.ingest(registry_b.snapshot(), 2 * kSecond);
+
+  RollupWindow w;
+  ASSERT_TRUE(store.latest("c_total", {}, w));
+  EXPECT_DOUBLE_EQ(w.min, 0.0);
+  EXPECT_DOUBLE_EQ(w.max, 0.0);
+  EXPECT_DOUBLE_EQ(w.last, 5.0);
+}
+
+TEST(TimeSeries, HistogramContributesCountRate) {
+  TimeSeriesStore store(4, 1);
+  MetricsRegistry registry;
+  LatencyHistogram& hist = registry.histogram(
+      "lat_seconds", "help", {1e-6, 1e-3, 1.0});
+  hist.record(0.5);
+  store.ingest(registry.snapshot(), 1 * kSecond);
+  hist.record(0.5);
+  hist.record(0.5);
+  store.ingest(registry.snapshot(), 2 * kSecond);
+
+  RollupWindow w;
+  ASSERT_TRUE(store.latest("lat_seconds_count", {}, w));
+  EXPECT_DOUBLE_EQ(w.max, 2.0);  // 2 observations in 1 s
+  EXPECT_DOUBLE_EQ(w.last, 3.0);
+}
+
+TEST(TimeSeries, LabelSetsStaySeparateSeries) {
+  TimeSeriesStore store(4, 1);
+  MetricsRegistry registry;
+  registry.gauge("g", "help", {{"k", "a"}}).set(1.0);
+  registry.gauge("g", "help", {{"k", "b"}}).set(2.0);
+  store.ingest(registry.snapshot(), 1 * kSecond);
+
+  EXPECT_EQ(store.series("g").size(), 2u);
+  EXPECT_EQ(store.series_count(), 2u);
+  RollupWindow w;
+  ASSERT_TRUE(store.latest("g", {{"k", "b"}}, w));
+  EXPECT_DOUBLE_EQ(w.last, 2.0);
+  EXPECT_FALSE(store.latest("g", {{"k", "c"}}, w));
+}
+
+TEST(TimeSeries, ToJsonCarriesWindows) {
+  TimeSeriesStore store(4, 1);
+  MetricsRegistry registry;
+  registry.gauge("g", "help", {{"k", "a"}}).set(1.25);
+  store.ingest(registry.snapshot(), 1 * kSecond);
+  const std::string json = store.to_json("g");
+  EXPECT_NE(json.find("\"name\":\"g\""), std::string::npos);
+  EXPECT_NE(json.find("\"k\":\"a\""), std::string::npos);
+  EXPECT_NE(json.find("\"last\":1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\":false"), std::string::npos);
+}
+
+TEST(TelemetrySampler, ManualTicksRunHooksAndIngest) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("hooked", "help");
+  TelemetrySampler::Options options;
+  options.ticks_per_window = 2;
+  TelemetrySampler sampler(registry, options);
+
+  double next = 0.0;
+  sampler.add_tick_hook([&] { gauge.set(++next); });
+  sampler.tick_now();
+  sampler.tick_now();
+
+  EXPECT_EQ(sampler.ticks(), 2u);
+  RollupWindow w;
+  ASSERT_TRUE(sampler.store().latest("hooked", {}, w));
+  // The hook ran before each snapshot: samples were 1 and 2.
+  EXPECT_DOUBLE_EQ(w.min, 1.0);
+  EXPECT_DOUBLE_EQ(w.max, 2.0);
+}
+
+TEST(TelemetrySampler, BackgroundThreadTicks) {
+  MetricsRegistry registry;
+  registry.gauge("g", "help").set(1.0);
+  TelemetrySampler::Options options;
+  options.tick = std::chrono::milliseconds(5);
+  TelemetrySampler sampler(registry, options);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  while (sampler.ticks() < 3) std::this_thread::yield();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  const std::uint64_t ticks = sampler.ticks();
+  EXPECT_GE(ticks, 3u);
+  RollupWindow w;
+  EXPECT_TRUE(sampler.store().latest("g", {}, w));
+  // stop() is final: no more ticks arrive afterwards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sampler.ticks(), ticks);
+}
+
+}  // namespace
+}  // namespace ubac::telemetry

@@ -10,7 +10,9 @@
 ///
 /// Rows are matched by the concatenation of their string-valued fields
 /// (e.g. `case`), so reordering rows or appending new ones is never a
-/// failure. For each numeric field present in both rows the tool knows
+/// failure. Rows present in only one file are reported as ADDED (current
+/// only) or REMOVED (baseline only) so a silently dropped case is
+/// visible. For each numeric field present in both rows the tool knows
 /// the improvement direction from the key:
 ///
 ///   lower is better:  keys ending in _ns/_us/_ms/_s/_seconds
@@ -27,6 +29,7 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -227,14 +230,18 @@ int main(int argc, char** argv) {
 
     std::map<std::string, const Row*> base_rows;
     for (const Row& row : baseline.rows) base_rows[row.identity()] = &row;
+    std::set<std::string> matched;
 
     int regressions = 0, improvements = 0, compared = 0;
+    int added = 0, removed = 0;
     for (const Row& row : current.rows) {
       const auto it = base_rows.find(row.identity());
       if (it == base_rows.end()) {
-        std::printf("NEW        %s(no baseline row)\n", row.identity().c_str());
+        std::printf("ADDED      %s(no baseline row)\n", row.identity().c_str());
+        ++added;
         continue;
       }
+      matched.insert(it->first);
       const Row& base = *it->second;
       for (const auto& [key, value] : row.numbers) {
         const auto bit = base.numbers.find(key);
@@ -268,10 +275,20 @@ int main(int argc, char** argv) {
                     100.0 * (value - old_value) / denom);
       }
     }
+    // Baseline rows the current run no longer has: a disappeared case can
+    // hide a regression, so make it loud.
+    for (const auto& [identity, row] : base_rows)
+      if (!matched.count(identity)) {
+        std::printf("REMOVED    %s(no current row)\n", identity.c_str());
+        ++removed;
+      }
+
     std::printf(
         "\nbench_diff: %d metric(s) compared, %d regression(s), "
-        "%d improvement(s) at threshold %.0f%%\n",
-        compared, regressions, improvements, threshold * 100.0);
+        "%d improvement(s), %d row(s) added, %d removed at threshold "
+        "%.0f%%\n",
+        compared, regressions, improvements, added, removed,
+        threshold * 100.0);
     if (compared == 0) {
       std::fprintf(stderr, "bench_diff: no comparable metrics found\n");
       return 2;

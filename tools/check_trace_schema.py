@@ -11,7 +11,10 @@ Checks the subset ChromeTraceWriter emits (and Perfetto requires):
   * "i" (instant) events carry numeric "ts";
   * "M" (metadata) events are process_name/thread_name with a
     string args.name;
-  * any "args" value is a JSON object.
+  * any "args" value is a JSON object;
+  * "i" events named "alert" (AlertEngine fire/resolve transitions
+    mirrored into the tracer) carry a non-empty string args.reason naming
+    the rule and polarity, e.g. "headroom-exhaustion:fire".
 
 Usage: check_trace_schema.py <trace.json> [<trace.json> ...]
 Exit status 0 when every file conforms, 1 otherwise.
@@ -53,6 +56,11 @@ def check_event(path, index, event):
             fail(path, index, "metadata needs args.name")
     elif "args" in event and not isinstance(event["args"], dict):
         fail(path, index, "'args' must be an object")
+    if ph == "i" and event["name"] == "alert":
+        args = event.get("args")
+        reason = args.get("reason") if isinstance(args, dict) else None
+        if not isinstance(reason, str) or not reason:
+            fail(path, index, "'alert' instant needs non-empty args.reason")
 
 
 def check_file(path):

@@ -13,6 +13,10 @@
 //                utilization, drive greedy packet traffic over the chosen
 //                routes, and check every measured delay against the
 //                configured bounds (guarantee auditor + deadline watchdog)
+//   serve        long-running live-telemetry mode: configure, run Poisson
+//                admission churn in the background, and expose /metrics,
+//                /healthz, /series and /alerts over an embedded HTTP
+//                endpoint until SIGINT (docs/observability.md)
 //
 // Topologies are read from --topology=<file> (net/topology_io.hpp format)
 // or default to the built-in MCI backbone. Configurations use the
@@ -35,13 +39,18 @@
 //       --trace-out=/tmp/ubac_trace.json
 //   ubac_configtool audit --alpha=0.30 --policy=sp
 //   ubac_configtool audit --policy=fifo --be-flows=8 --deadline-ms=20
+//   ubac_configtool serve --port=9177 --load-rate=80 --watch
+//   ubac_configtool serve --duration-s=10 --tick-ms=100
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "ubac.hpp"
@@ -372,6 +381,142 @@ int cmd_audit(const util::ArgParser& args) {
   return report.ok() && !watchdog.tripped() ? 0 : 1;
 }
 
+// SIGINT/SIGTERM land here; the serve loop polls it.
+std::atomic<bool> g_interrupted{false};
+
+void on_interrupt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
+/// Long-running live-telemetry mode (docs/observability.md): configure a
+/// verified routing table, keep a paced Poisson churn running against the
+/// concurrent controller, and serve the scrape endpoints until SIGINT (or
+/// --duration-s). The sampler refreshes the pull-model utilization gauges
+/// on every tick, so scrapes never need a manual gauge refresh.
+int cmd_serve(const util::ArgParser& args) {
+  const auto topo = load_topology(args);
+  const net::ServerGraph graph(topo, 6u);
+  const auto bucket = bucket_from(args);
+  const Seconds deadline = deadline_from(args);
+  const double alpha = args.get_double("alpha", 0.32);
+
+  const auto demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> routes;
+  for (const auto& d : demands)
+    routes.push_back(
+        graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+  const admission::RoutingTable table(demands, routes);
+  const auto classes = traffic::ClassSet::two_class(bucket, deadline, alpha);
+
+  telemetry::MetricsRegistry registry;
+  telemetry::EventTracer tracer(8192);
+  admission::AdmissionController ctl(graph, classes, table);
+  admission::ControllerTelemetry ctl_telemetry(registry, "serve", &tracer);
+  ctl.attach_telemetry(&ctl_telemetry);
+
+  telemetry::TelemetrySampler::Options sampler_options;
+  sampler_options.tick = std::chrono::milliseconds(
+      std::max<long>(10, args.get_long("tick-ms", 250)));
+  sampler_options.ticks_per_window =
+      static_cast<std::size_t>(std::max<long>(1, args.get_long("window-ticks", 4)));
+  telemetry::TelemetrySampler sampler(registry, sampler_options);
+  sampler.add_tick_hook(
+      admission::utilization_gauge_hook(registry, "serve", ctl));
+
+  telemetry::AlertEngine::Options alert_options;
+  alert_options.tracer = &tracer;
+  alert_options.metrics = &registry;
+  telemetry::AlertEngine alerts(alert_options);
+  const auto alert_k =
+      static_cast<std::size_t>(std::max<long>(1, args.get_long("alert-k", 3)));
+  alerts.add_rule(telemetry::AlertEngine::headroom_rule(
+      "serve", args.get_double("alert-headroom", 0.9), alert_k));
+  alerts.add_rule(telemetry::AlertEngine::rejection_spike_rule(
+      "serve", args.get_double("alert-reject-rate", 100.0), alert_k));
+  alerts.add_rule(telemetry::AlertEngine::deadline_miss_rule());
+  sampler.set_alert_engine(&alerts);
+
+  admission::PacedLoadDriver::Options load_options;
+  load_options.arrival_rate = args.get_double("load-rate", 50.0);
+  load_options.mean_holding = args.get_double("load-holding-s", 10.0);
+  admission::PacedLoadDriver driver(ctl, demands, load_options);
+
+  telemetry::HttpEndpoint::Options http_options;
+  http_options.port =
+      static_cast<std::uint16_t>(args.get_long("port", 9177));
+  telemetry::HttpEndpoint http(http_options);
+  telemetry::install_standard_routes(http, registry, &sampler, &alerts);
+
+  sampler.start();
+  driver.start();
+  http.start();
+  std::printf("serve: listening on http://127.0.0.1:%u "
+              "(/metrics /healthz /series /alerts)\n",
+              http.port());
+  std::printf("serve: churn %.0f flows/s over %zu demands at alpha=%.2f; "
+              "tick %ld ms; Ctrl-C to stop\n",
+              load_options.arrival_rate, demands.size(), alpha,
+              static_cast<long>(sampler_options.tick.count()));
+  std::fflush(stdout);
+
+  g_interrupted.store(false);
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+
+  const double duration = args.get_double("duration-s", 0.0);
+  const bool watch = args.has("watch");
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_interrupted.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(watch ? 500 : 100));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (duration > 0.0 && elapsed >= duration) break;
+    if (!watch) continue;
+
+    // Tiny ASCII dashboard: one refresh per half second.
+    const auto stats = driver.stats();
+    double worst_util = 0.0;
+    const auto snapshot = registry.snapshot();
+    for (const auto& family : snapshot.families)
+      if (family.name == "ubac_admission_class_utilization")
+        for (const auto& sample : family.samples)
+          worst_util = std::max(worst_util, sample.value);
+    std::string alert_line;
+    for (const auto& st : alerts.status()) {
+      alert_line += "  " + st.rule + "=" + telemetry::to_string(st.state);
+      if (st.state != telemetry::AlertState::kInactive) {
+        char v[32];
+        std::snprintf(v, sizeof(v), "(%.3g)", st.value);
+        alert_line += v;
+      }
+    }
+    std::printf("\r\033[2K[%7.1fs] offered=%zu admit=%.1f%% active=%zu "
+                "worst-util=%.3f ticks=%llu scrapes=%llu |%s",
+                elapsed, stats.offered, 100.0 * stats.admit_ratio(),
+                driver.active_flows(), worst_util,
+                static_cast<unsigned long long>(sampler.ticks()),
+                static_cast<unsigned long long>(http.requests_served()),
+                alert_line.c_str());
+    std::fflush(stdout);
+  }
+  if (watch) std::printf("\n");
+
+  http.stop();
+  driver.stop();
+  sampler.stop();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const auto stats = driver.stats();
+  std::printf("serve: clean shutdown — %zu offered (%.1f%% admitted), "
+              "%llu sampler ticks, %llu HTTP requests, %llu alert "
+              "evaluations\n",
+              stats.offered, 100.0 * stats.admit_ratio(),
+              static_cast<unsigned long long>(sampler.ticks()),
+              static_cast<unsigned long long>(http.requests_served()),
+              static_cast<unsigned long long>(alerts.evaluations()));
+  return 0;
+}
+
 int cmd_reroute(const util::ArgParser& args) {
   const auto topo = load_topology(args);
   const net::ServerGraph graph(topo);
@@ -438,7 +583,29 @@ int main(int argc, char** argv) {
                 "route (default 0)")
       .describe("horizon-s", "audit: source horizon in sim seconds "
                              "(default 0.5; run lasts twice that)")
-      .describe("packet", "audit: real-time packet size in bits (default 640)");
+      .describe("packet", "audit: real-time packet size in bits (default 640)")
+      .describe("port", "serve: HTTP port (default 9177; 0 = ephemeral)")
+      .describe("tick-ms", "serve: sampler tick in ms (default 250)")
+      .describe("window-ticks",
+                "serve: sampler ticks aggregated per rollup window "
+                "(default 4)")
+      .describe("duration-s",
+                "serve: stop after this many wall seconds (default 0 = "
+                "until SIGINT)")
+      .describe("load-rate",
+                "serve: Poisson flow arrivals per second (default 50)")
+      .describe("load-holding-s",
+                "serve: mean flow holding time in seconds (default 10)")
+      .describe("alert-k",
+                "serve: consecutive breached/quiet ticks to fire/resolve "
+                "(default 3)")
+      .describe("alert-headroom",
+                "serve: headroom-exhaustion utilization threshold "
+                "(default 0.9)")
+      .describe("alert-reject-rate",
+                "serve: rejection-spike threshold in rejections/s "
+                "(default 100)")
+      .describe("watch", "serve: live one-line ASCII dashboard on stdout");
   try {
     args.validate();
     const auto& pos = args.positional();
@@ -470,10 +637,12 @@ int main(int argc, char** argv) {
       rc = cmd_metricsdump(args);
     } else if (command == "audit") {
       rc = cmd_audit(args);
+    } else if (command == "serve") {
+      rc = cmd_serve(args);
     } else {
       dispatched = false;
       std::printf("usage: ubac_configtool "
-                  "<bounds|maximize|verify|reroute|metricsdump|audit> "
+                  "<bounds|maximize|verify|reroute|metricsdump|audit|serve> "
                   "[options]\n\n%s",
                   args.usage("ubac_configtool").c_str());
       rc = command == "help" ? 0 : 2;
