@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
       src.model = sim::SourceModel::kGreedy;
       src.packet_size = 640.0;
       src.stop = sim::to_sim_time(0.25);
-      netsim.add_flow(controller.find_flow(decision.flow_id)->route, 0, src);
+      netsim.add_flow(*controller.find_flow(decision.flow_id)->route, 0, src);
     }
   }
   // Operator view of the utilization state with the snapshot admitted.

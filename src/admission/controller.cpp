@@ -1,7 +1,6 @@
 #include "admission/controller.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 #include "admission/telemetry.hpp"
@@ -19,26 +18,6 @@ const char* to_string(AdmissionOutcome outcome) {
   return "?";
 }
 
-namespace {
-
-/// Quantize a rate to the fixed-point grid. Limits use floor so that for
-/// any on-grid reserved value r: r <= floor(L * scale)  <=>  r/scale <= L,
-/// which keeps admit decisions identical to the double-precision seed
-/// controller whenever rho is exactly representable on the grid.
-std::int64_t to_fx_rate(BitsPerSecond rate) {
-  return static_cast<std::int64_t>(std::llround(rate * 1048576.0));
-}
-
-std::int64_t to_fx_limit(BitsPerSecond limit) {
-  return static_cast<std::int64_t>(std::floor(limit * 1048576.0));
-}
-
-BitsPerSecond from_fx(std::int64_t fx) {
-  return static_cast<double>(fx) / 1048576.0;
-}
-
-}  // namespace
-
 ConcurrentAdmissionController::ConcurrentAdmissionController(
     const net::ServerGraph& graph, const traffic::ClassSet& classes,
     RoutingTable table)
@@ -46,15 +25,65 @@ ConcurrentAdmissionController::ConcurrentAdmissionController(
       servers_(graph.size()),
       slots_(std::make_unique<Slot[]>(classes.size() * graph.size())),
       shards_(std::make_unique<Shard[]>(kShardCount)) {
-  limits_.resize(classes.size() * servers_, 0);
-  rho_fx_.resize(classes.size(), 0);
+  // The fixed-point overflow proof (traffic/flow.hpp) only covers graphs
+  // within the grid's static bounds; refuse anything larger up front.
+  if (servers_ > traffic::kMaxServers)
+    throw std::invalid_argument(
+        "ConcurrentAdmissionController: server count exceeds kMaxServers");
+  for (net::ServerId s = 0; s < servers_; ++s)
+    if (graph.server(s).capacity > traffic::kMaxCapacityBps)
+      throw std::invalid_argument(
+          "ConcurrentAdmissionController: server capacity exceeds "
+          "kMaxCapacityBps");
+  rho_units_.resize(classes.size(), 0);
   for (std::size_t c = 0; c < classes.size(); ++c) {
     const traffic::ServiceClass& cls = classes.at(c);
     if (!cls.realtime) continue;
-    rho_fx_[c] = to_fx_rate(cls.bucket.rate);
+    if (cls.bucket.rate > traffic::kMaxCapacityBps)
+      throw std::invalid_argument(
+          "ConcurrentAdmissionController: class rate exceeds kMaxCapacityBps");
+    // Demand quantized once, at class registration (round up); budgets
+    // rounded down. alpha <= 1, so share * capacity stays in range.
+    rho_units_[c] = cls.spec.rate_units;
     for (net::ServerId s = 0; s < servers_; ++s)
-      limits_[c * servers_ + s] =
-          to_fx_limit(cls.share * graph.server(s).capacity);
+      slots_[c * servers_ + s].limit =
+          traffic::quantize_budget_down(cls.share * graph.server(s).capacity);
+  }
+
+  // Dense route index: one cell load plus a flat hop-array walk instead of
+  // a hash lookup and a pointer chase through the table's nodes on every
+  // request. Only built when the (class, node, node) cube is small enough
+  // that the memory is trivial; sparse/huge id spaces keep the hash path.
+  net::NodeId max_node = 0;
+  std::size_t total_hops = 0;
+  table_.for_each([&](net::NodeId src, net::NodeId dst, std::size_t,
+                      const net::ServerPath& route) {
+    max_node = std::max({max_node, src, dst});
+    total_hops += route.size();
+  });
+  const std::size_t stride = static_cast<std::size_t>(max_node) + 1;
+  const std::size_t cells = classes.size() * stride * stride;
+  if (table_.size() != 0 && cells <= (std::size_t{1} << 22)) {
+    index_nodes_ = static_cast<std::uint32_t>(stride);
+    route_index_.assign(cells, RouteRef{});
+    // The arena is sized up front so the hop pointers stored in the cells
+    // never dangle from reallocation.
+    route_arena_.reserve(total_hops);
+    table_.for_each([&](net::NodeId src, net::NodeId dst, std::size_t c,
+                        const net::ServerPath& route) {
+      if (c >= classes.size()) return;  // unconfigured class: hash fallback
+      const std::size_t offset = route_arena_.size();
+      // slot-index translation done once here: indices are bounded by
+      // classes*servers_, the extent of the slots_ allocation itself.
+      for (const net::ServerId s : route)
+        route_arena_.push_back(static_cast<std::uint32_t>(c * servers_ + s));
+      RouteRef ref;
+      ref.slots = route_arena_.data() + offset;
+      ref.len = static_cast<std::uint32_t>(route.size());
+      ref.first = route.empty() ? 0 : route_arena_[offset];
+      ref.path = &route;
+      route_index_[(c * stride + src) * stride + dst] = ref;
+    });
   }
 }
 
@@ -64,9 +93,11 @@ bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
   // at every instant) is a property of the values produced by this single
   // atomic object's RMW history, not of cross-object ordering. Per-flow
   // data is published via the shard mutex, never via these counters.
+  // `cur + rho` cannot wrap: cur <= cap <= 2^51 and rho <= 2^52 saturated
+  // demands never pass the guard (see traffic/flow.hpp overflow proof).
   RateFx cur = s.reserved.load(std::memory_order_relaxed);
   do {
-    if (cur + rho > cap) return false;
+    if (rho > cap - cur) return false;  // subtraction: overflow-proof form
   } while (!s.reserved.compare_exchange_weak(cur, cur + rho,
                                              std::memory_order_relaxed));
   // Record the high watermark. Every successful reservation publishes its
@@ -77,6 +108,90 @@ bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
   while (peak < now && !s.peak.compare_exchange_weak(
                            peak, now, std::memory_order_relaxed)) {
   }
+  return true;
+}
+
+bool ConcurrentAdmissionController::route_for(
+    net::NodeId src, net::NodeId dst, std::size_t class_index, RouteRef& out,
+    AdmissionDecision& decision) const {
+  if (class_index >= classes_->size() ||
+      !classes_->at(class_index).realtime) {
+    decision.outcome = AdmissionOutcome::kBadClass;
+    return false;
+  }
+  if (index_nodes_ != 0) {
+    // Dense index covers every configured entry: an out-of-range or empty
+    // cell *is* the no-route answer, no hash fallback needed.
+    if (src < index_nodes_ && dst < index_nodes_)
+      out = route_index_[(class_index * index_nodes_ + src) * index_nodes_ +
+                         dst];
+  } else if (const net::ServerPath* route =
+                 table_.lookup_ref(src, dst, class_index)) {
+    out.len = static_cast<std::uint32_t>(route->size());
+    out.path = route;  // slots stays nullptr: hops read from the path
+  }
+  if (out.path == nullptr) {
+    decision.outcome = AdmissionOutcome::kNoRoute;
+    return false;
+  }
+  return true;
+}
+
+bool ConcurrentAdmissionController::reserve_route(
+    const RouteRef& route, std::size_t class_index,
+    AdmissionDecision& decision) {
+  const RateFx rho = rho_units_[class_index];
+
+  // Slot for the hop: precomputed index on the dense path, class-stride
+  // arithmetic on the hash-fallback path. The branch is invariant over a
+  // route, so it predicts perfectly inside the loops below.
+  const auto hop_slot = [&](std::size_t hop) -> Slot& {
+    return route.slots != nullptr ? slots_[route.slots[hop]]
+                                  : slot(class_index, (*route.path)[hop]);
+  };
+
+  // Read-only precheck: in the overload regime most requests are rejected,
+  // and a rejection should cost loads, not CAS traffic plus rollback.
+  // Observing a full hop here is the same decision the CAS pass would make
+  // at that hop; under concurrency the precheck is only advisory — a pass
+  // here still has to win every per-hop CAS below, so the safety invariant
+  // never rests on this scan. Hop 0 — where a uniformly saturated network
+  // blocks almost every rejection — reads its slot index straight from the
+  // route cell (RouteRef::first): demand, cell, slot, three dependent
+  // loads and the decision is made.
+  std::size_t hop = 0;
+  if (route.slots != nullptr && route.len != 0) {
+    const Slot& s0 = slots_[route.first];
+    if (rho > s0.limit - s0.reserved.load(std::memory_order_relaxed)) {
+      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
+      decision.blocking_hop = 0;
+      return false;
+    }
+    hop = 1;
+  }
+  for (; hop < route.len; ++hop) {
+    const Slot& sl = hop_slot(hop);
+    if (rho > sl.limit - sl.reserved.load(std::memory_order_relaxed)) {
+      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
+      decision.blocking_hop = hop;
+      return false;
+    }
+  }
+
+  // The run-time test: along the path, does the class stay within its
+  // verified share alpha on every link? Reserve hop by hop; on a
+  // saturated hop roll back what this request already took.
+  for (hop = 0; hop < route.len; ++hop) {
+    Slot& sl = hop_slot(hop);
+    if (!try_reserve(sl, rho, sl.limit)) {
+      for (std::size_t h = 0; h < hop; ++h)
+        hop_slot(h).reserved.fetch_sub(rho, std::memory_order_relaxed);
+      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
+      decision.blocking_hop = hop;
+      return false;
+    }
+  }
+  decision.outcome = AdmissionOutcome::kAdmitted;
   return true;
 }
 
@@ -121,7 +236,8 @@ void ConcurrentAdmissionController::record_request_telemetry(
   // (reads the same atomics the decision used; only paid on sampled
   // events).
   if (class_index < classes_->size() && classes_->at(class_index).realtime) {
-    if (const auto route = table_.lookup(src, dst, class_index)) {
+    if (const net::ServerPath* route =
+            table_.lookup_ref(src, dst, class_index)) {
       double worst = 0.0;
       for (const net::ServerId s : *route)
         worst = std::max(worst, class_utilization(s, class_index));
@@ -138,46 +254,111 @@ void ConcurrentAdmissionController::record_request_telemetry(
 AdmissionDecision ConcurrentAdmissionController::request_impl(
     net::NodeId src, net::NodeId dst, std::size_t class_index) {
   AdmissionDecision decision;
-  if (class_index >= classes_->size() ||
-      !classes_->at(class_index).realtime) {
-    decision.outcome = AdmissionOutcome::kBadClass;
-    return decision;
-  }
-  const auto route = table_.lookup(src, dst, class_index);
-  if (!route) {
-    decision.outcome = AdmissionOutcome::kNoRoute;
-    return decision;
-  }
-
-  const RateFx rho = rho_fx_[class_index];
-
-  // The run-time test: along the path, does the class stay within its
-  // verified share alpha on every link? Reserve hop by hop; on a
-  // saturated hop roll back what this request already took.
-  for (std::size_t hop = 0; hop < route->size(); ++hop) {
-    const net::ServerId s = (*route)[hop];
-    if (!try_reserve(slot(class_index, s), rho, limit(class_index, s))) {
-      for (std::size_t h = 0; h < hop; ++h)
-        slot(class_index, (*route)[h])
-            .reserved.fetch_sub(rho, std::memory_order_relaxed);
-      decision.outcome = AdmissionOutcome::kUtilizationExceeded;
-      decision.blocking_hop = hop;
-      return decision;
-    }
-  }
+  RouteRef route;
+  if (!route_for(src, dst, class_index, route, decision)) return decision;
+  if (!reserve_route(route, class_index, decision)) return decision;
 
   const traffic::FlowId id =
       next_id_.fetch_add(1, std::memory_order_relaxed);
-  traffic::Flow flow{id, class_index, src, dst, *route};
+  FlowRecord record{id, route.path, static_cast<std::uint32_t>(class_index),
+                    src, dst};
   {
     Shard& sh = shard(id);
     std::lock_guard<std::mutex> lock(sh.mutex);
-    sh.flows.emplace(id, std::move(flow));
+    sh.flows.insert(record);
   }
   active_.fetch_add(1, std::memory_order_relaxed);
-  decision.outcome = AdmissionOutcome::kAdmitted;
   decision.flow_id = id;
   return decision;
+}
+
+std::size_t ConcurrentAdmissionController::admit_batch(
+    std::span<const traffic::Demand> requests,
+    std::span<AdmissionDecision> results) {
+  if (results.size() < requests.size())
+    throw std::invalid_argument("admit_batch: results span too small");
+  UBAC_SPAN_ARG("admission.admit_batch", "admission", "batch",
+                requests.size());
+  ControllerTelemetry* const t = telemetry_;
+  if (t == nullptr) return admit_batch_impl(requests, results);
+
+  const bool timed = t->should_time();
+  const std::int64_t start_ns = timed ? telemetry::EventTracer::now_ns() : 0;
+  const std::size_t admitted = admit_batch_impl(requests, results);
+
+  // One flush per batch: outcome counts and rollback hops accumulated
+  // locally, each counter touched at most once.
+  std::uint64_t outcomes[4] = {0, 0, 0, 0};
+  std::uint64_t rollback_hops = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ++outcomes[static_cast<std::size_t>(results[i].outcome)];
+    if (results[i].outcome == AdmissionOutcome::kUtilizationExceeded)
+      rollback_hops += results[i].blocking_hop;
+  }
+  for (std::size_t o = 0; o < 4; ++o)
+    if (outcomes[o] != 0) t->decisions[o]->add(outcomes[o]);
+  if (rollback_hops != 0) t->rollback_hops->add(rollback_hops);
+  t->batches->add();
+  t->batch_size->record(static_cast<double>(requests.size()));
+  if (timed && !requests.empty())
+    t->decision_latency->record(
+        static_cast<double>(telemetry::EventTracer::now_ns() - start_ns) *
+        1e-9 / static_cast<double>(requests.size()));
+  return admitted;
+}
+
+std::size_t ConcurrentAdmissionController::admit_batch_impl(
+    std::span<const traffic::Demand> requests,
+    std::span<AdmissionDecision> results) {
+  // Phase 1 — decide, strictly in order. Each request runs the same
+  // route lookup + hop-by-hop CAS reservation as request(), so the
+  // decisions (and any mid-batch capacity race) are exactly what k
+  // sequential calls would have produced; a request that hits a
+  // saturated hop rolls back only its own partial reservation.
+  // `hits[j]` is the j-th admitted request: its index into `requests` and
+  // its route, kept for phase-2 registration. Populated lazily so a batch
+  // that admits nothing — the common case under overload — allocates
+  // nothing.
+  std::vector<std::pair<std::size_t, const net::ServerPath*>> hits;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    AdmissionDecision& decision = results[i];
+    decision = AdmissionDecision{};
+    const traffic::Demand& d = requests[i];
+    RouteRef route;
+    if (!route_for(d.src, d.dst, d.class_index, route, decision)) continue;
+    if (!reserve_route(route, d.class_index, decision)) continue;
+    hits.emplace_back(i, route.path);
+  }
+  const std::size_t admitted = hits.size();
+  if (admitted == 0) return 0;
+
+  // Ids are consecutive: one fetch_add claims the whole block, and the
+  // j-th admitted request gets base + j — identical to what sequential
+  // request() calls would have assigned (rejected requests consume no id).
+  const traffic::FlowId base =
+      next_id_.fetch_add(admitted, std::memory_order_relaxed);
+  for (std::size_t j = 0; j < admitted; ++j)
+    results[hits[j].first].flow_id = base + j;
+
+  // Phase 2 — register, one lock acquisition per shard. Consecutive ids
+  // land on consecutive shards (shard = id mod kShardCount), so admitted
+  // request j belongs to shard (base + j) mod kShardCount: for each shard
+  // we walk the admitted subsequence starting at its first matching index
+  // with stride kShardCount.
+  for (std::size_t s = 0; s < kShardCount && s < admitted; ++s) {
+    const std::size_t first = s;  // admitted ordinal s hits shard of base+s
+    Shard& sh = shards_[(base + first) & (kShardCount - 1)];
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    for (std::size_t j = first; j < admitted; j += kShardCount) {
+      const std::size_t i = hits[j].first;
+      const traffic::Demand& d = requests[i];
+      sh.flows.insert(FlowRecord{base + j, hits[j].second,
+                                 static_cast<std::uint32_t>(d.class_index),
+                                 d.src, d.dst});
+    }
+  }
+  active_.fetch_add(admitted, std::memory_order_relaxed);
+  return admitted;
 }
 
 bool ConcurrentAdmissionController::release(traffic::FlowId id) {
@@ -196,21 +377,63 @@ bool ConcurrentAdmissionController::release(traffic::FlowId id) {
 }
 
 bool ConcurrentAdmissionController::release_impl(traffic::FlowId id) {
-  traffic::Flow flow;
+  FlowRecord record;
   {
     Shard& sh = shard(id);
     std::lock_guard<std::mutex> lock(sh.mutex);
-    const auto it = sh.flows.find(id);
-    if (it == sh.flows.end()) return false;  // unknown or double release
-    flow = std::move(it->second);
-    sh.flows.erase(it);
+    if (!sh.flows.erase(id, record)) return false;  // unknown/double release
   }
   active_.fetch_sub(1, std::memory_order_relaxed);
-  const RateFx rho = rho_fx_[flow.class_index];
-  for (const net::ServerId s : flow.route)
-    slot(flow.class_index, s)
+  const RateFx rho = rho_units_[record.class_index];
+  for (const net::ServerId s : *record.route)
+    slot(record.class_index, s)
         .reserved.fetch_sub(rho, std::memory_order_relaxed);
   return true;
+}
+
+std::size_t ConcurrentAdmissionController::release_batch(
+    std::span<const traffic::FlowId> ids) {
+  ControllerTelemetry* const t = telemetry_;
+  std::size_t unknown = 0;
+  const std::size_t released = release_batch_impl(ids, unknown);
+  if (t != nullptr) {
+    if (released != 0) t->releases->add(released);
+    if (unknown != 0) t->unknown_releases->add(unknown);
+  }
+  return released;
+}
+
+std::size_t ConcurrentAdmissionController::release_batch_impl(
+    std::span<const traffic::FlowId> ids, std::size_t& unknown) {
+  // Extract records shard by shard (each lock taken at most once), then
+  // return the reservations outside any lock.
+  std::vector<FlowRecord> records;
+  records.reserve(ids.size());
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    bool locked = false;
+    std::unique_lock<std::mutex> lock(shards_[s].mutex, std::defer_lock);
+    for (const traffic::FlowId id : ids) {
+      if ((id & (kShardCount - 1)) != s) continue;
+      if (!locked) {
+        lock.lock();
+        locked = true;
+      }
+      FlowRecord record;
+      if (shards_[s].flows.erase(id, record))
+        records.push_back(record);
+      else
+        ++unknown;
+    }
+  }
+  if (records.empty()) return 0;
+  active_.fetch_sub(records.size(), std::memory_order_relaxed);
+  for (const FlowRecord& record : records) {
+    const RateFx rho = rho_units_[record.class_index];
+    for (const net::ServerId s : *record.route)
+      slot(record.class_index, s)
+          .reserved.fetch_sub(rho, std::memory_order_relaxed);
+  }
+  return records.size();
 }
 
 double ConcurrentAdmissionController::class_utilization(
@@ -223,28 +446,39 @@ double ConcurrentAdmissionController::class_utilization(
 
 BitsPerSecond ConcurrentAdmissionController::reserved_rate(
     net::ServerId server, std::size_t class_index) const {
+  return traffic::bps_from_units(reserved_units(server, class_index));
+}
+
+traffic::RateUnits ConcurrentAdmissionController::reserved_units(
+    net::ServerId server, std::size_t class_index) const {
   if (class_index >= classes_->size() || server >= servers_)
-    throw std::out_of_range("reserved_rate: bad class or server");
-  return from_fx(
-      slot(class_index, server).reserved.load(std::memory_order_relaxed));
+    throw std::out_of_range("reserved_units: bad class or server");
+  return slot(class_index, server).reserved.load(std::memory_order_relaxed);
+}
+
+traffic::RateUnits ConcurrentAdmissionController::limit_units(
+    net::ServerId server, std::size_t class_index) const {
+  if (class_index >= classes_->size() || server >= servers_)
+    throw std::out_of_range("limit_units: bad class or server");
+  return limit(class_index, server);
 }
 
 BitsPerSecond ConcurrentAdmissionController::peak_reserved_rate(
     net::ServerId server, std::size_t class_index) const {
   if (class_index >= classes_->size() || server >= servers_)
     throw std::out_of_range("peak_reserved_rate: bad class or server");
-  return from_fx(
+  return traffic::bps_from_units(
       slot(class_index, server).peak.load(std::memory_order_relaxed));
 }
 
-const traffic::Flow* ConcurrentAdmissionController::find_flow(
+std::optional<FlowView> ConcurrentAdmissionController::find_flow(
     traffic::FlowId id) const {
   Shard& sh = shard(id);
   std::lock_guard<std::mutex> lock(sh.mutex);
-  const auto it = sh.flows.find(id);
-  // unordered_map never invalidates references on other keys' churn, so
-  // the pointer stays valid until this flow itself is erased.
-  return it == sh.flows.end() ? nullptr : &it->second;
+  const FlowRecord* record = sh.flows.find(id);
+  if (record == nullptr) return std::nullopt;
+  return FlowView{record->id, record->class_index, record->src, record->dst,
+                  record->route};
 }
 
 }  // namespace ubac::admission

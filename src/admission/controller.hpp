@@ -9,8 +9,9 @@
 /// bandwidth check — no per-flow analysis, no core router state. Per-flow
 /// state (the registry) lives only at the edge.
 ///
-/// This controller serves that check from many threads at once. See
-/// docs/concurrency.md for the full protocol description.
+/// This controller serves that check from many threads at once, entirely
+/// in unsigned fixed-point integers (the grid defined in traffic/flow.hpp).
+/// See docs/concurrency.md for the full protocol description.
 ///
 /// ## Safety argument: no over-commit despite racing CAS loops
 ///
@@ -18,7 +19,10 @@
 /// counter. A request reserves its route hop by hop; each hop reservation
 /// is one compare-and-swap that moves the counter from `cur` to
 /// `cur + rho` *only if* `cur + rho <= limit`, where
-/// `limit = floor(alpha * C * 2^20)` is precomputed per (class, server).
+/// `limit = quantize_budget_down(alpha * C)` is precomputed per
+/// (class, server) and `rho = quantize_demand_up(class rate)` is
+/// precomputed per class — budget rounded down, demand rounded up, so the
+/// integer test is conservative against the exact real-valued test.
 ///
 ///  1. The counter only changes through (a) a successful admit-CAS, which
 ///     by its own guard never produces a value above `limit`, and (b)
@@ -33,10 +37,13 @@
 ///  2. A request that finds hop k saturated rolls back hops [0, k) with
 ///     `fetch_sub(rho)`; each of those subtracts exactly what the same
 ///     request added, so a failed request is conservation-neutral.
-///  3. Counters are integers (2^-20 bit/s grid), so admit/release pairs
-///     cancel exactly — no floating-point drift, and at quiescence each
-///     counter equals the sum of rates of registered flows crossing the
-///     hop (the conservation invariant).
+///  3. Counters are uint64 grid units (2^-10 bit/s), so admit/release
+///     pairs cancel exactly — no floating-point drift, and at quiescence
+///     each counter equals the sum of quantized rates of registered flows
+///     crossing the hop (the conservation invariant). The grid constants
+///     in traffic/flow.hpp prove no counter (nor any transient
+///     `cur + rho`) can overflow under the kMaxServers / kMaxCapacityBps
+///     preconditions this constructor enforces.
 ///
 /// What is *not* guaranteed under contention: a request may be rejected
 /// even though capacity would have sufficed in some serialization (a
@@ -45,8 +52,22 @@
 /// statistics only, never the delay-safety property alpha certifies.
 ///
 /// The per-flow edge registry is sharded: flow ids are assigned from an
-/// atomic counter and mapped to one of kShardCount mutex-guarded maps, so
-/// registry updates scale with cores instead of serializing on one lock.
+/// atomic counter and mapped to one of kShardCount mutex-guarded flat
+/// maps (flow_registry.hpp), so registry updates scale with cores instead
+/// of serializing on one lock, and admit/release touch no allocator at
+/// steady state.
+///
+/// ## Batch admission
+///
+/// `admit_batch()` runs k admission tests with one telemetry flush, one
+/// id-block allocation, and at most one lock acquisition per registry
+/// shard (requests grouped by shard before locking). Single-threaded it
+/// is decision-for-decision identical to k sequential `request()` calls —
+/// same admit set, same rejection reasons, same flow ids. Under
+/// concurrent interference each request still reserves through the same
+/// per-hop CAS, so a mid-batch capacity loss rejects exactly the
+/// requests that no longer fit and rolls back only their own partial
+/// reservations; already-committed batch members are unaffected.
 
 #include <atomic>
 #include <array>
@@ -54,9 +75,10 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "admission/flow_registry.hpp"
 #include "admission/routing_table.hpp"
 #include "net/server_graph.hpp"
 #include "traffic/flow.hpp"
@@ -85,10 +107,26 @@ struct AdmissionDecision {
   bool admitted() const { return outcome == AdmissionOutcome::kAdmitted; }
 };
 
+/// Registered-flow view returned by find_flow(). The route pointer aims
+/// into the controller's immutable routing table, so it stays valid for
+/// the controller's lifetime (not merely until the flow is released).
+struct FlowView {
+  traffic::FlowId id = 0;
+  std::size_t class_index = 0;
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  const net::ServerPath* route = nullptr;
+};
+
 /// Utilization-based admission controller over a configured network,
 /// safe under concurrent request()/release() from any number of threads.
 class ConcurrentAdmissionController {
  public:
+  /// Throws std::invalid_argument when the graph exceeds the fixed-point
+  /// preconditions (more than traffic::kMaxServers servers, a server
+  /// capacity above traffic::kMaxCapacityBps, or a real-time class rate
+  /// above traffic::kMaxCapacityBps) — the bounds under which the grid's
+  /// overflow-freedom proof holds.
   ConcurrentAdmissionController(const net::ServerGraph& graph,
                                 const traffic::ClassSet& classes,
                                 RoutingTable table);
@@ -98,10 +136,25 @@ class ConcurrentAdmissionController {
   AdmissionDecision request(net::NodeId src, net::NodeId dst,
                             std::size_t class_index);
 
+  /// Batch admission test: decide requests[i] into results[i] for every i,
+  /// in order, and return the number admitted. Semantically equivalent to
+  /// calling request() per element; amortizes flow-id allocation, registry
+  /// shard locking (one lock per shard per batch) and telemetry (one
+  /// counter flush and one sampled latency record per batch).
+  /// `results.size() >= requests.size()` is required.
+  std::size_t admit_batch(std::span<const traffic::Demand> requests,
+                          std::span<AdmissionDecision> results);
+
   /// Tear down an admitted flow, freeing its reservation on every hop.
   /// Returns false when the id is unknown (double release). Thread-safe:
   /// of two racing releases of the same id exactly one succeeds.
   bool release(traffic::FlowId id);
+
+  /// Batch teardown: release every id, grouping registry work so each
+  /// shard's lock is taken at most once per batch. Returns the number of
+  /// flows actually released (unknown/duplicate ids are skipped, counted
+  /// in telemetry as unknown releases).
+  std::size_t release_batch(std::span<const traffic::FlowId> ids);
 
   /// Current reserved-rate fraction of class `class_index`'s share on a
   /// server: reserved / (alpha * C). In [0, 1].
@@ -110,6 +163,17 @@ class ConcurrentAdmissionController {
   /// Reserved rate of a class on a server, bits/s.
   BitsPerSecond reserved_rate(net::ServerId server,
                               std::size_t class_index) const;
+
+  /// Exact ledger occupancy of a class on a server, in fixed-point grid
+  /// units (2^-10 bit/s). This is the value the CAS loop compares, useful
+  /// for bit-identical replay checks and (later) per-shard quota splits.
+  traffic::RateUnits reserved_units(net::ServerId server,
+                                    std::size_t class_index) const;
+
+  /// The precomputed integer budget the CAS loop admits against:
+  /// quantize_budget_down(alpha * C), in grid units.
+  traffic::RateUnits limit_units(net::ServerId server,
+                                 std::size_t class_index) const;
 
   /// High watermark: the largest reserved rate the (server, class) counter
   /// ever held. Always <= alpha * C — the concurrency tests assert this.
@@ -132,36 +196,36 @@ class ConcurrentAdmissionController {
     telemetry_ = telemetry;
   }
 
-  /// Pointer to a registered flow, or nullptr. The pointer stays valid
-  /// until *that* flow is released (other flows' churn never moves it).
-  const traffic::Flow* find_flow(traffic::FlowId id) const;
+  /// Copy of a registered flow's record, or nullopt when unknown. The
+  /// contained route pointer stays valid for the controller's lifetime.
+  std::optional<FlowView> find_flow(traffic::FlowId id) const;
 
  private:
-  /// Rates are kept as integers on a 2^-20 bit/s grid so that concurrent
-  /// add/sub pairs cancel exactly (see safety argument above). 2^63 / 2^20
-  /// leaves headroom for link capacities up to ~8.7e3 Tbit/s.
-  using RateFx = std::int64_t;
-  static constexpr double kRateScale = 1048576.0;  // 2^20
+  /// Ledger word: unsigned fixed-point grid units (traffic/flow.hpp).
+  using RateFx = traffic::RateUnits;
 
   static constexpr std::size_t kShardCount = 16;  // power of two
 
   /// One (class, server) reservation cell; cache-line padded so counters
-  /// of adjacent servers never false-share.
+  /// of adjacent servers never false-share. The budget lives in the same
+  /// line as the counter it caps: the utilization test for a hop — the
+  /// whole of the hot path on a rejected request — touches one cache line.
   struct alignas(64) Slot {
     std::atomic<RateFx> reserved{0};
     std::atomic<RateFx> peak{0};  ///< high watermark of `reserved`
+    RateFx limit{0};  ///< quantize_budget_down(alpha * C); set at build
   };
 
   struct alignas(64) Shard {
     mutable std::mutex mutex;
-    std::unordered_map<traffic::FlowId, traffic::Flow> flows;
+    FlowShardMap flows;
   };
 
   Slot& slot(std::size_t class_index, net::ServerId server) const {
     return slots_[class_index * servers_ + server];
   }
   RateFx limit(std::size_t class_index, net::ServerId server) const {
-    return limits_[class_index * servers_ + server];
+    return slots_[class_index * servers_ + server].limit;
   }
   Shard& shard(traffic::FlowId id) const {
     return shards_[id & (kShardCount - 1)];
@@ -170,11 +234,40 @@ class ConcurrentAdmissionController {
   /// CAS loop for one hop: add `rho` iff the result stays within `cap`.
   static bool try_reserve(Slot& s, RateFx rho, RateFx cap);
 
+  /// A resolved route, hot-path form. When the dense index is built,
+  /// `slots` points into route_arena_ at the route's hop list already
+  /// translated to slot indices (the cells are per class, so the
+  /// class*servers_+server arithmetic is done once at construction), and
+  /// `first` carries slots[0] inline so the common overload rejection —
+  /// blocked at hop 0 — needs no arena load at all. On the hash-fallback
+  /// path `slots` is nullptr and hops are read from `path` directly.
+  /// `path` is also what flow registration records for release.
+  struct RouteRef {
+    const std::uint32_t* slots = nullptr;
+    std::uint32_t len = 0;
+    std::uint32_t first = 0;
+    const net::ServerPath* path = nullptr;
+  };
+
+  /// Hop-by-hop reservation along `route` with rollback on saturation.
+  /// Fills `decision` (outcome + blocking hop); true on full reservation.
+  bool reserve_route(const RouteRef& route, std::size_t class_index,
+                     AdmissionDecision& decision);
+
+  /// Validate class and resolve the route into `out`; on failure fills the
+  /// decision outcome and returns false.
+  bool route_for(net::NodeId src, net::NodeId dst, std::size_t class_index,
+                 RouteRef& out, AdmissionDecision& decision) const;
+
   /// The uninstrumented decision/teardown paths (semantics are identical
   /// whether or not telemetry is attached).
   AdmissionDecision request_impl(net::NodeId src, net::NodeId dst,
                                  std::size_t class_index);
   bool release_impl(traffic::FlowId id);
+  std::size_t admit_batch_impl(std::span<const traffic::Demand> requests,
+                               std::span<AdmissionDecision> results);
+  std::size_t release_batch_impl(std::span<const traffic::FlowId> ids,
+                                 std::size_t& unknown);
 
   /// Telemetry tail of an instrumented request (counters, latency sample,
   /// trace events). Out of line to keep the hot path small.
@@ -186,11 +279,20 @@ class ConcurrentAdmissionController {
   const net::ServerGraph* graph_;
   const traffic::ClassSet* classes_;
   RoutingTable table_;
+  /// Dense (class, src, dst) -> route index over table_, built at
+  /// construction (the table is immutable from then on). Hop lists are
+  /// copied into one contiguous arena as slot indices, so a decision walks
+  /// two flat arrays — index cell, then slots — with no hash-node hop or
+  /// per-hop index arithmetic in between. Empty when the node-id range is
+  /// too sparse to justify the memory; route_for falls back to the hash
+  /// lookup.
+  std::vector<RouteRef> route_index_;
+  std::vector<std::uint32_t> route_arena_;
+  std::uint32_t index_nodes_ = 0;  ///< index stride (max node id + 1)
   std::size_t servers_;
-  /// slots_[class * servers_ + server]: admitted rate, fixed-point.
+  /// slots_[class * servers_ + server]: admitted rate + budget, fixed-point.
   std::unique_ptr<Slot[]> slots_;
-  std::vector<RateFx> limits_;  ///< floor(alpha * C * kRateScale)
-  std::vector<RateFx> rho_fx_;  ///< per-class flow rate on the grid
+  std::vector<RateFx> rho_units_;  ///< per-class demand on the grid
   mutable std::unique_ptr<Shard[]> shards_;
   std::atomic<traffic::FlowId> next_id_{1};
   std::atomic<std::size_t> active_{0};
@@ -200,7 +302,9 @@ class ConcurrentAdmissionController {
 /// The run-time controller of the repo; concurrent since the atomic
 /// reservation rewrite. Single-threaded callers see behaviour identical
 /// to SequentialAdmissionController (the seed implementation, kept as the
-/// regression oracle in sequential_controller.hpp).
+/// regression oracle in sequential_controller.hpp) whenever demands and
+/// budgets are exactly representable on the grid; otherwise the integer
+/// path only ever differs by rejecting conservatively.
 using AdmissionController = ConcurrentAdmissionController;
 
 }  // namespace ubac::admission

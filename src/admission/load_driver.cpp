@@ -1,6 +1,8 @@
 #include "admission/load_driver.hpp"
 
+#include <algorithm>
 #include <queue>
+#include <span>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -146,18 +148,70 @@ void PacedLoadDriver::run() {
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>>
       departures;
 
+  const std::size_t batch = std::max<std::size_t>(1, options_.batch);
+  // Arrival coalescing buffers (batch > 1) and departure flush buffer.
+  std::vector<traffic::Demand> pending;
+  std::vector<Clock::time_point> pending_at;
+  std::vector<AdmissionDecision> decisions(batch);
+  std::vector<traffic::FlowId> due;
+
   std::unique_lock<std::mutex> lock(mutex_);
   auto next_arrival = Clock::now() + exp_after(1.0 / options_.arrival_rate);
+  // Monotone clamp: batched flushes can interleave with departures whose
+  // scheduled instants straddle the batch window; never integrate backwards.
   const auto advance = [this](Clock::time_point to) {
+    if (to <= last_event_) return;
     active_integral_ += static_cast<double>(active_) *
                         std::chrono::duration<double>(to - last_event_)
                             .count();
     last_event_ = to;
   };
 
+  // Admit every coalesced arrival in one admit_batch() call, then
+  // schedule the admitted flows' departures from their arrival instants.
+  // Called with the lock held; `at` is the last pending arrival's instant.
+  const auto flush_arrivals = [&](Clock::time_point at) {
+    advance(at);
+    stats_.offered += pending.size();
+    lock.unlock();
+    controller_.admit_batch(
+        std::span<const traffic::Demand>(pending),
+        std::span<AdmissionDecision>(decisions.data(), pending.size()));
+    lock.lock();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (decisions[i].admitted()) {
+        ++stats_.admitted;
+        ++active_;
+        stats_.peak_active = std::max(stats_.peak_active, active_);
+        departures.emplace(pending_at[i] + exp_after(options_.mean_holding),
+                           decisions[i].flow_id);
+      } else {
+        ++stats_.rejected;
+      }
+    }
+    pending.clear();
+    pending_at.clear();
+  };
+
   while (!stop_requested_) {
     const bool departure_next =
         !departures.empty() && departures.top().first < next_arrival;
+
+    if (!departure_next && batch > 1) {
+      // Coalesce this arrival without sleeping; once the batch is full,
+      // sleep to its last arrival instant and admit the whole batch.
+      pending.push_back(demands_[rng.uniform_index(demands_.size())]);
+      pending_at.push_back(next_arrival);
+      const Clock::time_point at = next_arrival;
+      next_arrival += exp_after(1.0 / options_.arrival_rate);
+      if (pending.size() >= batch) {
+        if (cv_.wait_until(lock, at, [this] { return stop_requested_; }))
+          break;
+        flush_arrivals(at);
+      }
+      continue;
+    }
+
     const Clock::time_point next_event =
         departure_next ? departures.top().first : next_arrival;
     if (cv_.wait_until(lock, next_event,
@@ -165,12 +219,20 @@ void PacedLoadDriver::run() {
       break;
 
     if (departure_next) {
-      const auto [t, id] = departures.top();
-      departures.pop();
-      advance(t);
-      --active_;
+      // Flush every departure already due through one release_batch().
+      const Clock::time_point now = Clock::now();
+      due.clear();
+      while (!departures.empty() && departures.top().first <= now) {
+        advance(departures.top().first);
+        due.push_back(departures.top().second);
+        departures.pop();
+      }
+      active_ -= due.size();
       lock.unlock();
-      controller_.release(id);
+      if (due.size() == 1)
+        controller_.release(due.front());
+      else
+        controller_.release_batch(due);
       lock.lock();
       continue;
     }
@@ -195,13 +257,16 @@ void PacedLoadDriver::run() {
     next_arrival = Clock::now() + exp_after(1.0 / options_.arrival_rate);
   }
 
-  // Drain: give every still-held flow back so the controller ends empty.
+  // Drain: give every still-held flow back so the controller ends empty
+  // (pending never-offered arrivals are simply dropped).
   advance(Clock::now());
-  lock.unlock();
+  due.clear();
   while (!departures.empty()) {
-    controller_.release(departures.top().second);
+    due.push_back(departures.top().second);
     departures.pop();
   }
+  lock.unlock();
+  controller_.release_batch(due);
   lock.lock();
   active_ = 0;
 }

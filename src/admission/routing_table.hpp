@@ -30,6 +30,24 @@ class RoutingTable {
   std::optional<net::ServerPath> lookup(net::NodeId src, net::NodeId dst,
                                         std::size_t class_index) const;
 
+  /// Copy-free route lookup for the admission hot path: nullptr when the
+  /// demand has no route. The pointer stays valid for the table's lifetime
+  /// as long as set() is not called again (controllers own an immutable
+  /// copy, so flows may hold the pointer until release).
+  const net::ServerPath* lookup_ref(net::NodeId src, net::NodeId dst,
+                                    std::size_t class_index) const;
+
+  /// Visit every configured entry as (src, dst, class, route). Route
+  /// references obey the same lifetime rule as lookup_ref(). Controllers
+  /// use this to build their own dense lookup structures at construction.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [packed, route] : table_)
+      fn(static_cast<net::NodeId>((packed >> 24) & 0xFFFFFFu),
+         static_cast<net::NodeId>(packed & 0xFFFFFFu),
+         static_cast<std::size_t>(packed >> 48), route);
+  }
+
   std::size_t size() const { return table_.size(); }
 
  private:

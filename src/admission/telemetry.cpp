@@ -71,9 +71,19 @@ ControllerTelemetry::ControllerTelemetry(telemetry::MetricsRegistry& registry,
       "ubac_admission_rollback_hops_total",
       "Hop reservations rolled back by rejected requests",
       {{"controller", this->controller_name}});
+  batches = &registry.counter("ubac_admission_batches_total",
+                              "admit_batch() calls",
+                              {{"controller", this->controller_name}});
   decision_latency = &registry.histogram(
       "ubac_admission_decision_latency_seconds",
-      "request() wall time (sampled)", latency_bounds(),
+      "request() wall time (sampled; batch decisions amortized)",
+      latency_bounds(), {{"controller", this->controller_name}});
+  // Powers of two from 1 to 1024: batch sizes are typically small powers
+  // of two, so each lands exactly on its own bucket bound.
+  batch_size = &registry.histogram(
+      "ubac_admission_batch_size",
+      "Requests per admit_batch() call",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
       {{"controller", this->controller_name}});
 }
 

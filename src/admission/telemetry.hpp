@@ -65,7 +65,9 @@ struct ControllerTelemetry {
   telemetry::Counter* releases;
   telemetry::Counter* unknown_releases;
   telemetry::Counter* rollback_hops;
+  telemetry::Counter* batches;  ///< admit_batch() calls
   telemetry::LatencyHistogram* decision_latency;  ///< seconds
+  telemetry::LatencyHistogram* batch_size;  ///< requests per admit_batch()
 };
 
 /// Refresh the pull-model gauges from a controller's current state.

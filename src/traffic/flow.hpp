@@ -1,23 +1,114 @@
 #pragma once
 
 /// \file flow.hpp
-/// \brief Flows and configuration-time traffic demands.
+/// \brief Flows, configuration-time traffic demands, and the fixed-point
+///        rate grid shared by the run-time admission fast paths.
 ///
 /// At configuration time the inputs are *demands*: (source, destination,
 /// class) triples for which routes must be selected and whose deadline
 /// must hold for any run-time flow population admitted under the
 /// utilization limits. At run time, *flows* are individual policed streams
 /// admitted onto a demand's route.
+///
+/// ## The fixed-point rate grid
+///
+/// The run-time admission test compares reserved rate against a per-hop
+/// budget. Doing that in integers (sledge's `ADMISSIONS_CONTROL_GRANULARITY`
+/// scheme) makes the CAS admit loop a pure `uint64_t` add/compare and makes
+/// admit/release pairs cancel exactly. One *rate unit* is `2^-10` bit/s:
+///
+///   * demand quantization rounds UP   (`quantize_demand_up`)
+///   * budget quantization rounds DOWN (`quantize_budget_down`)
+///
+/// so the integer test is *conservative*: it can reject a flow the exact
+/// real-valued test would admit (by at most one quantum per flow), but it
+/// can never admit one the real-valued test would reject. See
+/// docs/concurrency.md, "Fixed-point representation", for the proof sketch.
+///
+/// ### Why `2^-10` bit/s and why overflow is impossible
+///
+/// With unit `2^-10` bit/s, a budget of `kMaxCapacityBps = 2^41` bit/s
+/// (~2.2 Tbit/s) occupies `2^51` units; `kMaxServers = 2^12` fully loaded
+/// ledger cells sum to `2^63` units, which still fits a `uint64_t` with a
+/// bit to spare — so no per-cell transient (`cur + rho`), no cell value and
+/// not even the *network-wide* occupancy total can wrap. The
+/// `static_assert`s below keep that proof checked at compile time; the
+/// controller enforces the `kMaxCapacityBps` / `kMaxServers` preconditions
+/// at construction.
 
 #include <cstdint>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "net/path.hpp"
+#include "util/units.hpp"
 
 namespace ubac::traffic {
 
 using FlowId = std::uint64_t;
+
+/// Reserved rate / budget in fixed-point grid units of 2^-10 bit/s.
+using RateUnits = std::uint64_t;
+
+/// log2 of grid units per bit/s: one unit is 2^-10 bit/s.
+inline constexpr unsigned kRateUnitBits = 10;
+/// Grid units per bit/s (2^kRateUnitBits).
+inline constexpr double kRateUnitsPerBps = 1024.0;
+
+/// Largest per-server capacity the admission plane accepts, bits/s
+/// (2^41 ~ 2.2 Tbit/s). Checked at controller construction.
+inline constexpr BitsPerSecond kMaxCapacityBps = 2199023255552.0;  // 2^41
+/// Largest server count the admission plane accepts (2^12). With
+/// kMaxCapacityBps this bounds total network occupancy to 2^63 units.
+inline constexpr std::size_t kMaxServers = 4096;
+
+// Overflow proof, machine-checked: a single cell's transient value is at
+// most budget + one demand <= 2 * kMaxCapacityBps in units; the aggregate
+// occupancy over every server is at most kMaxServers * kMaxCapacityBps in
+// units. Both must fit uint64.
+static_assert(kMaxCapacityBps * kRateUnitsPerBps == 0x1p51,
+              "capacity bound must sit exactly on the 2^51-unit mark");
+static_assert(2.0 * kMaxCapacityBps * kRateUnitsPerBps <= 0x1p63,
+              "per-cell transient (budget + demand) must fit uint64");
+static_assert(static_cast<double>(kMaxServers) * kMaxCapacityBps *
+                      kRateUnitsPerBps <=
+                  0x1p63,
+              "network-wide occupancy total must fit uint64");
+
+/// Demand quantization: round UP so the integer ledger never under-counts
+/// a flow. quantize_demand_up(r) / 2^10 >= r for every non-negative r.
+/// Out-of-range and non-finite demands saturate to the maximum (a demand
+/// that can never be admitted — conservative), keeping the double->uint64
+/// cast inside its defined range for any input.
+inline RateUnits quantize_demand_up(BitsPerSecond rate) {
+  const double scaled = rate * kRateUnitsPerBps;
+  if (!(scaled < 0x1p64)) return ~RateUnits{0};  // too big, +inf, or NaN
+  if (!(scaled > 0.0)) return 0;                 // zero or negative
+  const auto truncated = static_cast<RateUnits>(scaled);
+  return static_cast<double>(truncated) >= scaled ? truncated : truncated + 1;
+}
+
+/// Budget quantization: round DOWN so the integer ledger never over-grants
+/// capacity. quantize_budget_down(b) / 2^10 <= b for every non-negative b.
+/// A NaN or non-positive budget grants nothing (conservative); oversized
+/// budgets saturate (such configs are rejected at controller construction).
+inline RateUnits quantize_budget_down(BitsPerSecond budget) {
+  const double scaled = budget * kRateUnitsPerBps;
+  if (!(scaled > 0.0)) return 0;                 // zero, negative, or NaN
+  if (!(scaled < 0x1p64)) return ~RateUnits{0};
+  auto units = static_cast<RateUnits>(scaled);
+  // The cast truncates toward zero but may land above `scaled` when the
+  // double has fewer fraction bits than the integer needs; step back down.
+  if (static_cast<double>(units) > scaled) --units;
+  return units;
+}
+
+/// Exact inverse map of the grid: units * 2^-10 bit/s. Every RateUnits
+/// value up to 2^53 converts without rounding (double has 53 mantissa
+/// bits), which covers the whole admissible range proven above.
+inline BitsPerSecond bps_from_units(RateUnits units) {
+  return static_cast<double>(units) / kRateUnitsPerBps;
+}
 
 /// A configuration-time demand: traffic of `class_index` will flow from
 /// `src` to `dst` and needs a route.
@@ -27,6 +118,19 @@ struct Demand {
   std::size_t class_index;
 
   friend bool operator==(const Demand&, const Demand&) = default;
+};
+
+/// The per-flow traffic contract as registered with the admission plane:
+/// the declared sustained rate plus its conservative fixed-point image,
+/// computed once at registration so the admit hot path never touches
+/// floating point.
+struct FlowSpec {
+  BitsPerSecond rate = 0.0;  ///< declared rho, bits/s
+  RateUnits rate_units = 0;  ///< ceil(rate * 2^10): never under-counts
+
+  FlowSpec() = default;
+  explicit FlowSpec(BitsPerSecond rho)
+      : rate(rho), rate_units(quantize_demand_up(rho)) {}
 };
 
 /// A run-time flow admitted onto the network.

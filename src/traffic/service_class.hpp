@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "traffic/flow.hpp"
 #include "traffic/leaky_bucket.hpp"
 #include "util/units.hpp"
 
@@ -26,11 +27,14 @@ struct ServiceClass {
   Seconds deadline;       ///< end-to-end deadline D (ignored if !realtime)
   double share;           ///< alpha: fraction of each link reserved
   bool realtime = true;
+  /// Per-flow demand quantized once at registration (flow.hpp grid): the
+  /// admission fast path reads spec.rate_units, never bucket.rate.
+  FlowSpec spec;
 
   ServiceClass(std::string class_name, LeakyBucket lb, Seconds d, double alpha,
                bool rt = true)
       : name(std::move(class_name)), bucket(lb), deadline(d), share(alpha),
-        realtime(rt) {
+        realtime(rt), spec(lb.rate) {
     if (rt) {
       if (d <= 0.0) throw std::invalid_argument("ServiceClass: deadline <= 0");
       if (alpha <= 0.0 || alpha >= 1.0)

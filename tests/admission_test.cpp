@@ -74,8 +74,8 @@ TEST(AdmissionController, ReleaseRestoresCapacity) {
   AdmissionController ctl(f.graph, f.classes, f.table);
   const auto a = ctl.request(0, 2, 0);
   ASSERT_TRUE(a.admitted());
-  const auto* flow = ctl.find_flow(a.flow_id);
-  ASSERT_NE(flow, nullptr);
+  const auto flow = ctl.find_flow(a.flow_id);
+  ASSERT_TRUE(flow.has_value());
   EXPECT_EQ(flow->src, 0u);
   EXPECT_EQ(flow->dst, 2u);
   EXPECT_TRUE(ctl.release(a.flow_id));

@@ -104,6 +104,69 @@ TEST(BenchDiff, ReportsAddedAndRemovedRows) {
   EXPECT_NE(r.output.find("1 row(s) added, 1 removed"), std::string::npos);
 }
 
+TEST(BenchDiff, RowGainingConfigKeyIsAddedNeverCompared) {
+  // A current row that gained a config key (batch=16) must not be matched
+  // against the batchless baseline row measured under different
+  // conditions: it is ADDED, and the baseline row still matches the
+  // still-batchless current row.
+  TempSummary base(R"({"bench":"demo","rows":[
+    {"case":"churn","threads":8,"min_ms":10.0,"admissions_per_sec":1000.0}
+  ]})");
+  TempSummary cur(R"({"bench":"demo","rows":[
+    {"case":"churn","threads":8,"min_ms":10.0,"admissions_per_sec":1000.0},
+    {"case":"churn","threads":8,"batch":16,"min_ms":3.0,
+     "admissions_per_sec":9000.0}
+  ]})");
+  const RunResult r = run_bench_diff(base.path() + " " + cur.path());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("ADDED      case=churn batch=16"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("1 row(s) added, 0 removed"), std::string::npos);
+  // Only the batchless pair compared: 9000 vs 1000 must NOT appear as a
+  // (spurious) improvement or regression.
+  EXPECT_NE(r.output.find("2 metric(s) compared"), std::string::npos);
+  EXPECT_EQ(r.output.find("9000"), std::string::npos);
+}
+
+TEST(BenchDiff, OneSidedMetricKeysAreLoud) {
+  // Matched rows where a metric key exists on only one side: report NEW
+  // KEY / LOST KEY instead of silently skipping the metric.
+  TempSummary base(R"({"bench":"demo","rows":[
+    {"case":"churn","threads":8,"min_ms":10.0,"old_metric_ms":4.0}
+  ]})");
+  TempSummary cur(R"({"bench":"demo","rows":[
+    {"case":"churn","threads":8,"min_ms":10.0,"decisions_per_s":5.0e6}
+  ]})");
+  const RunResult r = run_bench_diff(base.path() + " " + cur.path());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("NEW KEY    case=churn threads=8 decisions_per_s"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("LOST KEY   case=churn threads=8 old_metric_ms"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("1 metric(s) compared"), std::string::npos);
+}
+
+TEST(BenchDiff, PerSecondThroughputKeysAreHigherIsBetter) {
+  // `_per_s` must win over the `_s` time suffix: a big throughput gain is
+  // an improvement, a collapse is a regression.
+  TempSummary base(R"({"bench":"demo","rows":[
+    {"case":"fastpath","decisions_per_s":1.0e6,"speedup":1.0}
+  ]})");
+  TempSummary faster(R"({"bench":"demo","rows":[
+    {"case":"fastpath","decisions_per_s":6.0e6,"speedup":6.0}
+  ]})");
+  RunResult r = run_bench_diff(base.path() + " " + faster.path());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("2 improvement(s)"), std::string::npos);
+
+  TempSummary slower(R"({"bench":"demo","rows":[
+    {"case":"fastpath","decisions_per_s":0.2e6,"speedup":0.2}
+  ]})");
+  r = run_bench_diff(base.path() + " " + slower.path());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("2 regression(s)"), std::string::npos);
+}
+
 TEST(BenchDiff, ConfigChangeWarnsAndNoMetricsIsAnError) {
   TempSummary base(kBaseline);
   TempSummary cur(R"({"bench":"demo","rows":[

@@ -8,6 +8,7 @@
 #include <array>
 #include <atomic>
 #include <barrier>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -111,9 +112,9 @@ TEST(ConcurrentAdmission, ConservationAndHighWatermarkUnderChurn) {
   std::vector<std::size_t> crossing(f.graph.size(), 0);
   for (const auto& tally : tallies)
     for (const traffic::FlowId id : tally.held) {
-      const auto* flow = ctl.find_flow(id);
-      ASSERT_NE(flow, nullptr);
-      for (const net::ServerId s : flow->route) ++crossing[s];
+      const auto flow = ctl.find_flow(id);
+      ASSERT_TRUE(flow.has_value());
+      for (const net::ServerId s : *flow->route) ++crossing[s];
     }
   for (net::ServerId s = 0; s < f.graph.size(); ++s) {
     EXPECT_DOUBLE_EQ(ctl.reserved_rate(s, 0),
@@ -233,6 +234,242 @@ TEST(ConcurrentAdmission, DoubleReleaseRaceExactlyOneSucceeds) {
   }
   for (net::ServerId s = 0; s < graph.size(); ++s)
     EXPECT_DOUBLE_EQ(ctl.reserved_rate(s, 0), 0.0);
+}
+
+// -- Batch admission semantics ----------------------------------------------
+
+// admit_batch(k demands) must be indistinguishable from k request() calls
+// made in the same order on an identical controller: same outcomes, same
+// flow ids, same final ledger.
+TEST(ConcurrentAdmission, BatchEqualsSequentialSingleThreaded) {
+  MciFixture f;
+  AdmissionController batched(f.graph, f.classes, f.table);
+  AdmissionController sequential(f.graph, f.classes, f.table);
+
+  util::Xoshiro256 rng(0xBA7C4);
+  constexpr std::size_t kBatch = 16;
+  std::vector<traffic::Demand> wave;
+  std::vector<AdmissionDecision> decisions(kBatch);
+  for (int round = 0; round < 400; ++round) {
+    wave.clear();
+    for (std::size_t i = 0; i < kBatch; ++i)
+      wave.push_back(f.demands[rng.uniform_index(f.demands.size())]);
+
+    const std::size_t admitted = batched.admit_batch(
+        std::span<const traffic::Demand>(wave),
+        std::span<AdmissionDecision>(decisions));
+
+    std::size_t expect_admitted = 0;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const auto ref =
+          sequential.request(wave[i].src, wave[i].dst, wave[i].class_index);
+      ASSERT_EQ(decisions[i].outcome, ref.outcome)
+          << "round " << round << " slot " << i;
+      if (ref.admitted()) {
+        ++expect_admitted;
+        ASSERT_EQ(decisions[i].flow_id, ref.flow_id);
+      } else {
+        ASSERT_EQ(decisions[i].blocking_hop, ref.blocking_hop);
+      }
+    }
+    ASSERT_EQ(admitted, expect_admitted);
+    ASSERT_EQ(batched.active_flows(), sequential.active_flows());
+  }
+  for (net::ServerId s = 0; s < f.graph.size(); ++s)
+    ASSERT_EQ(batched.reserved_units(s, 0), sequential.reserved_units(s, 0))
+        << "server " << s;
+}
+
+// Deterministic mid-batch saturation: capacity fits m < k flows, so one
+// batch of k identical demands admits exactly the first m and rejects the
+// suffix — the not-yet-committed tail rolls back without disturbing the
+// committed prefix.
+TEST(ConcurrentAdmission, MidBatchSaturationCommitsPrefixRejectsSuffix) {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph(topo, 6u);
+  // alpha*C/rho = 0.32 * 100e6 / 32e3 = 1000 slots on the link.
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  AdmissionController ctl(graph, classes, table);
+
+  // Leave exactly 7 slots, then offer a batch of 16.
+  for (int i = 0; i < 993; ++i) ASSERT_TRUE(ctl.request(0, 1, 0).admitted());
+  const traffic::RateUnits before = ctl.reserved_units(graph.map_path({0, 1})[0], 0);
+
+  std::vector<traffic::Demand> wave(16, traffic::Demand{0, 1, 0});
+  std::vector<AdmissionDecision> decisions(wave.size());
+  const std::size_t admitted = ctl.admit_batch(
+      std::span<const traffic::Demand>(wave),
+      std::span<AdmissionDecision>(decisions));
+
+  ASSERT_EQ(admitted, 7u);
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    if (i < 7) {
+      ASSERT_TRUE(decisions[i].admitted()) << "slot " << i;
+      ASSERT_NE(decisions[i].flow_id, 0u);
+    } else {
+      ASSERT_EQ(decisions[i].outcome, AdmissionOutcome::kUtilizationExceeded)
+          << "slot " << i;
+      ASSERT_EQ(decisions[i].blocking_hop, 0u);
+    }
+  }
+  ASSERT_EQ(ctl.active_flows(), 1000u);
+  // Ledger: prefix committed, suffix fully rolled back — exact in units.
+  const net::ServerId link = graph.map_path({0, 1})[0];
+  ASSERT_EQ(ctl.reserved_units(link, 0),
+            before + 7 * traffic::quantize_demand_up(kVoice.rate));
+  EXPECT_DOUBLE_EQ(ctl.reserved_rate(link, 0), 1000.0 * kVoice.rate);
+  // Every admitted slot is individually releasable.
+  for (std::size_t i = 0; i < 7; ++i)
+    ASSERT_TRUE(ctl.release(decisions[i].flow_id));
+  EXPECT_DOUBLE_EQ(ctl.reserved_rate(link, 0), 993.0 * kVoice.rate);
+}
+
+// Two threads racing whole batches for the same finite link: the pool
+// never over-admits, the ledger conserves, and the peak never passes the
+// cap — regardless of how the two batches interleave mid-flight.
+TEST(ConcurrentAdmission, RacingBatchesNeverOverAdmit) {
+  net::Topology topo = net::line(3);
+  net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.32);
+  RoutingTable table;
+  table.set({0, 1, 0}, graph.map_path({0, 1}));
+  const net::ServerId link = graph.map_path({0, 1})[0];
+  const BitsPerSecond cap = 0.32 * graph.server(link).capacity;
+
+  for (int round = 0; round < 50; ++round) {
+    AdmissionController ctl(graph, classes, table);
+    constexpr std::size_t kPerThread = 600;  // 1200 offered vs 1000 slots
+    std::vector<traffic::Demand> wave(kPerThread, traffic::Demand{0, 1, 0});
+    std::array<std::vector<AdmissionDecision>, 2> decisions{
+        std::vector<AdmissionDecision>(kPerThread),
+        std::vector<AdmissionDecision>(kPerThread)};
+    std::array<std::size_t, 2> admitted{};
+    std::barrier sync(2);
+    std::array<std::thread, 2> racers;
+    for (int r = 0; r < 2; ++r)
+      racers[r] = std::thread([&, r] {
+        sync.arrive_and_wait();
+        admitted[r] = ctl.admit_batch(
+            std::span<const traffic::Demand>(wave),
+            std::span<AdmissionDecision>(decisions[r]));
+      });
+    for (auto& th : racers) th.join();
+
+    ASSERT_EQ(admitted[0] + admitted[1], 1000u) << "round " << round;
+    ASSERT_EQ(ctl.active_flows(), 1000u);
+    EXPECT_DOUBLE_EQ(ctl.reserved_rate(link, 0), 1000.0 * kVoice.rate);
+    ASSERT_LE(ctl.peak_reserved_rate(link, 0), cap);
+
+    // Every admitted decision carries a distinct, releasable flow id.
+    std::size_t released = 0;
+    for (const auto& side : decisions)
+      for (const auto& d : side)
+        if (d.admitted()) {
+          ASSERT_TRUE(ctl.release(d.flow_id));
+          ++released;
+        }
+    ASSERT_EQ(released, 1000u);
+    ASSERT_EQ(ctl.active_flows(), 0u);
+  }
+}
+
+// 8 threads mixing whole-batch admits, single admits, single releases and
+// release_batch over the MCI backbone: the same conservation and
+// high-watermark invariants as the single-op churn test must hold.
+TEST(ConcurrentAdmission, ConservationUnderMixedBatchAndSingleChurn) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kItersPerThread = 3'000;
+  constexpr std::size_t kBatch = 8;
+
+  MciFixture f;
+  AdmissionController ctl(f.graph, f.classes, f.table);
+  std::vector<WorkerTally> tallies(kThreads);
+
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    util::Xoshiro256 rng(0xBEEF00 + t);
+    WorkerTally& tally = tallies[t];
+    std::vector<traffic::Demand> wave;
+    std::vector<AdmissionDecision> decisions(kBatch);
+    std::vector<traffic::FlowId> drop;
+    for (std::size_t k = 0; k < kItersPerThread; ++k) {
+      const bool prefer_batch = rng.bernoulli(0.5);
+      if (!tally.held.empty() && rng.bernoulli(0.40)) {
+        if (tally.held.size() >= kBatch && rng.bernoulli(0.5)) {
+          // Bulk release the tail of our held set.
+          drop.assign(tally.held.end() - kBatch, tally.held.end());
+          tally.held.resize(tally.held.size() - kBatch);
+          ASSERT_EQ(ctl.release_batch(drop), kBatch);
+          tally.released += kBatch;
+        } else {
+          const auto pos = rng.uniform_index(tally.held.size());
+          ASSERT_TRUE(ctl.release(tally.held[pos]));
+          tally.held[pos] = tally.held.back();
+          tally.held.pop_back();
+          ++tally.released;
+        }
+      } else if (prefer_batch) {
+        // Whole-batch admit of random demands.
+        wave.clear();
+        for (std::size_t i = 0; i < kBatch; ++i)
+          wave.push_back(f.demands[rng.uniform_index(f.demands.size())]);
+        ctl.admit_batch(std::span<const traffic::Demand>(wave),
+                        std::span<AdmissionDecision>(decisions));
+        for (const auto& d : decisions) {
+          if (d.admitted()) {
+            tally.held.push_back(d.flow_id);
+            ++tally.admitted;
+          } else {
+            ASSERT_EQ(d.outcome, AdmissionOutcome::kUtilizationExceeded);
+            ++tally.util_rejected;
+          }
+        }
+      } else {
+        const auto& d = f.demands[rng.uniform_index(f.demands.size())];
+        const auto decision = ctl.request(d.src, d.dst, d.class_index);
+        if (decision.admitted()) {
+          tally.held.push_back(decision.flow_id);
+          ++tally.admitted;
+        } else {
+          ++tally.util_rejected;
+        }
+      }
+    }
+  });
+
+  std::size_t total_rejected = 0, total_held = 0;
+  for (const auto& tally : tallies) {
+    total_rejected += tally.util_rejected;
+    total_held += tally.held.size();
+  }
+  EXPECT_GT(total_rejected, 0u) << "share too generous, nothing saturated";
+  EXPECT_EQ(ctl.active_flows(), total_held);
+
+  std::vector<std::size_t> crossing(f.graph.size(), 0);
+  for (const auto& tally : tallies)
+    for (const traffic::FlowId id : tally.held) {
+      const auto flow = ctl.find_flow(id);
+      ASSERT_TRUE(flow.has_value());
+      for (const net::ServerId s : *flow->route) ++crossing[s];
+    }
+  const traffic::RateUnits rho = traffic::quantize_demand_up(kVoice.rate);
+  for (net::ServerId s = 0; s < f.graph.size(); ++s) {
+    ASSERT_EQ(ctl.reserved_units(s, 0), crossing[s] * rho) << "server " << s;
+    ASSERT_LE(ctl.peak_reserved_rate(s, 0),
+              0.05 * f.graph.server(s).capacity)
+        << "server " << s;
+  }
+
+  // Drain everything through release_batch and verify pristine state.
+  std::vector<traffic::FlowId> survivors;
+  for (const auto& tally : tallies)
+    survivors.insert(survivors.end(), tally.held.begin(), tally.held.end());
+  ASSERT_EQ(ctl.release_batch(survivors), survivors.size());
+  EXPECT_EQ(ctl.active_flows(), 0u);
+  for (net::ServerId s = 0; s < f.graph.size(); ++s)
+    ASSERT_EQ(ctl.reserved_units(s, 0), 0u);
 }
 
 }  // namespace

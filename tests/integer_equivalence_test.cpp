@@ -1,0 +1,292 @@
+// Satellite: the integer fixed-point admission fast path is provably
+// conservative against the exact real-valued utilization test and exactly
+// reproducible. Three property families:
+//
+//  1. Never a spurious admit: on randomized (topology, rho, alpha) grids —
+//     rates deliberately off the 2^-10 grid — every admit the integer
+//     controller grants also satisfies the *exact* real-valued test
+//     sum(true rho) + rho <= alpha*C on every hop (shadow-checked in long
+//     double, whose 64-bit mantissa error is ~11 orders of magnitude below
+//     one rate quantum).
+//
+//  2. Adversarial ±1-quantum boundaries: budgets placed one quantum above /
+//     below an exact k-flow fit, and demands half a quantum off-grid, hit
+//     the rounding directions (demand up, budget down) at their worst
+//     points. The integer path may reject one flow the double oracle
+//     admits (conservative divergence), never the reverse.
+//
+//  3. Bit-identical replay: 1000 randomized admit/release traces, each
+//     replayed onto a second controller instance — the uint64 ledger
+//     occupancy must match slot for slot, and equal the sum of the held
+//     flows' quantized rates exactly (integers cancel exactly; no drift).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/routing_table.hpp"
+#include "admission/sequential_controller.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using admission::AdmissionController;
+using admission::RoutingTable;
+using admission::SequentialAdmissionController;
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+double uniform_in(util::Xoshiro256& rng, double lo, double hi) {
+  return lo + static_cast<double>(rng.next() >> 11) * 0x1p-53 * (hi - lo);
+}
+
+struct Scenario {
+  net::Topology topo;
+  net::ServerGraph graph;
+  std::vector<traffic::Demand> demands;
+  RoutingTable table;
+  ClassSet classes;
+
+  Scenario(net::Topology t, BitsPerSecond rho, double alpha)
+      : topo(std::move(t)), graph(topo, 6u),
+        demands(traffic::all_ordered_pairs(topo)),
+        classes(ClassSet::two_class(LeakyBucket(640.0, rho),
+                                    milliseconds(100), alpha)) {
+    std::vector<net::ServerPath> routes;
+    for (const auto& d : demands)
+      routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+    table = RoutingTable(demands, routes);
+  }
+};
+
+// ---- 1. Never a spurious admit on off-grid (T, rho, alpha) grids ---------
+
+TEST(IntegerEquivalence, NeverASpuriousAdmitOnRandomOffGridScenarios) {
+  util::Xoshiro256 meta_rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    // rho drawn continuously (essentially never on the 2^-10 grid), alpha
+    // likewise; small line/ring topologies keep each trial fast.
+    const double rho = uniform_in(meta_rng, 7'000.0, 90'000.0);
+    const double alpha = uniform_in(meta_rng, 0.05, 0.6);
+    const double capacity = uniform_in(meta_rng, 5e6, 40e6);
+    Scenario s(trial % 2 == 0 ? net::line(4, capacity)
+                              : net::ring(5, capacity),
+               rho, alpha);
+    AdmissionController ctl(s.graph, s.classes, s.table);
+
+    // Exact shadow ledger: per-server sum of *true* (unquantized) rates,
+    // in long double.
+    std::vector<long double> shadow(s.graph.size(), 0.0L);
+    std::vector<long double> budget(s.graph.size());
+    for (net::ServerId sv = 0; sv < s.graph.size(); ++sv)
+      budget[sv] = static_cast<long double>(alpha) *
+                   static_cast<long double>(s.graph.server(sv).capacity);
+
+    util::Xoshiro256 rng(7'000 + static_cast<std::uint64_t>(trial));
+    std::vector<traffic::FlowId> held;
+    std::map<traffic::FlowId, const net::ServerPath*> routes_of;
+    for (int step = 0; step < 2'000; ++step) {
+      if (!held.empty() && rng.bernoulli(0.4)) {
+        const auto pos = rng.uniform_index(held.size());
+        const traffic::FlowId id = held[pos];
+        ASSERT_TRUE(ctl.release(id));
+        for (const net::ServerId sv : *routes_of[id])
+          shadow[sv] -= static_cast<long double>(rho);
+        routes_of.erase(id);
+        held[pos] = held.back();
+        held.pop_back();
+        continue;
+      }
+      const auto& d = s.demands[rng.uniform_index(s.demands.size())];
+      const auto decision = ctl.request(d.src, d.dst, d.class_index);
+      if (!decision.admitted()) continue;
+      const auto flow = ctl.find_flow(decision.flow_id);
+      ASSERT_TRUE(flow.has_value());
+      for (const net::ServerId sv : *flow->route) {
+        shadow[sv] += static_cast<long double>(rho);
+        // The conservative-quantization guarantee: an admitted flow's hop
+        // satisfies the exact real-valued test, not merely the integer
+        // one. 1e-4 bps covers long-double accumulation error; one grid
+        // quantum (the margin rounding provides) is ~1e-3 bps per flow.
+        ASSERT_LE(static_cast<double>(shadow[sv] - budget[sv]), 1e-4)
+            << "trial " << trial << " step " << step << " server " << sv
+            << ": integer path admitted past the exact budget";
+      }
+      held.push_back(decision.flow_id);
+      routes_of[decision.flow_id] = flow->route;
+    }
+  }
+}
+
+// ---- 2. Adversarial ±1-quantum boundary cases ----------------------------
+
+// One-hop scenario with an exactly representable budget: alpha = 0.5 and
+// capacity = 2 * budget make share * capacity == budget with no rounding.
+Scenario boundary_scenario(BitsPerSecond rho, BitsPerSecond budget) {
+  return Scenario(net::line(2, 2.0 * budget), rho, 0.5);
+}
+
+std::size_t admits_until_full(AdmissionController& ctl) {
+  std::size_t n = 0;
+  while (ctl.request(0, 1, 0).admitted()) ++n;
+  return n;
+}
+
+std::size_t admits_until_full(SequentialAdmissionController& ctl) {
+  std::size_t n = 0;
+  while (ctl.request(0, 1, 0).admitted()) ++n;
+  return n;
+}
+
+TEST(IntegerEquivalence, BudgetExactlyKFlowsAdmitsExactlyK) {
+  // rho = 32 kbps sits exactly on the grid; budget = 100 * rho is an exact
+  // double and an exact grid value. Both paths admit exactly 100.
+  const double rho = kbps(32);
+  Scenario s = boundary_scenario(rho, 100.0 * rho);
+  AdmissionController integer_ctl(s.graph, s.classes, s.table);
+  SequentialAdmissionController oracle(s.graph, s.classes, s.table);
+  EXPECT_EQ(admits_until_full(integer_ctl), 100u);
+  EXPECT_EQ(admits_until_full(oracle), 100u);
+}
+
+TEST(IntegerEquivalence, BudgetOneQuantumShortRejectsTheKthFlow) {
+  // Budget one quantum (2^-10 bit/s) below a 100-flow fit: the 100th flow
+  // no longer fits the exact test, and both paths must reject it.
+  const double rho = kbps(32);
+  const double quantum = 1.0 / traffic::kRateUnitsPerBps;
+  Scenario s = boundary_scenario(rho, 100.0 * rho - quantum);
+  AdmissionController integer_ctl(s.graph, s.classes, s.table);
+  SequentialAdmissionController oracle(s.graph, s.classes, s.table);
+  EXPECT_EQ(admits_until_full(integer_ctl), 99u);
+  EXPECT_EQ(admits_until_full(oracle), 99u);
+}
+
+TEST(IntegerEquivalence, BudgetOneQuantumOverStillAdmitsOnlyK) {
+  // Budget one quantum *above* a 100-flow fit: not enough for flow 101 on
+  // either path (a whole rho is missing, not one quantum).
+  const double rho = kbps(32);
+  const double quantum = 1.0 / traffic::kRateUnitsPerBps;
+  Scenario s = boundary_scenario(rho, 100.0 * rho + quantum);
+  AdmissionController integer_ctl(s.graph, s.classes, s.table);
+  SequentialAdmissionController oracle(s.graph, s.classes, s.table);
+  EXPECT_EQ(admits_until_full(integer_ctl), 100u);
+  EXPECT_EQ(admits_until_full(oracle), 100u);
+}
+
+TEST(IntegerEquivalence, HalfQuantumOffGridDemandDivergesConservatively) {
+  // rho half a quantum off-grid rounds UP to the next unit; a budget of
+  // exactly 10 true-rho ends up 5 units short of 10 quantized demands.
+  // The integer path admits 9 where the exact test (and the double
+  // oracle) admits 10 — the permitted direction of divergence.
+  const double rho = kbps(32) + 0x1p-11;  // exactly representable
+  Scenario s = boundary_scenario(rho, 10.0 * rho);
+  AdmissionController integer_ctl(s.graph, s.classes, s.table);
+  SequentialAdmissionController oracle(s.graph, s.classes, s.table);
+  const std::size_t integer_admits = admits_until_full(integer_ctl);
+  const std::size_t oracle_admits = admits_until_full(oracle);
+  EXPECT_EQ(oracle_admits, 10u);
+  EXPECT_EQ(integer_admits, 9u);
+  EXPECT_LE(integer_admits, oracle_admits)
+      << "integer path admitted MORE than the exact oracle";
+}
+
+// ---- 3. Bit-identical ledger occupancy over 1000 trace replays -----------
+
+TEST(IntegerEquivalence, ThousandTraceReplaysLeaveBitIdenticalOccupancy) {
+  // Off-grid rate: drift would show immediately if admit/release pairs did
+  // not cancel exactly in integer units.
+  const double rho = 13'337.7;
+  Scenario s(net::line(4, 8e6), rho, 0.3);
+
+  for (std::uint64_t trace = 0; trace < 1'000; ++trace) {
+    AdmissionController a(s.graph, s.classes, s.table);
+    AdmissionController b(s.graph, s.classes, s.table);
+
+    // Identical randomized trace against both instances; also tally the
+    // expected occupancy in units from the surviving flows' routes.
+    std::vector<traffic::RateUnits> expected(s.graph.size(), 0);
+    const traffic::RateUnits rho_units = s.classes.at(0).spec.rate_units;
+    util::Xoshiro256 rng(trace);
+    std::vector<traffic::FlowId> held;
+    for (int step = 0; step < 120; ++step) {
+      if (!held.empty() && rng.bernoulli(0.35)) {
+        const auto pos = rng.uniform_index(held.size());
+        const traffic::FlowId id = held[pos];
+        const auto flow = a.find_flow(id);
+        ASSERT_TRUE(flow.has_value());
+        for (const net::ServerId sv : *flow->route)
+          expected[sv] -= rho_units;
+        ASSERT_TRUE(a.release(id));
+        ASSERT_TRUE(b.release(id));
+        held[pos] = held.back();
+        held.pop_back();
+        continue;
+      }
+      const auto& d = s.demands[rng.uniform_index(s.demands.size())];
+      const auto da = a.request(d.src, d.dst, d.class_index);
+      const auto db = b.request(d.src, d.dst, d.class_index);
+      ASSERT_EQ(da.outcome, db.outcome) << "trace " << trace;
+      ASSERT_EQ(da.flow_id, db.flow_id) << "trace " << trace;
+      if (da.admitted()) {
+        held.push_back(da.flow_id);
+        const auto flow = a.find_flow(da.flow_id);
+        ASSERT_TRUE(flow.has_value());
+        for (const net::ServerId sv : *flow->route)
+          expected[sv] += rho_units;
+      }
+    }
+
+    for (net::ServerId sv = 0; sv < s.graph.size(); ++sv) {
+      ASSERT_EQ(a.reserved_units(sv, 0), b.reserved_units(sv, 0))
+          << "trace " << trace << " server " << sv;
+      ASSERT_EQ(a.reserved_units(sv, 0), expected[sv])
+          << "trace " << trace << " server " << sv
+          << ": occupancy != sum of held quantized rates";
+    }
+  }
+}
+
+// ---- Oracle decision equivalence through the batch path ------------------
+
+TEST(IntegerEquivalence, BatchPathMatchesOracleDecisionsOnGridRates) {
+  // On-grid voice rate + the repo's standard alpha: the integer path is
+  // decision-for-decision identical to the double oracle, and feeding the
+  // same arrivals through admit_batch must not change a single outcome or
+  // flow id relative to the oracle's sequential request() calls.
+  Scenario s(net::ring(5, 20e6), kbps(32), 0.2);
+  AdmissionController integer_ctl(s.graph, s.classes, s.table);
+  SequentialAdmissionController oracle(s.graph, s.classes, s.table);
+
+  util::Xoshiro256 rng(99);
+  std::vector<traffic::Demand> wave(16);
+  std::vector<admission::AdmissionDecision> decisions(wave.size());
+  for (int round = 0; round < 200; ++round) {
+    for (auto& d : wave) d = s.demands[rng.uniform_index(s.demands.size())];
+    integer_ctl.admit_batch(wave, decisions);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      const auto expected =
+          oracle.request(wave[i].src, wave[i].dst, wave[i].class_index);
+      ASSERT_EQ(decisions[i].outcome, expected.outcome)
+          << "round " << round << " request " << i;
+      ASSERT_EQ(decisions[i].flow_id, expected.flow_id)
+          << "round " << round << " request " << i;
+    }
+  }
+  for (net::ServerId sv = 0; sv < s.graph.size(); ++sv)
+    EXPECT_DOUBLE_EQ(integer_ctl.reserved_rate(sv, 0),
+                     oracle.reserved_rate(sv, 0));
+}
+
+}  // namespace
+}  // namespace ubac

@@ -52,12 +52,12 @@ TEST(Integration, ConfigureAdmitSimulateOnMci) {
   admission::RoutingTable table(demands, config.best.server_routes);
   admission::AdmissionController controller(graph, classes, table);
 
-  std::vector<traffic::Flow> admitted;
+  std::vector<const net::ServerPath*> admitted;
   for (int round = 0; round < 40; ++round) {
     for (const auto& d : demands) {
       const auto decision = controller.request(d.src, d.dst, d.class_index);
       if (decision.admitted())
-        admitted.push_back(*controller.find_flow(decision.flow_id));
+        admitted.push_back(controller.find_flow(decision.flow_id)->route);
     }
   }
   ASSERT_GT(admitted.size(), 100u);
@@ -68,12 +68,12 @@ TEST(Integration, ConfigureAdmitSimulateOnMci) {
 
   // --- 3. Packet simulation of the admitted population (greedy sources).
   sim::NetworkSim netsim(graph, classes);
-  for (const auto& flow : admitted) {
+  for (const net::ServerPath* route : admitted) {
     sim::SourceConfig src;
     src.model = sim::SourceModel::kGreedy;
     src.packet_size = 640.0;
     src.stop = sim::to_sim_time(0.5);
-    netsim.add_flow(flow.route, 0, src);
+    netsim.add_flow(*route, 0, src);
   }
   const auto results = netsim.run(1.0);
   ASSERT_GT(results.packets_delivered, 1000u);

@@ -59,10 +59,10 @@ TEST_P(AdmissionProperty, ReservationsMatchActiveFlowsExactly) {
       const auto decision = controller.request(d.src, d.dst, d.class_index);
       if (decision.admitted()) {
         active.push_back(decision.flow_id);
-        const auto* flow = controller.find_flow(decision.flow_id);
-        ASSERT_NE(flow, nullptr);
-        shadow_routes[decision.flow_id] = flow->route;
-        for (const net::ServerId s : flow->route) ++shadow[s];
+        const auto flow = controller.find_flow(decision.flow_id);
+        ASSERT_TRUE(flow.has_value());
+        shadow_routes[decision.flow_id] = *flow->route;
+        for (const net::ServerId s : *flow->route) ++shadow[s];
       }
     }
   }

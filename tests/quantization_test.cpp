@@ -1,0 +1,139 @@
+// Satellite: the fixed-point rate grid itself — rounding directions,
+// edge values, and the machine-checked overflow-freedom proof backing the
+// concurrent controller's uint64 ledger (traffic/flow.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "admission/controller.hpp"
+#include "admission/routing_table.hpp"
+#include "net/topology_factory.hpp"
+#include "traffic/flow.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using traffic::bps_from_units;
+using traffic::quantize_budget_down;
+using traffic::quantize_demand_up;
+using traffic::RateUnits;
+
+constexpr double kQuantum = 1.0 / traffic::kRateUnitsPerBps;
+
+// ---- Static overflow proof (compile-time; mirrors traffic/flow.hpp) ------
+// The scale cannot overflow at kMaxServers x max capacity: every fully
+// loaded ledger cell holds 2^51 units and even the sum over all 2^12
+// servers is exactly 2^63, inside uint64. Checked here as static_asserts
+// so this test file fails to *compile* if anyone weakens the grid bounds.
+static_assert(traffic::kMaxCapacityBps * traffic::kRateUnitsPerBps == 0x1p51);
+static_assert(static_cast<double>(traffic::kMaxServers) *
+                  traffic::kMaxCapacityBps * traffic::kRateUnitsPerBps ==
+              0x1p63);
+static_assert(0x1p63 <=
+              static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+// A single cell's worst transient (budget + one saturated-but-checked
+// demand) stays below 2^52 + 2^51 < 2^63.
+static_assert(2.0 * traffic::kMaxCapacityBps * traffic::kRateUnitsPerBps <=
+              0x1p63);
+
+// ---- Rounding directions --------------------------------------------------
+
+TEST(Quantization, DemandRoundsUpAndBudgetRoundsDown) {
+  // Anything strictly between two grid points must round in the
+  // conservative direction for its role.
+  const double off_grid = 1000.0 + 0.3 * kQuantum;
+  EXPECT_GE(bps_from_units(quantize_demand_up(off_grid)), off_grid);
+  EXPECT_LE(bps_from_units(quantize_budget_down(off_grid)), off_grid);
+  EXPECT_EQ(quantize_demand_up(off_grid),
+            quantize_budget_down(off_grid) + 1);
+}
+
+TEST(Quantization, OnGridValuesAreExactBothWays) {
+  for (const double rate : {kQuantum, 1.0, 32'000.0, 1e9, 0x1p41}) {
+    const RateUnits up = quantize_demand_up(rate);
+    const RateUnits down = quantize_budget_down(rate);
+    EXPECT_EQ(up, down) << rate;
+    EXPECT_DOUBLE_EQ(bps_from_units(up), rate);
+  }
+}
+
+TEST(Quantization, TinyRhoRoundTrips) {
+  // The smallest representable demands: one quantum and fractions of it.
+  EXPECT_EQ(quantize_demand_up(kQuantum), 1u);
+  EXPECT_EQ(quantize_demand_up(kQuantum / 2.0), 1u);  // rounds up, not to 0
+  EXPECT_EQ(quantize_demand_up(1e-12), 1u);           // any positive demand
+  EXPECT_EQ(quantize_budget_down(kQuantum / 2.0), 0u);  // floor: no grant
+  EXPECT_DOUBLE_EQ(bps_from_units(quantize_demand_up(kQuantum)), kQuantum);
+}
+
+TEST(Quantization, ZeroAndNegativeEdges) {
+  EXPECT_EQ(quantize_demand_up(0.0), 0u);
+  EXPECT_EQ(quantize_budget_down(0.0), 0u);
+  EXPECT_EQ(quantize_demand_up(-5.0), 0u);
+  EXPECT_EQ(quantize_budget_down(-5.0), 0u);
+}
+
+TEST(Quantization, NonFiniteAndOversizedInputsSaturateConservatively) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Demand saturates to an inadmissible maximum; budget grants nothing on
+  // NaN and saturates on +inf (rejected at controller construction).
+  EXPECT_EQ(quantize_demand_up(inf), ~RateUnits{0});
+  EXPECT_EQ(quantize_demand_up(nan), ~RateUnits{0});
+  EXPECT_EQ(quantize_demand_up(0x1p60), ~RateUnits{0});
+  EXPECT_EQ(quantize_budget_down(nan), 0u);
+  EXPECT_EQ(quantize_budget_down(inf), ~RateUnits{0});
+}
+
+TEST(Quantization, DemandEqualToFullBudgetFitsExactlyOnce) {
+  // demand == budget, both on-grid: one flow fits, a second does not
+  // (units compare equal, no epsilon needed).
+  const double rate = 64'000.0;
+  const RateUnits demand = quantize_demand_up(rate);
+  const RateUnits budget = quantize_budget_down(rate);
+  EXPECT_EQ(demand, budget);
+  EXPECT_LE(demand, budget);            // first flow fits
+  EXPECT_GT(2 * demand, budget);        // second does not
+}
+
+TEST(Quantization, MaxCapacityBudgetIsExact) {
+  // The extreme admissible budget sits exactly on the grid at 2^51 units;
+  // bps_from_units inverts it without rounding (2^51 < 2^53).
+  const RateUnits budget = quantize_budget_down(traffic::kMaxCapacityBps);
+  EXPECT_EQ(budget, RateUnits{1} << 51);
+  EXPECT_DOUBLE_EQ(bps_from_units(budget), traffic::kMaxCapacityBps);
+}
+
+// ---- Controller-enforced preconditions -----------------------------------
+
+TEST(Quantization, ControllerRejectsCapacityBeyondProofBound) {
+  const auto topo = net::line(2, 2.0 * traffic::kMaxCapacityBps);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = traffic::ClassSet::two_class(
+      traffic::LeakyBucket(640.0, 32'000.0), 0.1, 0.5);
+  EXPECT_THROW(admission::AdmissionController(graph, classes,
+                                              admission::RoutingTable{}),
+               std::invalid_argument);
+}
+
+TEST(Quantization, ControllerAcceptsCapacityAtProofBound) {
+  const auto topo = net::line(2, traffic::kMaxCapacityBps);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = traffic::ClassSet::two_class(
+      traffic::LeakyBucket(640.0, 32'000.0), 0.1, 0.5);
+  admission::AdmissionController ctl(graph, classes,
+                                     admission::RoutingTable{});
+  // Budget = floor(0.5 * 2^41 * 2^10) = 2^50 units exactly.
+  EXPECT_EQ(ctl.limit_units(0, 0), RateUnits{1} << 50);
+}
+
+TEST(Quantization, FlowSpecQuantizesOnceAtConstruction) {
+  const traffic::FlowSpec spec(32'000.0 + 0.25 * kQuantum);
+  EXPECT_EQ(spec.rate_units, quantize_demand_up(spec.rate));
+  EXPECT_GE(bps_from_units(spec.rate_units), spec.rate);
+}
+
+}  // namespace
+}  // namespace ubac

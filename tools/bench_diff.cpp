@@ -15,14 +15,17 @@
 /// visible. For each numeric field present in both rows the tool knows
 /// the improvement direction from the key:
 ///
-///   lower is better:  keys ending in _ns/_us/_ms/_s/_seconds
-///   higher is better: `speedup`, keys ending in _per_sec or _ops
+///   higher is better: `speedup`, keys ending in _per_sec/_per_s/_ops
+///   lower is better:  other keys ending in _ns/_us/_ms/_s/_seconds
 ///
 /// Other numeric keys (reps, threads, sizes...) are configuration, not
-/// performance, and are only checked for equality as a comparability
-/// warning. A change beyond --threshold (default 0.10 = 10%) in the bad
-/// direction is a regression; without --warn-only any regression makes
-/// the exit status 1.
+/// performance; they are part of the row identity, so a row that gains a
+/// new config key (e.g. `batch=16`) is ADDED rather than compared against
+/// a baseline row measured under different conditions. A metric key
+/// present in only one of two matched rows is reported as NEW KEY /
+/// LOST KEY, never silently skipped. A change beyond --threshold
+/// (default 0.10 = 10%) in the bad direction is a regression; without
+/// --warn-only any regression makes the exit status 1.
 
 #include <cctype>
 #include <cstdio>
@@ -185,10 +188,12 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }
 
 Direction direction_of(const std::string& key) {
+  // Throughput first: `_per_s` would otherwise match the `_s` time suffix.
+  if (key == "speedup" || ends_with(key, "_per_sec") ||
+      ends_with(key, "_per_s") || ends_with(key, "_ops"))
+    return Direction::kHigherBetter;
   for (const char* suffix : {"_ns", "_us", "_ms", "_s", "_seconds"})
     if (ends_with(key, suffix)) return Direction::kLowerBetter;
-  if (key == "speedup" || ends_with(key, "_per_sec") || ends_with(key, "_ops"))
-    return Direction::kHigherBetter;
   return Direction::kConfig;
 }
 
@@ -243,9 +248,21 @@ int main(int argc, char** argv) {
       }
       matched.insert(it->first);
       const Row& base = *it->second;
+      // Metric keys the baseline row never had (a bench that grew a new
+      // measurement) or no longer has must be loud, never silently
+      // uncompared — config keys can't get here, they are part of the
+      // row identity.
+      for (const auto& [key, value] : base.numbers)
+        if (!row.numbers.count(key))
+          std::printf("LOST KEY   %s%s: (baseline only, not compared)\n",
+                      row.identity().c_str(), key.c_str());
       for (const auto& [key, value] : row.numbers) {
         const auto bit = base.numbers.find(key);
-        if (bit == base.numbers.end()) continue;
+        if (bit == base.numbers.end()) {
+          std::printf("NEW KEY    %s%s: (current only, not compared)\n",
+                      row.identity().c_str(), key.c_str());
+          continue;
+        }
         const double old_value = bit->second;
         const Direction dir = direction_of(key);
         if (dir == Direction::kConfig) {

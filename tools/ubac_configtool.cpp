@@ -437,6 +437,8 @@ int cmd_serve(const util::ArgParser& args) {
   admission::PacedLoadDriver::Options load_options;
   load_options.arrival_rate = args.get_double("load-rate", 50.0);
   load_options.mean_holding = args.get_double("load-holding-s", 10.0);
+  load_options.batch =
+      static_cast<std::size_t>(std::max<long>(1, args.get_long("batch", 1)));
   admission::PacedLoadDriver driver(ctl, demands, load_options);
 
   telemetry::HttpEndpoint::Options http_options;
@@ -452,8 +454,9 @@ int cmd_serve(const util::ArgParser& args) {
               "(/metrics /healthz /series /alerts)\n",
               http.port());
   std::printf("serve: churn %.0f flows/s over %zu demands at alpha=%.2f; "
-              "tick %ld ms; Ctrl-C to stop\n",
+              "admission batch %zu; tick %ld ms; Ctrl-C to stop\n",
               load_options.arrival_rate, demands.size(), alpha,
+              load_options.batch,
               static_cast<long>(sampler_options.tick.count()));
   std::fflush(stdout);
 
@@ -514,6 +517,15 @@ int cmd_serve(const util::ArgParser& args) {
               static_cast<unsigned long long>(sampler.ticks()),
               static_cast<unsigned long long>(http.requests_served()),
               static_cast<unsigned long long>(alerts.evaluations()));
+  const double total_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("serve: batch=%zu batches=%llu admits_per_s=%.1f\n",
+              load_options.batch,
+              static_cast<unsigned long long>(ctl_telemetry.batches->value()),
+              total_elapsed > 0.0
+                  ? static_cast<double>(stats.admitted) / total_elapsed
+                  : 0.0);
   return 0;
 }
 
@@ -596,6 +608,9 @@ int main(int argc, char** argv) {
                 "serve: Poisson flow arrivals per second (default 50)")
       .describe("load-holding-s",
                 "serve: mean flow holding time in seconds (default 10)")
+      .describe("batch",
+                "serve: coalesce up to k arrivals into one admit_batch() "
+                "call (default 1 = per-request admission)")
       .describe("alert-k",
                 "serve: consecutive breached/quiet ticks to fire/resolve "
                 "(default 3)")
