@@ -36,8 +36,11 @@ ConcurrentAdmissionController::ConcurrentAdmissionController(
           "ConcurrentAdmissionController: server capacity exceeds "
           "kMaxCapacityBps");
   rho_units_.resize(classes.size(), 0);
+  live_share_ = std::make_unique<std::atomic<double>[]>(classes.size());
   for (std::size_t c = 0; c < classes.size(); ++c) {
     const traffic::ServiceClass& cls = classes.at(c);
+    live_share_[c].store(cls.realtime ? cls.share : 0.0,
+                         std::memory_order_relaxed);
     if (!cls.realtime) continue;
     if (cls.bucket.rate > traffic::kMaxCapacityBps)
       throw std::invalid_argument(
@@ -46,8 +49,9 @@ ConcurrentAdmissionController::ConcurrentAdmissionController(
     // rounded down. alpha <= 1, so share * capacity stays in range.
     rho_units_[c] = cls.spec.rate_units;
     for (net::ServerId s = 0; s < servers_; ++s)
-      slots_[c * servers_ + s].limit =
-          traffic::quantize_budget_down(cls.share * graph.server(s).capacity);
+      slots_[c * servers_ + s].limit.store(
+          traffic::quantize_budget_down(cls.share * graph.server(s).capacity),
+          std::memory_order_relaxed);
   }
 
   // Dense route index: one cell load plus a flat hop-array walk instead of
@@ -97,7 +101,11 @@ bool ConcurrentAdmissionController::try_reserve(Slot& s, RateFx rho,
   // demands never pass the guard (see traffic/flow.hpp overflow proof).
   RateFx cur = s.reserved.load(std::memory_order_relaxed);
   do {
-    if (rho > cap - cur) return false;  // subtraction: overflow-proof form
+    // Subtraction form is overflow-proof; the explicit cur > cap branch
+    // covers the live-reconfiguration transient where a shrunken budget
+    // leaves the counter above the new cap — cap - cur would wrap and
+    // wrongly admit into an already over-committed slot.
+    if (cur > cap || rho > cap - cur) return false;
   } while (!s.reserved.compare_exchange_weak(cur, cur + rho,
                                              std::memory_order_relaxed));
   // Record the high watermark. Every successful reservation publishes its
@@ -162,7 +170,9 @@ bool ConcurrentAdmissionController::reserve_route(
   std::size_t hop = 0;
   if (route.slots != nullptr && route.len != 0) {
     const Slot& s0 = slots_[route.first];
-    if (rho > s0.limit - s0.reserved.load(std::memory_order_relaxed)) {
+    const RateFx cap0 = s0.limit.load(std::memory_order_relaxed);
+    const RateFx cur0 = s0.reserved.load(std::memory_order_relaxed);
+    if (cur0 > cap0 || rho > cap0 - cur0) {
       decision.outcome = AdmissionOutcome::kUtilizationExceeded;
       decision.blocking_hop = 0;
       return false;
@@ -171,7 +181,9 @@ bool ConcurrentAdmissionController::reserve_route(
   }
   for (; hop < route.len; ++hop) {
     const Slot& sl = hop_slot(hop);
-    if (rho > sl.limit - sl.reserved.load(std::memory_order_relaxed)) {
+    const RateFx cap = sl.limit.load(std::memory_order_relaxed);
+    const RateFx cur = sl.reserved.load(std::memory_order_relaxed);
+    if (cur > cap || rho > cap - cur) {
       decision.outcome = AdmissionOutcome::kUtilizationExceeded;
       decision.blocking_hop = hop;
       return false;
@@ -183,7 +195,7 @@ bool ConcurrentAdmissionController::reserve_route(
   // saturated hop roll back what this request already took.
   for (hop = 0; hop < route.len; ++hop) {
     Slot& sl = hop_slot(hop);
-    if (!try_reserve(sl, rho, sl.limit)) {
+    if (!try_reserve(sl, rho, sl.limit.load(std::memory_order_relaxed))) {
       for (std::size_t h = 0; h < hop; ++h)
         hop_slot(h).reserved.fetch_sub(rho, std::memory_order_relaxed);
       decision.outcome = AdmissionOutcome::kUtilizationExceeded;
@@ -440,7 +452,11 @@ double ConcurrentAdmissionController::class_utilization(
     net::ServerId server, std::size_t class_index) const {
   const traffic::ServiceClass& cls = classes_->at(class_index);
   if (!cls.realtime) return 0.0;
-  const BitsPerSecond limit = cls.share * graph_->server(server).capacity;
+  // Denominator is the *live* share, so after an apply_shares() swap the
+  // gauge reports against the budget admits are actually decided by.
+  const double share = live_share_[class_index].load(std::memory_order_relaxed);
+  if (share <= 0.0) return 0.0;
+  const BitsPerSecond limit = share * graph_->server(server).capacity;
   return reserved_rate(server, class_index) / limit;
 }
 
@@ -469,6 +485,122 @@ BitsPerSecond ConcurrentAdmissionController::peak_reserved_rate(
     throw std::out_of_range("peak_reserved_rate: bad class or server");
   return traffic::bps_from_units(
       slot(class_index, server).peak.load(std::memory_order_relaxed));
+}
+
+BudgetSwapReport ConcurrentAdmissionController::apply_shares(
+    std::span<const ShareUpdate> updates) {
+  UBAC_SPAN_ARG("admission.apply_shares", "admission", "updates",
+                updates.size());
+  std::lock_guard<std::mutex> lock(reconfig_mutex_);
+  // Validate everything before touching any budget: a swap is all-or-
+  // nothing with respect to bad input.
+  for (const ShareUpdate& u : updates) {
+    if (u.class_index >= classes_->size())
+      throw std::invalid_argument("apply_shares: unknown class index");
+    if (!(u.share >= 0.0 && u.share <= 1.0))
+      throw std::invalid_argument("apply_shares: share outside [0, 1]");
+  }
+
+  BudgetSwapReport report;
+  std::vector<std::size_t> shrunk;
+  // Phase 1 — fence. Store every new budget first: from this point on new
+  // admits are decided against the new limits (a shrunken slot transiently
+  // holding reserved > limit reads as saturated, never as wrapped).
+  for (const ShareUpdate& u : updates) {
+    if (!classes_->at(u.class_index).realtime) continue;
+    bool lowered = false;
+    for (net::ServerId s = 0; s < servers_; ++s) {
+      Slot& sl = slot(u.class_index, s);
+      const RateFx next =
+          traffic::quantize_budget_down(u.share * graph_->server(s).capacity);
+      const RateFx prev = sl.limit.exchange(next, std::memory_order_relaxed);
+      if (next > prev) {
+        ++report.slots_raised;
+      } else if (next < prev) {
+        ++report.slots_lowered;
+        lowered = true;
+      }
+    }
+    live_share_[u.class_index].store(u.share, std::memory_order_relaxed);
+    if (lowered) shrunk.push_back(u.class_index);
+  }
+  if (shrunk.empty()) return report;
+
+  // Phase 2 — shed. Reverse priority order (class index = priority, 0
+  // highest): best-effort/statistical classes give ground before
+  // guaranteed ones.
+  std::sort(shrunk.rbegin(), shrunk.rend());
+  for (const std::size_t c : shrunk) shed_class(c, report);
+  return report;
+}
+
+bool ConcurrentAdmissionController::any_over_budget(
+    std::size_t class_index) const {
+  for (net::ServerId s = 0; s < servers_; ++s) {
+    const Slot& sl = slot(class_index, s);
+    if (sl.reserved.load(std::memory_order_relaxed) >
+        sl.limit.load(std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+void ConcurrentAdmissionController::shed_class(std::size_t class_index,
+                                               BudgetSwapReport& report) {
+  const RateFx rho = rho_units_[class_index];
+  if (rho == 0) return;
+  ControllerTelemetry* const t = telemetry_;
+  while (any_over_budget(class_index)) {
+    // Collect the class's registered flows; shed newest (highest id)
+    // first, so the longest-lived reservations survive a shrink.
+    std::vector<std::pair<traffic::FlowId, const net::ServerPath*>> flows;
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      shards_[s].flows.for_each([&](const FlowRecord& record) {
+        if (record.class_index == class_index)
+          flows.emplace_back(record.id, record.route);
+      });
+    }
+    std::sort(flows.begin(), flows.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    bool progressed = false;
+    for (const auto& [id, route] : flows) {
+      bool crosses = false;
+      for (const net::ServerId s : *route) {
+        const Slot& sl = slot(class_index, s);
+        if (sl.reserved.load(std::memory_order_relaxed) >
+            sl.limit.load(std::memory_order_relaxed)) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) continue;  // sheds nothing that isn't over-committed
+      // Normal release path: a racing external release of the same id
+      // makes exactly one of the two succeed.
+      if (!release_impl(id)) continue;
+      progressed = true;
+      ++report.shed_flows;
+      report.shed_ids.push_back(id);
+      if (t != nullptr) {
+        t->releases->add();
+        if (t->tracer != nullptr && t->tracer->should_sample()) {
+          telemetry::TraceEvent ev;
+          ev.kind = telemetry::TraceEventKind::kRelease;
+          ev.flow_id = id;
+          ev.class_index = static_cast<std::uint32_t>(class_index);
+          ev.reason = "reconfig-shed";
+          t->tracer->record(ev);
+        }
+      }
+      if (!any_over_budget(class_index)) return;
+    }
+    // No registered flow crosses an over-committed hop: the remainder is
+    // owned by admits racing the fence (they register right after their
+    // CAS). A re-scan only helps once they appear; without progress this
+    // pass, leave the transient to the next swap/scan — admits against
+    // those slots stay fenced out meanwhile.
+    if (!progressed) return;
+  }
 }
 
 std::optional<FlowView> ConcurrentAdmissionController::find_flow(

@@ -118,6 +118,20 @@ struct FlowView {
   const net::ServerPath* route = nullptr;
 };
 
+/// One class's new verified share, as committed by an analysis re-search.
+struct ShareUpdate {
+  std::size_t class_index = 0;
+  double share = 0.0;  ///< new alpha fraction of every server's capacity
+};
+
+/// What a live budget swap did; returned by apply_shares().
+struct BudgetSwapReport {
+  std::size_t slots_raised = 0;   ///< (class, server) budgets that grew
+  std::size_t slots_lowered = 0;  ///< (class, server) budgets that shrank
+  std::size_t shed_flows = 0;     ///< flows dropped to fit shrunken budgets
+  std::vector<traffic::FlowId> shed_ids;  ///< the dropped flows, shed order
+};
+
 /// Utilization-based admission controller over a configured network,
 /// safe under concurrent request()/release() from any number of threads.
 class ConcurrentAdmissionController {
@@ -200,6 +214,31 @@ class ConcurrentAdmissionController {
   /// contained route pointer stays valid for the controller's lifetime.
   std::optional<FlowView> find_flow(traffic::FlowId id) const;
 
+  /// Atomic live budget swap: re-derive every (class, server) budget from
+  /// the new shares — quantize_budget_down on the same fixed-point grid
+  /// the constructor used, so the resulting limits are bit-identical to a
+  /// fresh controller built at the new shares — without dropping in-flight
+  /// flows of growing classes. The protocol is fence-then-shed:
+  ///
+  ///  1. *Fence.* Each new limit is stored into the atomic budget word
+  ///     first, so new admits are immediately decided against the new
+  ///     budget. A shrunken slot may transiently hold reserved > limit;
+  ///     the admission guard treats that as saturated (never wraps).
+  ///  2. *Shed.* For every class whose budget shrank — visited in reverse
+  ///     priority order, so best-effort/statistical classes give ground
+  ///     before guaranteed ones — registered flows are dropped newest
+  ///     first (highest id), but only flows actually crossing a still
+  ///     over-committed hop, until every slot fits its new budget.
+  ///
+  /// Growing a class never sheds anything. Concurrent-safe against
+  /// request()/release(); an admit racing the fence may commit against the
+  /// old budget and is cleaned up by the shed passes (callers observing
+  /// quiescence see every budget respected). Shed teardowns release
+  /// reservations through the normal path, so a later release() of a shed
+  /// id is a benign unknown-release. Throws std::invalid_argument on an
+  /// unknown class or a share outside [0, 1].
+  BudgetSwapReport apply_shares(std::span<const ShareUpdate> updates);
+
  private:
   /// Ledger word: unsigned fixed-point grid units (traffic/flow.hpp).
   using RateFx = traffic::RateUnits;
@@ -210,10 +249,14 @@ class ConcurrentAdmissionController {
   /// of adjacent servers never false-share. The budget lives in the same
   /// line as the counter it caps: the utilization test for a hop — the
   /// whole of the hot path on a rejected request — touches one cache line.
+  /// The budget word is atomic since live reconfiguration: apply_shares()
+  /// stores new limits while admits race their relaxed loads.
   struct alignas(64) Slot {
     std::atomic<RateFx> reserved{0};
     std::atomic<RateFx> peak{0};  ///< high watermark of `reserved`
-    RateFx limit{0};  ///< quantize_budget_down(alpha * C); set at build
+    /// quantize_budget_down(share * C); set at build, swapped live by
+    /// apply_shares().
+    std::atomic<RateFx> limit{0};
   };
 
   struct alignas(64) Shard {
@@ -225,7 +268,8 @@ class ConcurrentAdmissionController {
     return slots_[class_index * servers_ + server];
   }
   RateFx limit(std::size_t class_index, net::ServerId server) const {
-    return slots_[class_index * servers_ + server].limit;
+    return slots_[class_index * servers_ + server].limit.load(
+        std::memory_order_relaxed);
   }
   Shard& shard(traffic::FlowId id) const {
     return shards_[id & (kShardCount - 1)];
@@ -269,6 +313,13 @@ class ConcurrentAdmissionController {
   std::size_t release_batch_impl(std::span<const traffic::FlowId> ids,
                                  std::size_t& unknown);
 
+  /// Any (class_index, server) slot holding more than its live budget?
+  bool any_over_budget(std::size_t class_index) const;
+  /// Shed registered flows of `class_index` (newest first, only flows
+  /// crossing a still over-committed hop) until every slot fits its
+  /// budget or no registered flow can make further progress.
+  void shed_class(std::size_t class_index, BudgetSwapReport& report);
+
   /// Telemetry tail of an instrumented request (counters, latency sample,
   /// trace events). Out of line to keep the hot path small.
   void record_request_telemetry(const AdmissionDecision& decision,
@@ -293,6 +344,13 @@ class ConcurrentAdmissionController {
   /// slots_[class * servers_ + server]: admitted rate + budget, fixed-point.
   std::unique_ptr<Slot[]> slots_;
   std::vector<RateFx> rho_units_;  ///< per-class demand on the grid
+  /// Per-class live share, kept in lockstep with the slot budgets —
+  /// class_utilization() reports against the share admits are decided by,
+  /// before and after a swap.
+  std::unique_ptr<std::atomic<double>[]> live_share_;
+  /// Serializes apply_shares() calls (the swap itself is wait-free for
+  /// admits; only whole swaps are mutually exclusive).
+  std::mutex reconfig_mutex_;
   mutable std::unique_ptr<Shard[]> shards_;
   std::atomic<traffic::FlowId> next_id_{1};
   std::atomic<std::size_t> active_{0};

@@ -12,7 +12,13 @@ SequentialAdmissionController::SequentialAdmissionController(
     RoutingTable table)
     : graph_(&graph), classes_(&classes), table_(std::move(table)),
       reserved_(classes.size(),
-                std::vector<BitsPerSecond>(graph.size(), 0.0)) {}
+                std::vector<BitsPerSecond>(graph.size(), 0.0)) {
+  live_share_.reserve(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const traffic::ServiceClass& cls = classes.at(c);
+    live_share_.push_back(cls.realtime ? cls.share : 0.0);
+  }
+}
 
 AdmissionDecision SequentialAdmissionController::request(
     net::NodeId src, net::NodeId dst, std::size_t class_index) {
@@ -81,7 +87,8 @@ AdmissionDecision SequentialAdmissionController::request_impl(
   // verified share alpha on every link?
   for (std::size_t hop = 0; hop < route->size(); ++hop) {
     const net::ServerId s = (*route)[hop];
-    const BitsPerSecond limit = cls.share * graph_->server(s).capacity;
+    const BitsPerSecond limit =
+        live_share_[class_index] * graph_->server(s).capacity;
     if (reserved[s] + rho > limit) {
       decision.outcome = AdmissionOutcome::kUtilizationExceeded;
       decision.blocking_hop = hop;
@@ -130,7 +137,9 @@ double SequentialAdmissionController::class_utilization(
     net::ServerId server, std::size_t class_index) const {
   const traffic::ServiceClass& cls = classes_->at(class_index);
   if (!cls.realtime) return 0.0;
-  const BitsPerSecond limit = cls.share * graph_->server(server).capacity;
+  const double share = live_share_[class_index];
+  if (share <= 0.0) return 0.0;
+  const BitsPerSecond limit = share * graph_->server(server).capacity;
   return reserved_[class_index].at(server) / limit;
 }
 
@@ -143,6 +152,69 @@ const traffic::Flow* SequentialAdmissionController::find_flow(
     traffic::FlowId id) const {
   const auto it = flows_.find(id);
   return it == flows_.end() ? nullptr : &it->second;
+}
+
+BudgetSwapReport SequentialAdmissionController::apply_shares(
+    std::span<const ShareUpdate> updates) {
+  for (const ShareUpdate& u : updates) {
+    if (u.class_index >= classes_->size())
+      throw std::invalid_argument("apply_shares: unknown class index");
+    if (!(u.share >= 0.0 && u.share <= 1.0))
+      throw std::invalid_argument("apply_shares: share outside [0, 1]");
+  }
+
+  BudgetSwapReport report;
+  std::vector<std::size_t> shrunk;
+  for (const ShareUpdate& u : updates) {
+    if (!classes_->at(u.class_index).realtime) continue;
+    const double prev = live_share_[u.class_index];
+    live_share_[u.class_index] = u.share;
+    if (u.share > prev)
+      report.slots_raised += graph_->size();
+    else if (u.share < prev) {
+      report.slots_lowered += graph_->size();
+      shrunk.push_back(u.class_index);
+    }
+  }
+
+  // Reverse priority order, newest flows first — the concurrent
+  // controller's shed order, replayed single-threaded.
+  std::sort(shrunk.rbegin(), shrunk.rend());
+  for (const std::size_t c : shrunk) {
+    const auto over = [&](net::ServerId s) {
+      return reserved_[c][s] >
+             live_share_[c] * graph_->server(s).capacity;
+    };
+    const auto any_over = [&] {
+      for (net::ServerId s = 0; s < graph_->size(); ++s)
+        if (over(s)) return true;
+      return false;
+    };
+    while (any_over()) {
+      std::vector<traffic::FlowId> ids;
+      for (const auto& [id, flow] : flows_)
+        if (flow.class_index == c) ids.push_back(id);
+      std::sort(ids.rbegin(), ids.rend());
+      bool progressed = false;
+      for (const traffic::FlowId id : ids) {
+        const traffic::Flow& flow = flows_.at(id);
+        bool crosses = false;
+        for (const net::ServerId s : flow.route)
+          if (over(s)) {
+            crosses = true;
+            break;
+          }
+        if (!crosses) continue;
+        release_impl(id);
+        progressed = true;
+        ++report.shed_flows;
+        report.shed_ids.push_back(id);
+        if (!any_over()) break;
+      }
+      if (!progressed) break;
+    }
+  }
+  return report;
 }
 
 }  // namespace ubac::admission

@@ -11,6 +11,7 @@
 /// AdmissionController for anything that runs under threads.
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,14 @@ class SequentialAdmissionController {
 
   const traffic::Flow* find_flow(traffic::FlowId id) const;
 
+  /// Live budget swap, oracle form of the concurrent controller's
+  /// apply_shares(): new shares take effect for subsequent admits
+  /// immediately; classes whose budget shrank shed registered flows
+  /// newest first (only flows crossing a still over-committed server),
+  /// lower-priority classes before higher ones. Same validation and
+  /// report shape as the concurrent API.
+  BudgetSwapReport apply_shares(std::span<const ShareUpdate> updates);
+
  private:
   AdmissionDecision request_impl(net::NodeId src, net::NodeId dst,
                                  std::size_t class_index);
@@ -69,6 +78,8 @@ class SequentialAdmissionController {
   RoutingTable table_;
   /// reserved_[class][server]: admitted rate (bits/s).
   std::vector<std::vector<BitsPerSecond>> reserved_;
+  /// Per-class live share (mirrors ClassSet shares until apply_shares()).
+  std::vector<double> live_share_;
   std::unordered_map<traffic::FlowId, traffic::Flow> flows_;
   traffic::FlowId next_id_ = 1;
   ControllerTelemetry* telemetry_ = nullptr;

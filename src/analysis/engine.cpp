@@ -594,6 +594,68 @@ EngineRouteId AnalysisEngine::commit_probe(const net::ServerPath& route,
   return id;
 }
 
+AlphaResearch AnalysisEngine::research_alpha(double lo, double hi,
+                                             double resolution) {
+  if (!(lo >= 0.0) || !(hi <= 1.0) || lo > hi)
+    throw std::invalid_argument("research_alpha: need 0 <= lo <= hi <= 1");
+  if (!(resolution > 0.0))
+    throw std::invalid_argument("research_alpha: resolution must be > 0");
+  UBAC_SPAN_ARG("engine.research_alpha", "engine", "hi", hi);
+
+  AlphaResearch result;
+  result.seed_alpha = alpha_;
+
+  const auto safe_at = [&](double a) {
+    set_alpha(a);
+    ++result.probes;
+    return solve().safe();
+  };
+
+  double low = lo, high = hi;
+  bool have_best = false;
+  double best = result.seed_alpha;
+
+  // Anchor at the seed when it lies inside the range: the committed
+  // delays are already the fixed point there, so a safe seed costs a
+  // cached (or trivially warm) solve and pins the lower bisection bound —
+  // every later probe above it raises alpha and stays warm until the
+  // first unsafe result.
+  if (result.seed_alpha >= lo && result.seed_alpha <= hi &&
+      safe_at(result.seed_alpha)) {
+    best = result.seed_alpha;
+    have_best = true;
+    low = result.seed_alpha;
+  }
+  // The whole range may verify — one probe settles it.
+  if (safe_at(high)) {
+    best = high;
+    have_best = true;
+    low = high;
+  } else if (have_best || safe_at(low)) {
+    if (!have_best) best = low;
+    have_best = true;
+    while (high - low > resolution) {
+      const double mid = 0.5 * (low + high);
+      if (safe_at(mid)) {
+        best = mid;
+        low = mid;
+      } else {
+        high = mid;
+      }
+    }
+  }
+
+  // Leave the engine *committed* at the answer (the last probe may have
+  // been unsafe); infeasible searches restore the seed configuration.
+  result.feasible = have_best;
+  result.alpha = have_best ? best : result.seed_alpha;
+  set_alpha(result.alpha);
+  solve();
+  if (have_best && result.alpha != result.seed_alpha)
+    result.deltas.push_back(ShareDelta{0, result.seed_alpha, result.alpha});
+  return result;
+}
+
 Seconds AnalysisEngine::route_delay(EngineRouteId id) const {
   if (id >= routes_.size() || !routes_[id].active)
     throw std::invalid_argument("route_delay: unknown route id");

@@ -84,6 +84,27 @@ struct RouteProbe {
   bool safe() const { return status == FeasibilityStatus::kSafe; }
 };
 
+/// One class's share change proposed by a max-alpha re-search. The
+/// two-class engine has exactly one real-time class (index 0); the struct
+/// carries the index so actuators can forward deltas to a multi-class
+/// ledger unchanged.
+struct ShareDelta {
+  std::size_t class_index = 0;
+  double previous = 0.0;
+  double proposed = 0.0;
+};
+
+/// Result of research_alpha(): the committed alpha after the search plus
+/// the sparse share deltas a consumer must push into a live ledger (empty
+/// when the search lands back on the seed).
+struct AlphaResearch {
+  bool feasible = false;   ///< some alpha in [lo, hi] verified safe
+  double alpha = 0.0;      ///< alpha the engine is committed at now
+  double seed_alpha = 0.0; ///< alpha the search started from
+  int probes = 0;          ///< solve() evaluations spent
+  std::vector<ShareDelta> deltas;
+};
+
 /// Shared instrument bundle (resolved lazily against the registry named in
 /// EngineOptions-style metrics pointers). See docs/observability.md.
 struct EngineTelemetry {
@@ -145,6 +166,18 @@ class AnalysisEngine {
   /// engine unchanged since the probe was taken.
   EngineRouteId commit_probe(const net::ServerPath& route,
                              const RouteProbe& probe);
+
+  /// Warm-started incremental max-alpha re-search over [lo, hi], seeded
+  /// from the current (last feasible) configuration: find the largest
+  /// alpha within `resolution` whose committed route set still verifies
+  /// safe, and leave the engine committed there. Raising alpha from a safe
+  /// seed re-solves only the warm frontier; each unsafe probe poisons the
+  /// state and costs one cold restart, which bisection keeps to
+  /// O(log((hi-lo)/resolution)) total. When nothing in [lo, hi] is safe
+  /// the engine is restored to the seed alpha and `feasible` is false.
+  /// Throws std::invalid_argument unless 0 <= lo <= hi <= 1.
+  AlphaResearch research_alpha(double lo, double hi,
+                               double resolution = 1e-3);
 
   // -- accessors ---------------------------------------------------------
 

@@ -1,6 +1,8 @@
 #include "telemetry/alerts.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "telemetry/exporters.hpp"
 
@@ -11,6 +13,14 @@ const char* to_string(AlertState state) {
     case AlertState::kInactive: return "inactive";
     case AlertState::kPending: return "pending";
     case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+const char* to_string(AlertAction::Kind kind) {
+  switch (kind) {
+    case AlertAction::Kind::kStarved: return "starved";
+    case AlertAction::Kind::kIdle: return "idle";
   }
   return "?";
 }
@@ -43,6 +53,39 @@ std::size_t AlertEngine::rule_count() const {
   return rules_.size();
 }
 
+bool AlertEngine::configure_rule(const std::string& name,
+                                 const AlertRuleConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (RuleState& rs : rules_) {
+    if (rs.rule.name != name) continue;
+    if (config.threshold) rs.rule.threshold = *config.threshold;
+    if (config.for_ticks)
+      rs.rule.for_ticks = std::max<std::size_t>(1, *config.for_ticks);
+    if (config.resolve_ticks)
+      rs.rule.resolve_ticks = std::max<std::size_t>(1, *config.resolve_ticks);
+    return true;
+  }
+  return false;
+}
+
+std::string AlertEngine::config_to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"rules\":[";
+  char buf[96];
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& rule = rules_[i].rule;
+    if (i) out += ",";
+    out += "\n {\"rule\":\"" + json_escape(rule.name) + "\"";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"threshold\":%.9g,\"for_ticks\":%zu,"
+                  "\"resolve_ticks\":%zu}",
+                  rule.threshold, rule.for_ticks, rule.resolve_ticks);
+    out += buf;
+  }
+  out += "\n]}";
+  return out;
+}
+
 void AlertEngine::mirror(const RuleState& rs, bool fire, double value,
                          std::int64_t t_ns) {
   if (options_.tracer == nullptr) return;
@@ -59,14 +102,19 @@ void AlertEngine::evaluate(const MetricsSnapshot& snapshot,
   std::lock_guard<std::mutex> lock(mutex_);
   ++evaluations_;
   for (RuleState& rs : rules_) {
-    const std::optional<double> breach = rs.rule.check(snapshot, store);
+    std::optional<AlertObservation> breach =
+        rs.rule.check(snapshot, store, rs.rule.threshold);
+    if (breach)
+      rs.actions = std::move(breach->actions);
+    else
+      rs.actions.clear();
     switch (rs.state) {
       case AlertState::kInactive:
         if (breach) {
           rs.state = AlertState::kPending;
           rs.since_ns = t_ns;
           rs.streak = 1;
-          rs.value = *breach;
+          rs.value = breach->value;
         }
         break;
       case AlertState::kPending:
@@ -77,12 +125,12 @@ void AlertEngine::evaluate(const MetricsSnapshot& snapshot,
           rs.value = 0.0;
           break;
         }
-        rs.value = *breach;
+        rs.value = breach->value;
         ++rs.streak;
         break;
       case AlertState::kFiring:
         if (breach) {
-          rs.value = *breach;
+          rs.value = breach->value;
           rs.streak = 0;  // quiet run restarts
         } else if (++rs.streak >= rs.rule.resolve_ticks) {
           rs.state = AlertState::kInactive;
@@ -121,9 +169,11 @@ std::vector<AlertStatus> AlertEngine::status() const {
     st.description = rs.rule.description;
     st.state = rs.state;
     st.value = rs.value;
+    st.threshold = rs.rule.threshold;
     st.streak = rs.streak;
     st.fired = rs.fired;
     st.since_ns = rs.since_ns;
+    st.actions = rs.actions;
     out.push_back(std::move(st));
   }
   return out;
@@ -156,7 +206,7 @@ std::string AlertEngine::to_json() const {
   std::string out = "{\"evaluations\":" + std::to_string(evaluations()) +
                     ",\"firing\":" + (any_firing() ? "true" : "false") +
                     ",\"alerts\":[";
-  char buf[160];
+  char buf[192];
   for (std::size_t i = 0; i < statuses.size(); ++i) {
     const AlertStatus& st = statuses[i];
     if (i) out += ",";
@@ -164,12 +214,23 @@ std::string AlertEngine::to_json() const {
            json_escape(st.description) + "\",\"state\":\"" +
            to_string(st.state) + "\"";
     std::snprintf(buf, sizeof(buf),
-                  ",\"value\":%.9g,\"streak\":%zu,\"fired\":%llu,"
-                  "\"since_ns\":%lld}",
-                  st.value, st.streak,
+                  ",\"value\":%.9g,\"threshold\":%.9g,\"streak\":%zu,"
+                  "\"fired\":%llu,\"since_ns\":%lld,\"actions\":[",
+                  st.value, st.threshold, st.streak,
                   static_cast<unsigned long long>(st.fired),
                   static_cast<long long>(st.since_ns));
     out += buf;
+    for (std::size_t a = 0; a < st.actions.size(); ++a) {
+      const AlertAction& action = st.actions[a];
+      if (a) out += ",";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\":\"%s\",\"server\":%u,\"class\":%u,"
+                    "\"value\":%.9g}",
+                    to_string(action.kind), action.server, action.class_index,
+                    action.value);
+      out += buf;
+    }
+    out += "]}";
   }
   out += "\n]}";
   return out;
@@ -177,38 +238,77 @@ std::string AlertEngine::to_json() const {
 
 // -- built-in rules ---------------------------------------------------------
 
+namespace {
+
+/// Parse the "server"/"class" labels ControllerTelemetry puts on
+/// ubac_admission_class_utilization into an action; false when the sample
+/// belongs to another controller or the labels are malformed.
+bool parse_budget_labels(const MetricSample& sample,
+                         const std::string& controller, std::uint32_t& server,
+                         std::uint32_t& class_index) {
+  bool ours = false, has_server = false, has_class = false;
+  for (const auto& [key, value] : sample.labels) {
+    if (key == "controller" && value == controller) {
+      ours = true;
+    } else if (key == "server" || key == "class") {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return false;
+      if (key == "server") {
+        server = static_cast<std::uint32_t>(parsed);
+        has_server = true;
+      } else {
+        class_index = static_cast<std::uint32_t>(parsed);
+        has_class = true;
+      }
+    }
+  }
+  return ours && has_server && has_class;
+}
+
+}  // namespace
+
 AlertRule AlertEngine::headroom_rule(const std::string& controller,
-                                     double threshold, std::size_t k) {
+                                     double threshold, std::size_t k,
+                                     double idle_fraction) {
   AlertRule rule;
   rule.name = "headroom-exhaustion";
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "ubac_admission_class_utilization{controller=%s} > %.2f of "
-                "the verified class share",
-                controller.c_str(), threshold);
+                "ubac_admission_class_utilization{controller=%s} holds above "
+                "the live threshold of the verified class share",
+                controller.c_str());
   rule.description = buf;
+  rule.threshold = threshold;
   rule.for_ticks = k;
   rule.resolve_ticks = k;
-  rule.check = [controller, threshold](
-                   const MetricsSnapshot& snapshot,
-                   const TimeSeriesStore&) -> std::optional<double> {
-    double worst = 0.0;
-    bool breached = false;
+  rule.check = [controller, idle_fraction](
+                   const MetricsSnapshot& snapshot, const TimeSeriesStore&,
+                   double live_threshold) -> std::optional<AlertObservation> {
+    AlertObservation obs;
+    std::vector<AlertAction> idle;
     for (const MetricFamily& family : snapshot.families) {
       if (family.name != "ubac_admission_class_utilization") continue;
       for (const MetricSample& sample : family.samples) {
-        bool ours = false;
-        for (const auto& [key, value] : sample.labels)
-          if (key == "controller" && value == controller) ours = true;
-        if (!ours) continue;
-        if (sample.value > threshold) {
-          breached = true;
-          worst = std::max(worst, sample.value);
+        AlertAction action;
+        if (!parse_budget_labels(sample, controller, action.server,
+                                 action.class_index))
+          continue;
+        action.value = sample.value;
+        if (sample.value > live_threshold) {
+          action.kind = AlertAction::Kind::kStarved;
+          obs.value = std::max(obs.value, sample.value);
+          obs.actions.push_back(action);
+        } else if (sample.value < idle_fraction) {
+          action.kind = AlertAction::Kind::kIdle;
+          idle.push_back(action);
         }
       }
     }
-    if (breached) return worst;
-    return std::nullopt;
+    if (obs.actions.empty()) return std::nullopt;
+    // Idle budgets only matter as re-share donors when something starves.
+    obs.actions.insert(obs.actions.end(), idle.begin(), idle.end());
+    return obs;
   };
   return rule;
 }
@@ -219,15 +319,16 @@ AlertRule AlertEngine::rejection_spike_rule(const std::string& controller,
   rule.name = "rejection-spike";
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "utilization-exceeded rejections{controller=%s} above "
-                "%.0f/s",
-                controller.c_str(), per_second);
+                "utilization-exceeded rejections{controller=%s} above the "
+                "live per-second threshold",
+                controller.c_str());
   rule.description = buf;
+  rule.threshold = per_second;
   rule.for_ticks = k;
   rule.resolve_ticks = k;
-  rule.check = [controller, per_second](
-                   const MetricsSnapshot&,
-                   const TimeSeriesStore& store) -> std::optional<double> {
+  rule.check = [controller](const MetricsSnapshot&,
+                            const TimeSeriesStore& store, double live_threshold)
+      -> std::optional<AlertObservation> {
     RollupWindow window;
     if (!store.latest("ubac_admission_decisions_total",
                       {{"controller", controller},
@@ -236,7 +337,7 @@ AlertRule AlertEngine::rejection_spike_rule(const std::string& controller,
       return std::nullopt;
     // `max` of a rate-derived series is the peak per-second rate seen in
     // the newest window; `count == 1` windows equal the latest tick rate.
-    if (window.max > per_second) return window.max;
+    if (window.max > live_threshold) return AlertObservation{window.max, {}};
     return std::nullopt;
   };
   return rule;
@@ -248,14 +349,15 @@ AlertRule AlertEngine::deadline_miss_rule(std::size_t k) {
   rule.description =
       "ubac_watchdog_deadline_misses_total is moving: a configured "
       "guarantee was broken";
+  rule.threshold = 0.0;
   rule.for_ticks = k;
   rule.resolve_ticks = k;
-  rule.check = [](const MetricsSnapshot&,
-                  const TimeSeriesStore& store) -> std::optional<double> {
+  rule.check = [](const MetricsSnapshot&, const TimeSeriesStore& store,
+                  double live_threshold) -> std::optional<AlertObservation> {
     RollupWindow window;
     if (!store.latest("ubac_watchdog_deadline_misses_total", {}, window))
       return std::nullopt;
-    if (window.max > 0.0) return window.max;
+    if (window.max > live_threshold) return AlertObservation{window.max, {}};
     return std::nullopt;
   };
   return rule;

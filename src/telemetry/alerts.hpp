@@ -50,15 +50,48 @@ enum class AlertState { kInactive, kPending, kFiring };
 
 const char* to_string(AlertState state);
 
+/// One actionable observation attached to a breach: which (server, class)
+/// budget is starved (holding above the rule threshold) or idle (nearly
+/// unused while others starve). Plain indices — the telemetry layer knows
+/// nothing about graphs or controllers; consumers (the reconfiguration
+/// actuator) map them back onto the ledger they instrumented.
+struct AlertAction {
+  enum class Kind : std::uint8_t { kStarved, kIdle };
+  Kind kind = Kind::kStarved;
+  std::uint32_t server = 0;
+  std::uint32_t class_index = 0;
+  double value = 0.0;  ///< the utilization fraction behind the verdict
+};
+
+const char* to_string(AlertAction::Kind kind);
+
+/// What a rule check reports on a breached tick: the headline value the
+/// hysteresis tracks plus the per-budget actions that explain it.
+struct AlertObservation {
+  double value = 0.0;
+  std::vector<AlertAction> actions;
+};
+
 struct AlertRule {
   std::string name;  ///< stable identifier (label value, event reason)
   std::string description;
-  /// Returns the observed value when breached, std::nullopt when quiet.
-  std::function<std::optional<double>(const MetricsSnapshot&,
-                                      const TimeSeriesStore&)>
+  /// Returns the observation when the condition is breached, std::nullopt
+  /// when quiet. The third argument is the rule's *current* threshold —
+  /// runtime-tunable via AlertEngine::configure_rule, so checks must read
+  /// it from the argument rather than capturing a copy.
+  std::function<std::optional<AlertObservation>(
+      const MetricsSnapshot&, const TimeSeriesStore&, double)>
       check;
+  double threshold = 0.0;         ///< passed to check; live-tunable
   std::size_t for_ticks = 3;      ///< consecutive breaches before firing
   std::size_t resolve_ticks = 3;  ///< consecutive quiet ticks to resolve
+};
+
+/// Runtime adjustment for one rule; unset fields keep their value.
+struct AlertRuleConfig {
+  std::optional<double> threshold;
+  std::optional<std::size_t> for_ticks;
+  std::optional<std::size_t> resolve_ticks;
 };
 
 struct AlertStatus {
@@ -66,9 +99,12 @@ struct AlertStatus {
   std::string description;
   AlertState state = AlertState::kInactive;
   double value = 0.0;           ///< last breached value (0 while inactive)
+  double threshold = 0.0;       ///< current (possibly reconfigured) threshold
   std::size_t streak = 0;       ///< current breach (pending) / quiet (firing) run
   std::uint64_t fired = 0;      ///< lifetime fire transitions
   std::int64_t since_ns = 0;    ///< entry time of the current state
+  /// Actions from the newest breached tick (empty while quiet).
+  std::vector<AlertAction> actions;
 };
 
 class AlertEngine {
@@ -88,6 +124,15 @@ class AlertEngine {
 
   void add_rule(AlertRule rule);
   std::size_t rule_count() const;
+
+  /// Adjust a rule's threshold / hysteresis at runtime (the /alerts/config
+  /// POST route and serve CLI flags land here). Returns false when no rule
+  /// has that name. Zero tick counts are clamped to 1, matching add_rule.
+  bool configure_rule(const std::string& name, const AlertRuleConfig& config);
+
+  /// JSON for GET /alerts/config: per rule, the live threshold and
+  /// hysteresis tick counts.
+  std::string config_to_json() const;
 
   /// One hysteresis step over every rule; called by TelemetrySampler per
   /// tick. Thread-safe against status()/to_json() readers.
@@ -113,9 +158,12 @@ class AlertEngine {
 
   /// Fires when any ubac_admission_class_utilization sample of
   /// `controller` holds above `threshold` (fraction of the verified class
-  /// share alpha*C) for `k` ticks.
+  /// share alpha*C) for `k` ticks. The observation carries one kStarved
+  /// action per breaching (server, class) budget and one kIdle action per
+  /// budget sitting below `idle_fraction` of its share while others starve.
   static AlertRule headroom_rule(const std::string& controller,
-                                 double threshold = 0.9, std::size_t k = 3);
+                                 double threshold = 0.9, std::size_t k = 3,
+                                 double idle_fraction = 0.05);
 
   /// Fires when the utilization-exceeded decision rate (from the rollup
   /// store, per second) of `controller` exceeds `per_second` for `k`
@@ -140,6 +188,7 @@ class AlertEngine {
     std::size_t streak = 0;
     std::uint64_t fired = 0;
     std::int64_t since_ns = 0;
+    std::vector<AlertAction> actions;  ///< newest breached tick's actions
     Counter* fired_total = nullptr;  ///< when metrics are wired
     Gauge* active = nullptr;
   };

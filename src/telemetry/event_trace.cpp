@@ -62,6 +62,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kRollback: return "rollback";
     case TraceEventKind::kSample: return "sample";
     case TraceEventKind::kAlert: return "alert";
+    case TraceEventKind::kReconfig: return "reconfig";
   }
   return "?";
 }

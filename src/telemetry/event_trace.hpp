@@ -45,6 +45,10 @@ enum class TraceEventKind : std::uint8_t {
   /// AlertEngine fire/resolve transition; `reason` names the rule and the
   /// polarity, `utilization` carries the rule's observed value.
   kAlert,
+  /// ReconfigurationActuator phase marker; `reason` names the phase
+  /// ("reconfig:research", "reconfig:apply", ...), `utilization` carries
+  /// the alpha (or shed count) the phase produced.
+  kReconfig,
 };
 
 const char* to_string(TraceEventKind kind);

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -53,6 +55,25 @@ std::string url_decode(const std::string& s) {
   return out;
 }
 
+/// Fold "a=1&b=x%20y" into the request's query map (later keys win).
+void parse_form_pairs(const std::string& qs, HttpRequest& request) {
+  std::size_t pos = 0;
+  while (pos <= qs.size()) {
+    auto amp = qs.find('&', pos);
+    if (amp == std::string::npos) amp = qs.size();
+    const std::string pair = qs.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos)
+        request.query[url_decode(pair)] = "";
+      else
+        request.query[url_decode(pair.substr(0, eq))] =
+            url_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+}
+
 /// Split "GET /series?name=x&window=3 HTTP/1.1" into an HttpRequest.
 bool parse_request_line(const std::string& line, HttpRequest& request) {
   const auto sp1 = line.find(' ');
@@ -63,26 +84,34 @@ bool parse_request_line(const std::string& line, HttpRequest& request) {
   std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
   const auto qmark = target.find('?');
   if (qmark != std::string::npos) {
-    std::string qs = target.substr(qmark + 1);
+    parse_form_pairs(target.substr(qmark + 1), request);
     target.resize(qmark);
-    std::size_t pos = 0;
-    while (pos <= qs.size()) {
-      auto amp = qs.find('&', pos);
-      if (amp == std::string::npos) amp = qs.size();
-      const std::string pair = qs.substr(pos, amp - pos);
-      if (!pair.empty()) {
-        const auto eq = pair.find('=');
-        if (eq == std::string::npos)
-          request.query[url_decode(pair)] = "";
-        else
-          request.query[url_decode(pair.substr(0, eq))] =
-              url_decode(pair.substr(eq + 1));
-      }
-      pos = amp + 1;
-    }
   }
   request.path = url_decode(target);
   return !request.method.empty() && !request.path.empty();
+}
+
+/// Content-Length from the raw header block, 0 when absent or malformed.
+std::size_t parse_content_length(const std::string& headers) {
+  std::size_t pos = 0;
+  while (pos < headers.size()) {
+    auto eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      for (char& c : key) c = static_cast<char>(std::tolower(c));
+      if (key == "content-length") {
+        char* end = nullptr;
+        const unsigned long long n =
+            std::strtoull(line.c_str() + colon + 1, &end, 10);
+        return end == nullptr ? 0 : static_cast<std::size_t>(n);
+      }
+    }
+    pos = eol + 2;
+  }
+  return 0;
 }
 
 void send_all(int fd, const std::string& data) {
@@ -221,9 +250,29 @@ void HttpEndpoint::serve_connection(int fd) {
   HttpResponse response;
   if (!parse_request_line(request_line, request)) {
     response = HttpResponse::text("bad request\n", 400);
-  } else if (request.method != "GET" && request.method != "HEAD") {
-    response = HttpResponse::text("only GET is supported\n", 405);
+  } else if (request.method != "GET" && request.method != "HEAD" &&
+             request.method != "POST") {
+    response = HttpResponse::text("only GET/HEAD/POST are supported\n", 405);
   } else {
+    if (request.method == "POST") {
+      const std::size_t header_end = data.find("\r\n\r\n") + 4;
+      const std::size_t want =
+          parse_content_length(data.substr(0, header_end));
+      if (want > options_.max_request_bytes) {
+        send_response(fd, HttpResponse::text("request too large\n", 431));
+        served_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      while (data.size() - header_end < want) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) return;  // disconnect or timeout mid-body
+        data.append(buf, static_cast<std::size_t>(n));
+      }
+      request.body = data.substr(header_end, want);
+      // A form-urlencoded body is just a query string by another name;
+      // fold it into the same map so handlers serve both verbs.
+      parse_form_pairs(request.body, request);
+    }
     response = HttpResponse::text("not found\n", 404);
     for (const auto& [path, handler] : routes_)
       if (path == request.path) {
@@ -295,6 +344,50 @@ void install_standard_routes(HttpEndpoint& endpoint,
     if (alerts == nullptr)
       return HttpResponse::text("no alert engine running\n", 404);
     return HttpResponse::json(alerts->to_json() + "\n");
+  });
+
+  endpoint.handle("/alerts/config", [alerts](const HttpRequest& request) {
+    if (alerts == nullptr)
+      return HttpResponse::text("no alert engine running\n", 404);
+    if (request.method == "POST") {
+      const std::string rule = request.query_get("rule");
+      if (rule.empty())
+        return HttpResponse::text("missing rule=<name>\n", 400);
+      AlertRuleConfig config;
+      bool any = false;
+      const auto parse_double = [&](const char* key,
+                                    std::optional<double>& out) {
+        const std::string arg = request.query_get(key);
+        if (arg.empty()) return true;
+        char* end = nullptr;
+        const double v = std::strtod(arg.c_str(), &end);
+        if (end == nullptr || *end != '\0') return false;
+        out = v;
+        any = true;
+        return true;
+      };
+      const auto parse_ticks = [&](const char* key,
+                                   std::optional<std::size_t>& out) {
+        const std::string arg = request.query_get(key);
+        if (arg.empty()) return true;
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') return false;
+        out = static_cast<std::size_t>(v);
+        any = true;
+        return true;
+      };
+      if (!parse_double("threshold", config.threshold) ||
+          !parse_ticks("for_ticks", config.for_ticks) ||
+          !parse_ticks("resolve_ticks", config.resolve_ticks))
+        return HttpResponse::text("bad parameter\n", 400);
+      if (!any)
+        return HttpResponse::text(
+            "nothing to set (threshold/for_ticks/resolve_ticks)\n", 400);
+      if (!alerts->configure_rule(rule, config))
+        return HttpResponse::text("unknown rule " + rule + "\n", 404);
+    }
+    return HttpResponse::json(alerts->config_to_json() + "\n");
   });
 }
 

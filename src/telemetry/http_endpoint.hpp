@@ -11,16 +11,23 @@
 /// store, alert engine) that the sampler keeps fresh.
 ///
 /// Routes are registered per exact path; the query string is parsed into
-/// a key=value map. GET only (405 otherwise), `Connection: close` on
-/// every response. install_standard_routes() wires the four standard
-/// endpoints:
+/// a key=value map. GET/HEAD/POST (405 otherwise), `Connection: close` on
+/// every response. POST bodies are read up to Content-Length; a
+/// form-urlencoded body is folded into the same query map handlers
+/// already read, so one handler serves both verbs.
+/// install_standard_routes() wires the standard endpoints:
 ///
-///   /metrics  Prometheus text 0.0.4 of the registry (gauges fresh as of
-///             the last sampler tick)
-///   /healthz  JSON liveness: sampler tick count, series count, uptime
-///   /series   JSON rollups: ?name=<metric>[&window=<n>] (no name lists
-///             the available series names)
-///   /alerts   AlertEngine status JSON
+///   /metrics        Prometheus text 0.0.4 of the registry (gauges fresh
+///                   as of the last sampler tick)
+///   /healthz        JSON liveness: sampler tick count, series count,
+///                   uptime
+///   /series         JSON rollups: ?name=<metric>[&window=<n>] (no name
+///                   lists the available series names)
+///   /alerts         AlertEngine status JSON (per-rule state, live
+///                   threshold, actionable (server, class) payloads)
+///   /alerts/config  GET: live rule thresholds/hysteresis; POST
+///                   rule=<name>&threshold=…[&for_ticks=…]
+///                   [&resolve_ticks=…] retunes a rule at runtime
 ///
 /// Binding is loopback by default: this is an operational surface, not a
 /// public one.
@@ -44,6 +51,7 @@ struct HttpRequest {
   std::string method;
   std::string path;  ///< without the query string
   std::map<std::string, std::string> query;
+  std::string body;  ///< raw POST body (empty for GET/HEAD)
 
   std::string query_get(const std::string& key,
                         const std::string& def = "") const {

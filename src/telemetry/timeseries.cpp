@@ -227,12 +227,17 @@ void TelemetrySampler::add_tick_hook(std::function<void()> hook) {
   hooks_.push_back(std::move(hook));
 }
 
+void TelemetrySampler::add_post_alert_hook(std::function<void()> hook) {
+  post_alert_hooks_.push_back(std::move(hook));
+}
+
 void TelemetrySampler::tick_now() {
   for (const auto& hook : hooks_) hook();
   const std::int64_t t_ns = EventTracer::now_ns();
   const MetricsSnapshot snapshot = registry_->snapshot();
   store_.ingest(snapshot, t_ns);
   if (alerts_ != nullptr) alerts_->evaluate(snapshot, store_, t_ns);
+  for (const auto& hook : post_alert_hooks_) hook();
   ticks_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -185,6 +185,12 @@ class TelemetrySampler {
   /// must outlive the sampler's run. Set before start().
   void set_alert_engine(AlertEngine* engine) { alerts_ = engine; }
 
+  /// Run `hook` at the end of every tick, after the alert engine has
+  /// evaluated — this is where alert *consumers* (the reconfiguration
+  /// actuator) belong: they see the freshest rule states and actions.
+  /// Not synchronized against a running sampler: add hooks before start().
+  void add_post_alert_hook(std::function<void()> hook);
+
   void start();
   void stop();  ///< idempotent; joins the thread
   bool running() const { return thread_.joinable(); }
@@ -207,6 +213,7 @@ class TelemetrySampler {
   Options options_;
   TimeSeriesStore store_;
   std::vector<std::function<void()>> hooks_;
+  std::vector<std::function<void()>> post_alert_hooks_;
   AlertEngine* alerts_ = nullptr;
   std::atomic<std::uint64_t> ticks_{0};
 

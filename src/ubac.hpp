@@ -16,6 +16,8 @@
 ///               / multi-class), dependency graph, max-utilization search
 ///   admission — run-time controllers (utilization-based, statistical,
 ///               intserv baseline), Poisson load driver, Erlang analytics
+///   reconfig  — alert-driven live reconfiguration: the actuator closing
+///               the telemetry -> analysis -> admission control loop
 ///   config    — configuration workflows, SLA renegotiation, failure
 ///               rerouting, serialization, reports
 ///   sim       — deterministic packet-level simulator for validation
@@ -82,6 +84,8 @@
 #include "admission/snapshot.hpp"                // IWYU pragma: export
 #include "admission/statistical_controller.hpp"  // IWYU pragma: export
 #include "admission/telemetry.hpp"               // IWYU pragma: export
+
+#include "reconfig/actuator.hpp"  // IWYU pragma: export
 
 #include "config/configurator.hpp"  // IWYU pragma: export
 #include "config/report.hpp"        // IWYU pragma: export

@@ -58,9 +58,9 @@ struct HysteresisHarness {
     rule.description = "synthetic flag rule";
     rule.for_ticks = 3;
     rule.resolve_ticks = 2;
-    rule.check = [this](const MetricsSnapshot&,
-                        const TimeSeriesStore&) -> std::optional<double> {
-      if (breach) return 1.25;
+    rule.check = [this](const MetricsSnapshot&, const TimeSeriesStore&,
+                        double) -> std::optional<telemetry::AlertObservation> {
+      if (breach) return telemetry::AlertObservation{1.25, {}};
       return std::nullopt;
     };
     engine.add_rule(std::move(rule));
@@ -130,6 +130,57 @@ TEST(AlertHysteresis, ResolveQuietRunMustBeConsecutive) {
     EXPECT_EQ(h.tick(true), AlertState::kFiring);
   }
   EXPECT_EQ(h.engine.status().front().fired, 1u);
+}
+
+// configure_rule retunes threshold and hysteresis at runtime (the
+// /alerts/config POST path): checks read the live threshold from their
+// argument, so a retune takes effect on the very next tick.
+TEST(AlertHysteresis, ConfigureRuleRetunesThresholdLive) {
+  AlertEngine engine;
+  TimeSeriesStore store{4, 1};
+  MetricsSnapshot empty;
+  AlertRule rule;
+  rule.name = "tunable";
+  rule.description = "breaches when the live threshold dips below 5";
+  rule.threshold = 10.0;
+  rule.for_ticks = 2;
+  rule.resolve_ticks = 2;
+  rule.check = [](const MetricsSnapshot&, const TimeSeriesStore&,
+                  double threshold)
+      -> std::optional<telemetry::AlertObservation> {
+    if (threshold < 5.0) return telemetry::AlertObservation{threshold, {}};
+    return std::nullopt;
+  };
+  engine.add_rule(std::move(rule));
+
+  std::int64_t t = 0;
+  engine.evaluate(empty, store, ++t);
+  EXPECT_EQ(engine.status().front().state, AlertState::kInactive);
+
+  telemetry::AlertRuleConfig config;
+  config.threshold = 1.0;
+  config.for_ticks = 1;
+  ASSERT_TRUE(engine.configure_rule("tunable", config));
+  EXPECT_FALSE(engine.configure_rule("no-such-rule", config));
+
+  engine.evaluate(empty, store, ++t);  // breaches and fires (for_ticks=1)
+  const auto status = engine.status().front();
+  EXPECT_EQ(status.state, AlertState::kFiring);
+  EXPECT_DOUBLE_EQ(status.threshold, 1.0);
+  EXPECT_DOUBLE_EQ(status.value, 1.0);
+
+  const std::string json = engine.config_to_json();
+  EXPECT_NE(json.find("\"rule\":\"tunable\""), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"for_ticks\":1"), std::string::npos);
+
+  // Tick counts are clamped to >= 1, matching add_rule.
+  telemetry::AlertRuleConfig zero;
+  zero.for_ticks = 0;
+  zero.resolve_ticks = 0;
+  ASSERT_TRUE(engine.configure_rule("tunable", zero));
+  EXPECT_NE(engine.config_to_json().find("\"for_ticks\":1"),
+            std::string::npos);
 }
 
 TEST(AlertHysteresis, FireUpdatesSelfMetricsAndFreezesFlightSnapshot) {

@@ -93,9 +93,16 @@ TEST(HttpEndpoint, ServesRoutesAndStatusCodes) {
   EXPECT_NE(response.find("hi ubac"), std::string::npos);
 
   EXPECT_EQ(status_of(get(endpoint.port(), "/nope")), 404);
+  // POST is a first-class verb: a form-urlencoded body lands in the same
+  // query map a GET query string does.
+  response = http_roundtrip(endpoint.port(),
+                            "POST /hello HTTP/1.1\r\nHost: x\r\n"
+                            "Content-Type: application/x-www-form-urlencoded"
+                            "\r\nContent-Length: 9\r\n\r\nname=post");
+  EXPECT_EQ(status_of(response), 200);
+  EXPECT_NE(response.find("hi post"), std::string::npos);
   EXPECT_EQ(status_of(http_roundtrip(
-                endpoint.port(),
-                "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n")),
+                endpoint.port(), "PUT /hello HTTP/1.1\r\nHost: x\r\n\r\n")),
             405);
   EXPECT_EQ(status_of(http_roundtrip(endpoint.port(), "garbage\r\n\r\n")),
             400);

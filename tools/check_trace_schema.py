@@ -14,7 +14,13 @@ Checks the subset ChromeTraceWriter emits (and Perfetto requires):
   * any "args" value is a JSON object;
   * "i" events named "alert" (AlertEngine fire/resolve transitions
     mirrored into the tracer) carry a non-empty string args.reason naming
-    the rule and polarity, e.g. "headroom-exhaustion:fire".
+    the rule and polarity, e.g. "headroom-exhaustion:fire";
+  * "i" events named "reconfig" (ReconfigurationActuator phase mirrors)
+    carry an args.reason from the known phase set "reconfig:research",
+    "reconfig:apply", "reconfig:shed", "reconfig:dry-run",
+    "reconfig:infeasible" — an unknown reconfig phase fails the check;
+  * "X" spans named "reconfig.*" come from the actuator's known span set
+    "reconfig.actuate", "reconfig.research", "reconfig.apply".
 
 Usage: check_trace_schema.py <trace.json> [<trace.json> ...]
 Exit status 0 when every file conforms, 1 otherwise.
@@ -23,6 +29,22 @@ Exit status 0 when every file conforms, 1 otherwise.
 import json
 import numbers
 import sys
+
+# Phase taxonomy of the alert-driven actuator (src/reconfig/actuator.cpp).
+# Kept as an explicit allow-list so a typo'd or newly-added phase breaks
+# CI until it is documented here and in docs/observability.md.
+RECONFIG_INSTANT_PHASES = frozenset({
+    "reconfig:research",
+    "reconfig:apply",
+    "reconfig:shed",
+    "reconfig:dry-run",
+    "reconfig:infeasible",
+})
+RECONFIG_SPAN_NAMES = frozenset({
+    "reconfig.actuate",
+    "reconfig.research",
+    "reconfig.apply",
+})
 
 
 def fail(path, index, message):
@@ -61,6 +83,20 @@ def check_event(path, index, event):
         reason = args.get("reason") if isinstance(args, dict) else None
         if not isinstance(reason, str) or not reason:
             fail(path, index, "'alert' instant needs non-empty args.reason")
+    if ph == "i" and event["name"] == "reconfig":
+        args = event.get("args")
+        reason = args.get("reason") if isinstance(args, dict) else None
+        if not isinstance(reason, str) or not reason:
+            fail(path, index, "'reconfig' instant needs non-empty args.reason")
+        if reason not in RECONFIG_INSTANT_PHASES:
+            fail(path, index,
+                 f"unknown reconfig phase {reason!r} "
+                 f"(known: {sorted(RECONFIG_INSTANT_PHASES)})")
+    if ph == "X" and event["name"].startswith("reconfig."):
+        if event["name"] not in RECONFIG_SPAN_NAMES:
+            fail(path, index,
+                 f"unknown reconfig span {event['name']!r} "
+                 f"(known: {sorted(RECONFIG_SPAN_NAMES)})")
 
 
 def check_file(path):

@@ -15,8 +15,11 @@
 //                configured bounds (guarantee auditor + deadline watchdog)
 //   serve        long-running live-telemetry mode: configure, run Poisson
 //                admission churn in the background, and expose /metrics,
-//                /healthz, /series and /alerts over an embedded HTTP
-//                endpoint until SIGINT (docs/observability.md)
+//                /healthz, /series, /alerts, /alerts/config and /reconfig
+//                over an embedded HTTP endpoint until SIGINT. With
+//                --actuate the alert->analysis->admission control loop is
+//                closed live: firing alerts trigger a warm alpha re-search
+//                and an atomic budget swap (docs/observability.md)
 //
 // Topologies are read from --topology=<file> (net/topology_io.hpp format)
 // or default to the built-in MCI backbone. Configurations use the
@@ -41,12 +44,15 @@
 //   ubac_configtool audit --policy=fifo --be-flows=8 --deadline-ms=20
 //   ubac_configtool serve --port=9177 --load-rate=80 --watch
 //   ubac_configtool serve --duration-s=10 --tick-ms=100
+//   ubac_configtool serve --actuate --cooldown-s=2 --max-step=0.1
+//       --load-rate=400 --load-seed=42 --alert-headroom=0.8
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -386,11 +392,44 @@ std::atomic<bool> g_interrupted{false};
 
 void on_interrupt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
+/// Parse one double field of a /reconfig POST into `dst`. Returns false
+/// (and fills `error`) on a malformed value; absent fields are skipped.
+bool parse_policy_double(const telemetry::HttpRequest& request,
+                         const char* key, double& dst, std::string& error) {
+  const std::string raw = request.query_get(key);
+  if (raw.empty()) return true;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    error = std::string("bad ") + key + "\n";
+    return false;
+  }
+  dst = v;
+  return true;
+}
+
+bool parse_policy_bool(const telemetry::HttpRequest& request, const char* key,
+                       bool& dst, std::string& error) {
+  const std::string raw = request.query_get(key);
+  if (raw.empty()) return true;
+  if (raw == "1" || raw == "true") {
+    dst = true;
+  } else if (raw == "0" || raw == "false") {
+    dst = false;
+  } else {
+    error = std::string("bad ") + key + " (want 0/1/true/false)\n";
+    return false;
+  }
+  return true;
+}
+
 /// Long-running live-telemetry mode (docs/observability.md): configure a
 /// verified routing table, keep a paced Poisson churn running against the
 /// concurrent controller, and serve the scrape endpoints until SIGINT (or
 /// --duration-s). The sampler refreshes the pull-model utilization gauges
-/// on every tick, so scrapes never need a manual gauge refresh.
+/// on every tick, so scrapes never need a manual gauge refresh. With
+/// --actuate, a ReconfigurationActuator runs as a post-alert hook and the
+/// control loop is closed live (alerts -> alpha re-search -> budget swap).
 int cmd_serve(const util::ArgParser& args) {
   const auto topo = load_topology(args);
   const net::ServerGraph graph(topo, 6u);
@@ -429,14 +468,45 @@ int cmd_serve(const util::ArgParser& args) {
       static_cast<std::size_t>(std::max<long>(1, args.get_long("alert-k", 3)));
   alerts.add_rule(telemetry::AlertEngine::headroom_rule(
       "serve", args.get_double("alert-headroom", 0.9), alert_k));
+  // --alert-rejection-rate is the documented name; --alert-reject-rate is
+  // kept as the original spelling.
   alerts.add_rule(telemetry::AlertEngine::rejection_spike_rule(
-      "serve", args.get_double("alert-reject-rate", 100.0), alert_k));
+      "serve",
+      args.get_double("alert-rejection-rate",
+                      args.get_double("alert-reject-rate", 100.0)),
+      alert_k));
   alerts.add_rule(telemetry::AlertEngine::deadline_miss_rule());
   sampler.set_alert_engine(&alerts);
+
+  // Closed control loop: the analysis engine mirrors the served routing
+  // table, and the actuator (a post-alert hook, so it sees each tick's
+  // fresh alert states) re-searches alpha and swaps live budgets when an
+  // actionable alert fires. Without --actuate the policy master switch
+  // stays off and the hook is a cheap no-op — but /reconfig can still
+  // enable it at runtime.
+  analysis::AnalysisEngine engine(graph, alpha, bucket, deadline);
+  for (const auto& route : routes) engine.add_route(route);
+  engine.solve();
+  reconfig::ActuationPolicy policy;
+  policy.enabled = args.has("actuate");
+  policy.dry_run = args.has("dry-run");
+  policy.cooldown_ns = static_cast<std::int64_t>(
+      args.get_double("cooldown-s", 5.0) * 1e9);
+  policy.max_step = args.get_double("max-step", 0.05);
+  policy.search_lo = args.get_double("reconfig-lo", 0.01);
+  policy.search_hi = args.get_double("reconfig-hi", 0.95);
+  reconfig::ReconfigurationActuator::Options actuator_options;
+  actuator_options.tracer = &tracer;
+  actuator_options.metrics = &registry;
+  reconfig::ReconfigurationActuator actuator(engine, ctl, alerts, policy,
+                                             actuator_options);
+  sampler.add_post_alert_hook([&actuator] { actuator.on_tick(); });
 
   admission::PacedLoadDriver::Options load_options;
   load_options.arrival_rate = args.get_double("load-rate", 50.0);
   load_options.mean_holding = args.get_double("load-holding-s", 10.0);
+  load_options.seed = static_cast<std::uint64_t>(
+      std::max<long>(1, args.get_long("load-seed", 1)));
   load_options.batch =
       static_cast<std::size_t>(std::max<long>(1, args.get_long("batch", 1)));
   admission::PacedLoadDriver driver(ctl, demands, load_options);
@@ -446,18 +516,44 @@ int cmd_serve(const util::ArgParser& args) {
       static_cast<std::uint16_t>(args.get_long("port", 9177));
   telemetry::HttpEndpoint http(http_options);
   telemetry::install_standard_routes(http, registry, &sampler, &alerts);
+  http.handle("/reconfig", [&actuator](const telemetry::HttpRequest& request) {
+    if (request.method == "POST") {
+      reconfig::ActuationPolicy p = actuator.policy();
+      std::string error;
+      double cooldown_s = static_cast<double>(p.cooldown_ns) / 1e9;
+      if (!parse_policy_bool(request, "enabled", p.enabled, error) ||
+          !parse_policy_bool(request, "dry_run", p.dry_run, error) ||
+          !parse_policy_double(request, "cooldown_s", cooldown_s, error) ||
+          !parse_policy_double(request, "max_step", p.max_step, error) ||
+          !parse_policy_double(request, "search_lo", p.search_lo, error) ||
+          !parse_policy_double(request, "search_hi", p.search_hi, error) ||
+          !parse_policy_double(request, "resolution", p.resolution, error) ||
+          !parse_policy_double(request, "min_delta", p.min_delta, error))
+        return telemetry::HttpResponse::text(error, 400);
+      p.cooldown_ns = static_cast<std::int64_t>(cooldown_s * 1e9);
+      actuator.set_policy(p);
+    }
+    return telemetry::HttpResponse::json(actuator.to_json());
+  });
 
   sampler.start();
   driver.start();
   http.start();
   std::printf("serve: listening on http://127.0.0.1:%u "
-              "(/metrics /healthz /series /alerts)\n",
+              "(/metrics /healthz /series /alerts /alerts/config "
+              "/reconfig)\n",
               http.port());
   std::printf("serve: churn %.0f flows/s over %zu demands at alpha=%.2f; "
               "admission batch %zu; tick %ld ms; Ctrl-C to stop\n",
               load_options.arrival_rate, demands.size(), alpha,
               load_options.batch,
               static_cast<long>(sampler_options.tick.count()));
+  if (policy.enabled)
+    std::printf("serve: actuation %s — cooldown %.1f s, max step %.3f, "
+                "re-search [%.2f, %.2f]\n",
+                policy.dry_run ? "in DRY-RUN (ledger untouched)" : "armed",
+                static_cast<double>(policy.cooldown_ns) / 1e9,
+                policy.max_step, policy.search_lo, policy.search_hi);
   std::fflush(stdout);
 
   g_interrupted.store(false);
@@ -493,9 +589,11 @@ int cmd_serve(const util::ArgParser& args) {
       }
     }
     std::printf("\r\033[2K[%7.1fs] offered=%zu admit=%.1f%% active=%zu "
-                "worst-util=%.3f ticks=%llu scrapes=%llu |%s",
+                "worst-util=%.3f alpha=%.3f acts=%llu ticks=%llu "
+                "scrapes=%llu |%s",
                 elapsed, stats.offered, 100.0 * stats.admit_ratio(),
-                driver.active_flows(), worst_util,
+                driver.active_flows(), worst_util, actuator.current_alpha(),
+                static_cast<unsigned long long>(actuator.actuations()),
                 static_cast<unsigned long long>(sampler.ticks()),
                 static_cast<unsigned long long>(http.requests_served()),
                 alert_line.c_str());
@@ -526,6 +624,26 @@ int cmd_serve(const util::ArgParser& args) {
               total_elapsed > 0.0
                   ? static_cast<double>(stats.admitted) / total_elapsed
                   : 0.0);
+  std::printf("serve: reconfig — %llu applied (%llu flows shed), %llu "
+              "dry-run, %llu infeasible, %llu cooldown-blocked; final "
+              "alpha %.4f\n",
+              static_cast<unsigned long long>(actuator.actuations()),
+              static_cast<unsigned long long>(actuator.shed_flows_total()),
+              static_cast<unsigned long long>(actuator.dry_runs()),
+              static_cast<unsigned long long>(actuator.infeasible()),
+              static_cast<unsigned long long>(actuator.cooldown_blocked()),
+              actuator.current_alpha());
+
+  if (g_chrome != nullptr) {
+    // Bridge the admission + reconfig event ring into the shared Chrome
+    // timeline so the actuation chain lines up with the admit/reject
+    // stream that provoked it.
+    g_chrome->add_tracer_events(tracer, telemetry::span_epoch_ns(*g_spans),
+                                /*pid=*/1, /*tid=*/9999);
+    std::printf("trace: %llu events bridged (%zu retained)\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                tracer.snapshot().size());
+  }
   return 0;
 }
 
@@ -620,6 +738,28 @@ int main(int argc, char** argv) {
       .describe("alert-reject-rate",
                 "serve: rejection-spike threshold in rejections/s "
                 "(default 100)")
+      .describe("alert-rejection-rate",
+                "serve: alias of --alert-reject-rate (takes precedence "
+                "when both are given)")
+      .describe("load-seed",
+                "serve: RNG seed of the Poisson churn (default 1; fix it "
+                "for reproducible runs)")
+      .describe("actuate",
+                "serve: close the control loop — firing alerts trigger an "
+                "alpha re-search and a live budget swap (default off; "
+                "tunable at runtime via POST /reconfig)")
+      .describe("dry-run",
+                "serve: actuator runs the re-search and reports proposals "
+                "on /reconfig without touching the ledger")
+      .describe("cooldown-s",
+                "serve: minimum seconds between actuations (default 5)")
+      .describe("max-step",
+                "serve: maximum |alpha change| per actuation (default "
+                "0.05)")
+      .describe("reconfig-lo",
+                "serve: lower bound of the alpha re-search (default 0.01)")
+      .describe("reconfig-hi",
+                "serve: upper bound of the alpha re-search (default 0.95)")
       .describe("watch", "serve: live one-line ASCII dashboard on stdout");
   try {
     args.validate();
