@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "admission/telemetry.hpp"
+#include "telemetry/envelope.hpp"
 #include "telemetry/span.hpp"
 
 namespace ubac::admission {
@@ -280,6 +281,10 @@ AdmissionDecision ConcurrentAdmissionController::request_impl(
     sh.flows.insert(record);
   }
   active_.fetch_add(1, std::memory_order_relaxed);
+  // Conformance-plane registration: one relaxed-ordering gate load when
+  // no ArrivalRecorder is installed (same pattern as UBAC_SPAN).
+  if (auto* recorder = telemetry::ArrivalRecorder::active())
+    recorder->on_admit(id, static_cast<std::uint32_t>(class_index));
   decision.flow_id = id;
   return decision;
 }
@@ -370,6 +375,12 @@ std::size_t ConcurrentAdmissionController::admit_batch_impl(
     }
   }
   active_.fetch_add(admitted, std::memory_order_relaxed);
+  if (auto* recorder = telemetry::ArrivalRecorder::active())
+    for (std::size_t j = 0; j < admitted; ++j) {
+      const traffic::Demand& d = requests[hits[j].first];
+      recorder->on_admit(base + j,
+                         static_cast<std::uint32_t>(d.class_index));
+    }
   return admitted;
 }
 
@@ -396,6 +407,8 @@ bool ConcurrentAdmissionController::release_impl(traffic::FlowId id) {
     if (!sh.flows.erase(id, record)) return false;  // unknown/double release
   }
   active_.fetch_sub(1, std::memory_order_relaxed);
+  if (auto* recorder = telemetry::ArrivalRecorder::active())
+    recorder->on_release(id);
   const RateFx rho = rho_units_[record.class_index];
   for (const net::ServerId s : *record.route)
     slot(record.class_index, s)
@@ -439,6 +452,8 @@ std::size_t ConcurrentAdmissionController::release_batch_impl(
   }
   if (records.empty()) return 0;
   active_.fetch_sub(records.size(), std::memory_order_relaxed);
+  if (auto* recorder = telemetry::ArrivalRecorder::active())
+    for (const FlowRecord& record : records) recorder->on_release(record.id);
   for (const FlowRecord& record : records) {
     const RateFx rho = rho_units_[record.class_index];
     for (const net::ServerId s : *record.route)

@@ -1,10 +1,14 @@
 #include "admission/load_driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "telemetry/envelope.hpp"
+#include "telemetry/event_trace.hpp"
 #include "util/rng.hpp"
 
 namespace ubac::admission {
@@ -86,6 +90,39 @@ PacedLoadDriver::PacedLoadDriver(AdmissionController& controller,
     throw std::invalid_argument("PacedLoadDriver: no demands");
   if (options_.arrival_rate <= 0.0 || options_.mean_holding <= 0.0)
     throw std::invalid_argument("PacedLoadDriver: bad options");
+  if (options_.misdeclare_fraction < 0.0 ||
+      options_.misdeclare_fraction > 1.0 || options_.misdeclare_factor <= 0.0)
+    throw std::invalid_argument("PacedLoadDriver: bad misdeclare options");
+}
+
+bool PacedLoadDriver::misdeclares(traffic::FlowId id) const {
+  if (options_.misdeclare_fraction <= 0.0) return false;
+  // Hash, don't draw: the verdict for a flow id depends only on (id,
+  // seed), never on arrival interleaving, so polarity runs are
+  // reproducible and the ground truth is recomputable.
+  util::SplitMix64 mix(options_.seed ^ (id * 0x9e3779b97f4a7c15ULL));
+  const double u =
+      static_cast<double>(mix.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < options_.misdeclare_fraction;
+}
+
+std::vector<PacedLoadDriver::MisdeclaredFlow>
+PacedLoadDriver::misdeclared_flows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<MisdeclaredFlow> out;
+  out.reserve(misdeclared_.size());
+  for (const auto& [id, state] : misdeclared_) {
+    MisdeclaredFlow flow;
+    flow.flow_id = id;
+    flow.live = state.live;
+    flow.age_s = std::chrono::duration<double>(
+                     (state.live ? now : state.released_at) -
+                     state.admitted_at)
+                     .count();
+    out.push_back(flow);
+  }
+  return out;
 }
 
 PacedLoadDriver::~PacedLoadDriver() { stop(); }
@@ -155,7 +192,101 @@ void PacedLoadDriver::run() {
   std::vector<AdmissionDecision> decisions(batch);
   std::vector<traffic::FlowId> due;
 
+  // Conformance offered-load feed: every held flow drains a greedy token
+  // bucket — burst T then sustained ρ from its declared class bucket, or
+  // misdeclare_factor × ρ for hash-selected offenders — into the recorder
+  // each kFeedPeriod. Timestamps AND refill deltas both come from
+  // EventTracer::now_ns(), so the emitted stream satisfies
+  // A[s,t] ≤ T + rate·(t−s) exactly in the clock the ConformanceMonitor
+  // measures with: a conformant flow can never be falsely flagged.
+  telemetry::ArrivalRecorder* const recorder = options_.conformance;
+  constexpr auto kFeedPeriod = std::chrono::milliseconds(20);
+  constexpr std::size_t kMisdeclaredCap = 1 << 16;
+  struct Offer {
+    double tokens = 0.0;  ///< bits ready to emit (≤ burst_bits)
+    double rate_bps = 0.0;
+    double burst_bits = 0.0;
+    std::int64_t last_ns = 0;
+  };
+  std::unordered_map<traffic::FlowId, Offer> offers;
+  auto next_feed = Clock::now() + kFeedPeriod;
+
+  // All three lambdas run with `lock` held (offers is loop-local; the
+  // recorder is lock-free).
+  const auto open_offer = [&](traffic::FlowId id, std::size_t class_index) {
+    if (recorder == nullptr) return;
+    const traffic::ServiceClass& cls = controller_.classes().at(class_index);
+    Offer offer;
+    offer.burst_bits = cls.bucket.burst;
+    offer.rate_bps = cls.bucket.rate;
+    offer.tokens = offer.burst_bits;  // a fresh bucket is full
+    offer.last_ns = telemetry::EventTracer::now_ns();
+    if (misdeclares(id)) {
+      // Scale the whole bucket, not just the refill: the burst cap bounds
+      // emission to burst/feed-period, so a scaled rate under the declared
+      // cap would be clipped right back to the declared envelope.
+      offer.rate_bps *= options_.misdeclare_factor;
+      offer.burst_bits *= options_.misdeclare_factor;
+      offer.tokens = offer.burst_bits;
+      MisdeclaredState& state = misdeclared_[id];
+      state.admitted_at = Clock::now();
+      state.live = true;
+      if (misdeclared_.size() > kMisdeclaredCap)
+        for (auto it = misdeclared_.begin(); it != misdeclared_.end(); ++it)
+          if (!it->second.live) {
+            misdeclared_.erase(it);
+            break;
+          }
+    }
+    offers.emplace(id, offer);
+  };
+
+  const auto close_offer = [&](traffic::FlowId id) {
+    if (recorder == nullptr) return;
+    offers.erase(id);
+    const auto it = misdeclared_.find(id);
+    if (it != misdeclared_.end() && it->second.live) {
+      it->second.live = false;
+      it->second.released_at = Clock::now();
+    }
+  };
+
+  const auto feed = [&] {
+    const std::int64_t t_ns = telemetry::EventTracer::now_ns();
+    for (auto& [id, offer] : offers) {
+      const double dt =
+          static_cast<double>(t_ns - offer.last_ns) * 1e-9;
+      offer.last_ns = t_ns;
+      if (dt > 0.0)
+        offer.tokens = std::min(offer.burst_bits,
+                                offer.tokens + offer.rate_bps * dt);
+      // Emit whole 2^-10 granules; the residue stays in the bucket
+      // (floor then exact power-of-two division, so emit ≤ tokens).
+      const double emit = std::floor(offer.tokens * 1024.0) / 1024.0;
+      if (emit <= 0.0) continue;
+      recorder->record(id, emit, t_ns);
+      offer.tokens -= emit;
+    }
+  };
+
   std::unique_lock<std::mutex> lock(mutex_);
+
+  // Like cv_.wait_until(lock, deadline, stop) but waking every
+  // kFeedPeriod to run the conformance feed. True = stop requested.
+  const auto wait_with_feed = [&](Clock::time_point deadline) {
+    for (;;) {
+      Clock::time_point target = deadline;
+      if (recorder != nullptr && next_feed < target) target = next_feed;
+      if (cv_.wait_until(lock, target, [this] { return stop_requested_; }))
+        return true;
+      const Clock::time_point now = Clock::now();
+      if (recorder != nullptr && now >= next_feed) {
+        feed();
+        next_feed = now + kFeedPeriod;
+      }
+      if (now >= deadline) return false;
+    }
+  };
   auto next_arrival = Clock::now() + exp_after(1.0 / options_.arrival_rate);
   // Monotone clamp: batched flushes can interleave with departures whose
   // scheduled instants straddle the batch window; never integrate backwards.
@@ -185,6 +316,7 @@ void PacedLoadDriver::run() {
         stats_.peak_active = std::max(stats_.peak_active, active_);
         departures.emplace(pending_at[i] + exp_after(options_.mean_holding),
                            decisions[i].flow_id);
+        open_offer(decisions[i].flow_id, pending[i].class_index);
       } else {
         ++stats_.rejected;
       }
@@ -205,8 +337,7 @@ void PacedLoadDriver::run() {
       const Clock::time_point at = next_arrival;
       next_arrival += exp_after(1.0 / options_.arrival_rate);
       if (pending.size() >= batch) {
-        if (cv_.wait_until(lock, at, [this] { return stop_requested_; }))
-          break;
+        if (wait_with_feed(at)) break;
         flush_arrivals(at);
       }
       continue;
@@ -214,9 +345,7 @@ void PacedLoadDriver::run() {
 
     const Clock::time_point next_event =
         departure_next ? departures.top().first : next_arrival;
-    if (cv_.wait_until(lock, next_event,
-                       [this] { return stop_requested_; }))
-      break;
+    if (wait_with_feed(next_event)) break;
 
     if (departure_next) {
       // Flush every departure already due through one release_batch().
@@ -227,6 +356,7 @@ void PacedLoadDriver::run() {
         due.push_back(departures.top().second);
         departures.pop();
       }
+      for (const traffic::FlowId id : due) close_offer(id);
       active_ -= due.size();
       lock.unlock();
       if (due.size() == 1)
@@ -251,6 +381,7 @@ void PacedLoadDriver::run() {
       stats_.peak_active = std::max(stats_.peak_active, active_);
       departures.emplace(
           next_arrival + exp_after(options_.mean_holding), decision.flow_id);
+      open_offer(decision.flow_id, demand.class_index);
     } else {
       ++stats_.rejected;
     }
@@ -265,6 +396,7 @@ void PacedLoadDriver::run() {
     due.push_back(departures.top().second);
     departures.pop();
   }
+  for (const traffic::FlowId id : due) close_offer(id);
   lock.unlock();
   controller_.release_batch(due);
   lock.lock();

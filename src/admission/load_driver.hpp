@@ -19,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -28,6 +29,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
+
+namespace ubac::telemetry {
+class ArrivalRecorder;
+}
 
 namespace ubac::admission {
 
@@ -77,6 +82,30 @@ class PacedLoadDriver {
     /// coalescing only trades per-call overhead against arrival-instant
     /// fidelity within one batch window.
     std::size_t batch = 1;
+    /// Offered-load feed for the conformance plane (optional, not owned):
+    /// every held flow emits a greedy token-bucket stream — burst T then
+    /// sustained ρ from its declared class bucket — into the recorder on
+    /// a ~20 ms cadence. Greedy emission satisfies A[s,t] ≤ T + ρ(t−s)
+    /// exactly, so conformant flows can never trip the monitor
+    /// regardless of scheduling jitter.
+    telemetry::ArrivalRecorder* conformance = nullptr;
+    /// Deterministic misdeclaration (conformance polarity runs): each
+    /// admitted flow id is hashed against `seed`, and the selected
+    /// `misdeclare_fraction` of flows offer a `misdeclare_factor`-scaled
+    /// token bucket (factor·T, factor·ρ) instead of the declared one.
+    /// Only affects the `conformance` feed — the admission ledger still
+    /// reserves the declared rate, which is exactly what misdeclaration
+    /// means.
+    double misdeclare_fraction = 0.0;
+    double misdeclare_factor = 1.0;
+  };
+
+  /// One flow the misdeclaration hash selected (ground truth for
+  /// polarity checks), cumulative across churn.
+  struct MisdeclaredFlow {
+    traffic::FlowId flow_id = 0;
+    bool live = false;   ///< still held by the driver
+    double age_s = 0.0;  ///< admission → now (live) or release (released)
   };
 
   PacedLoadDriver(AdmissionController& controller,
@@ -96,8 +125,18 @@ class PacedLoadDriver {
   LoadStats stats() const;
   /// Flows currently held by the driver.
   std::size_t active_flows() const;
+  /// Every flow the misdeclaration hash selected so far (live first,
+  /// then released), oldest first. Thread-safe.
+  std::vector<MisdeclaredFlow> misdeclared_flows() const;
 
  private:
+  struct MisdeclaredState {
+    std::chrono::steady_clock::time_point admitted_at{};
+    std::chrono::steady_clock::time_point released_at{};
+    bool live = false;
+  };
+
+  bool misdeclares(traffic::FlowId id) const;
   void run();
 
   AdmissionController& controller_;
@@ -114,6 +153,9 @@ class PacedLoadDriver {
   std::chrono::steady_clock::time_point start_{};
   std::chrono::steady_clock::time_point last_event_{};
   double active_integral_ = 0.0;
+  /// Misdeclaration ground truth, keyed by flow id (guarded by mutex_;
+  /// bounded — oldest released entries are evicted past the cap).
+  std::map<traffic::FlowId, MisdeclaredState> misdeclared_;
 };
 
 }  // namespace ubac::admission

@@ -62,19 +62,23 @@ ReconfigurationActuator::Trigger ReconfigurationActuator::read_trigger()
   Trigger trigger;
   for (const telemetry::AlertStatus& st : alerts_->status()) {
     if (st.state != telemetry::AlertState::kFiring) continue;
-    const bool lower = st.rule == "deadline-miss";
+    const bool lower =
+        st.rule == "deadline-miss" || st.rule == "misdeclaration";
     const bool raise =
         st.rule == "headroom-exhaustion" || st.rule == "rejection-spike";
     if (!lower && !raise) continue;  // not an actionable rule
-    // A broken guarantee outranks congestion: once deadline-miss fires,
-    // the search direction is down regardless of what else is firing.
+    // A broken guarantee outranks congestion: once deadline-miss (or
+    // misdeclaration — the model's inputs were wrong) fires, the search
+    // direction is down regardless of what else is firing.
     if (!trigger.fire || (lower && !trigger.lower)) {
       trigger.fire = true;
       trigger.lower = lower;
       trigger.rule = st.rule;
     }
     for (const telemetry::AlertAction& action : st.actions) {
-      if (action.kind == telemetry::AlertAction::Kind::kStarved)
+      if (action.kind == telemetry::AlertAction::Kind::kMisdeclaring)
+        trigger.offending_flows.push_back(action.flow_id);
+      else if (action.kind == telemetry::AlertAction::Kind::kStarved)
         ++trigger.starved;
       else
         ++trigger.idle;
@@ -120,12 +124,14 @@ void ReconfigurationActuator::on_tick() {
                 trigger.lower ? 1.0 : 0.0);
   ActuationRecord record;
   record.t_ns = now;
-  record.trigger = trigger.lower ? "deadline-miss"
+  record.trigger = trigger.rule == "deadline-miss"     ? "deadline-miss"
+                   : trigger.rule == "misdeclaration"  ? "misdeclaration"
                    : trigger.rule == "rejection-spike" ? "rejection-spike"
                                                        : "headroom-exhaustion";
   record.alpha_before = engine_->alpha();
   record.starved_budgets = trigger.starved;
   record.idle_budgets = trigger.idle;
+  record.offending_flows = trigger.offending_flows;
 
   // Re-search. A deadline miss means the committed alpha failed in the
   // field, so the range is forced strictly below it; congestion searches
@@ -281,11 +287,19 @@ std::string ReconfigurationActuator::to_json() const {
         buf, sizeof(buf),
         "\n {\"t_ns\":%lld,\"outcome\":\"%s\",\"trigger\":\"%s\","
         "\"alpha_before\":%.9g,\"alpha_target\":%.9g,\"alpha_applied\":%.9g,"
-        "\"shed_flows\":%zu,\"starved\":%zu,\"idle\":%zu,\"probes\":%d}",
+        "\"shed_flows\":%zu,\"starved\":%zu,\"idle\":%zu,\"probes\":%d,"
+        "\"flows\":[",
         static_cast<long long>(r.t_ns), r.outcome, r.trigger, r.alpha_before,
         r.alpha_target, r.alpha_applied, r.shed_flows, r.starved_budgets,
         r.idle_budgets, r.probes);
     out += buf;
+    for (std::size_t j = 0; j < r.offending_flows.size(); ++j) {
+      if (j) out += ",";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(r.offending_flows[j]));
+      out += buf;
+    }
+    out += "]}";
   }
   out += "\n]}";
   return out;

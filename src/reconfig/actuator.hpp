@@ -18,9 +18,12 @@
 ///
 /// Direction is chosen by the rule that fired: headroom-exhaustion and
 /// rejection-spike mean demand outgrew the verified shares, so the search
-/// looks *upward* for a larger feasible alpha; deadline-miss means the
-/// model was optimistic, so the search is forced *downward* below the
-/// current alpha. Every actuation is bounded by an ActuationPolicy —
+/// looks *upward* for a larger feasible alpha; deadline-miss and
+/// misdeclaration mean the model's inputs were optimistic (the committed
+/// alpha failed in the field, or flows offer more than they declared), so
+/// the search is forced *downward* below the current alpha. A
+/// misdeclaration-triggered record additionally carries the offending
+/// flow ids from the alert payload. Every actuation is bounded by an ActuationPolicy —
 /// cooldown between actuations, a maximum per-step alpha change, and a
 /// dry-run mode that runs the search and reports the proposal without
 /// touching the ledger.
@@ -78,6 +81,10 @@ struct ActuationRecord {
   std::size_t starved_budgets = 0;  ///< kStarved actions on the trigger
   std::size_t idle_budgets = 0;     ///< kIdle actions on the trigger
   int probes = 0;                   ///< solve() evaluations spent
+  /// Offending flow ids carried by the trigger's kMisdeclaring actions
+  /// (misdeclaration rule only; empty otherwise). Recorded so the ledger
+  /// history answers "which flows provoked this actuation".
+  std::vector<std::uint64_t> offending_flows;
 };
 
 class ReconfigurationActuator {
@@ -123,10 +130,11 @@ class ReconfigurationActuator {
  private:
   struct Trigger {
     bool fire = false;
-    bool lower = false;  ///< deadline-miss: force the search downward
+    bool lower = false;  ///< deadline-miss / misdeclaration: search downward
     std::string rule;
     std::size_t starved = 0;
     std::size_t idle = 0;
+    std::vector<std::uint64_t> offending_flows;  ///< kMisdeclaring actions
   };
 
   Trigger read_trigger() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/envelope.hpp"
 #include "telemetry/event_trace.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -74,6 +75,10 @@ SimResults NetworkSim::run(Seconds horizon) {
     const SimTime start = flows_[f].source.start;
     queue_.schedule(start, [this, f] { schedule_source(f); });
   }
+  if (telemetry_.conformance)
+    for (std::uint32_t f = 0; f < flows_.size(); ++f)
+      telemetry_.conformance->on_admit(
+          f, static_cast<std::uint32_t>(flows_[f].class_index));
   if (telemetry_.metrics || telemetry_.tracer) {
     const SimTime period = to_sim_time(telemetry_.sample_period);
     if (period <= 0)
@@ -84,6 +89,9 @@ SimResults NetworkSim::run(Seconds horizon) {
                       [this, period, end] { sample_telemetry(period, end); });
   }
   queue_.run_until(to_sim_time(horizon));
+  if (telemetry_.conformance)
+    for (std::uint32_t f = 0; f < flows_.size(); ++f)
+      telemetry_.conformance->on_release(f);
   return std::move(results_);
 }
 
@@ -321,6 +329,9 @@ void NetworkSim::transmission_done(PacketRef packet, net::ServerId server) {
     results_.flow_delay[packet.flow].add(delay);
     ++results_.packets_delivered;
     if (delivered_counter_) delivered_counter_->add();
+    if (telemetry_.conformance)
+      telemetry_.conformance->record(packet.flow, flow.source.packet_size,
+                                     queue_.now() / 1000);
     if (delivery_hook_)
       delivery_hook_(Delivery{packet.id, packet.flow, flow.class_index,
                               packet.created, queue_.now()});

@@ -24,6 +24,7 @@
 #include "util/stats.hpp"
 
 namespace ubac::telemetry {
+class ArrivalRecorder;
 class EventTracer;
 class MetricsRegistry;
 class Counter;
@@ -96,6 +97,12 @@ class NetworkSim {
     telemetry::EventTracer* tracer = nullptr;
     /// Gauge/trace sampling cadence in sim seconds.
     Seconds sample_period = 0.010;
+    /// Conformance feed (optional, not owned): every flow is registered
+    /// at run start, each final-hop delivery credits packet_size bits at
+    /// the sim-time nanosecond of delivery, and all flows are released at
+    /// the end of run(). The recorder then lives entirely in the sim
+    /// clock domain — evaluate the monitor at sim-ns, not wall-ns.
+    telemetry::ArrivalRecorder* conformance = nullptr;
   };
 
   /// When metrics is set: ubac_sim_packets_delivered_total counter and

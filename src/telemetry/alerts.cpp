@@ -21,6 +21,7 @@ const char* to_string(AlertAction::Kind kind) {
   switch (kind) {
     case AlertAction::Kind::kStarved: return "starved";
     case AlertAction::Kind::kIdle: return "idle";
+    case AlertAction::Kind::kMisdeclaring: return "misdeclaring";
   }
   return "?";
 }
@@ -225,8 +226,9 @@ std::string AlertEngine::to_json() const {
       if (a) out += ",";
       std::snprintf(buf, sizeof(buf),
                     "{\"kind\":\"%s\",\"server\":%u,\"class\":%u,"
-                    "\"value\":%.9g}",
+                    "\"flow\":%llu,\"value\":%.9g}",
                     to_string(action.kind), action.server, action.class_index,
+                    static_cast<unsigned long long>(action.flow_id),
                     action.value);
       out += buf;
     }

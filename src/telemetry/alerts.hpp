@@ -46,21 +46,27 @@
 
 namespace ubac::telemetry {
 
+class ConformanceMonitor;
+
 enum class AlertState { kInactive, kPending, kFiring };
 
 const char* to_string(AlertState state);
 
 /// One actionable observation attached to a breach: which (server, class)
 /// budget is starved (holding above the rule threshold) or idle (nearly
-/// unused while others starve). Plain indices — the telemetry layer knows
-/// nothing about graphs or controllers; consumers (the reconfiguration
-/// actuator) map them back onto the ledger they instrumented.
+/// unused while others starve), or — for the conformance plane — which
+/// flow is misdeclaring its envelope. Plain indices — the telemetry layer
+/// knows nothing about graphs or controllers; consumers (the
+/// reconfiguration actuator) map them back onto the ledger they
+/// instrumented.
 struct AlertAction {
-  enum class Kind : std::uint8_t { kStarved, kIdle };
+  enum class Kind : std::uint8_t { kStarved, kIdle, kMisdeclaring };
   Kind kind = Kind::kStarved;
   std::uint32_t server = 0;
   std::uint32_t class_index = 0;
-  double value = 0.0;  ///< the utilization fraction behind the verdict
+  /// The offending flow for kMisdeclaring actions (0 otherwise).
+  std::uint64_t flow_id = 0;
+  double value = 0.0;  ///< utilization fraction / conformance margin
 };
 
 const char* to_string(AlertAction::Kind kind);
@@ -175,6 +181,17 @@ class AlertEngine {
   /// Fires when ubac_watchdog_deadline_misses_total moves (any positive
   /// miss rate): a configured delay guarantee was broken.
   static AlertRule deadline_miss_rule(std::size_t k = 1);
+
+  /// Fires when `monitor` scores any flow's conformance margin below
+  /// `margin_threshold` (the rule's live-tunable threshold): some flow is
+  /// offering more than its declared (T, ρ). The observation carries one
+  /// kMisdeclaring action per offender (worst margin first, at most
+  /// `top_k`) with the flow id in the payload. Defined in conformance.cpp;
+  /// `monitor` must outlive the engine.
+  static AlertRule misdeclaration_rule(const ConformanceMonitor* monitor,
+                                       double margin_threshold = 0.0,
+                                       std::size_t k = 3,
+                                       std::size_t top_k = 8);
 
  private:
   struct RuleState {

@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file conformance.hpp
+/// \brief Observed-vs-declared demand conformance checking.
+///
+/// The paper's utilization bounds (PAPER.md, §3) are only as good as the
+/// declared leaky buckets: a flow offering more than its (T, ρ) erodes
+/// the verified guarantee for everyone sharing its links. The
+/// ConformanceMonitor closes that observability gap. Each check() pass
+/// reads the ArrivalRecorder's live windows (envelope.hpp) and, per flow:
+///
+///   * forms the empirical envelope Ê(I) over I ∈ {10ms, 100ms, 1s, 10s},
+///   * compares it against the declared envelope
+///       E(I) = min{C·I, T + ρ·I}
+///     of the flow's service class,
+///   * scores the flow with a token-bucket conformance margin
+///       margin = 1 − max_I Ê(I) / E(I)
+///     (1 = idle, 0 = exactly at the declared envelope, negative =
+///     misdeclaring; a flow is *violating* when margin < threshold,
+///     default 0 — safe because the recorder only ever undercounts),
+///
+/// then aggregates per-(server, class) observed utilization against the
+/// verified α·C share via a placement callback into the admission ledger.
+///
+/// Results surface everywhere the rest of the telemetry stack already
+/// reaches: `ubac_conformance_*` metrics, kConformance tracer instants
+/// ("conformance:violation" / "conformance:clear") and a
+/// "conformance.check" span per pass, the `misdeclaration` AlertRule
+/// (alerts.hpp) whose actionable payload carries the top-k offending
+/// flow ids, and the /conformance + /conformance/flows HTTP routes
+/// (install_conformance_routes). check() is not hot-path code: it runs
+/// mutex-guarded on the sampler tick.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/envelope.hpp"
+#include "traffic/flow.hpp"
+#include "traffic/leaky_bucket.hpp"
+
+namespace ubac::telemetry {
+
+class EventTracer;
+class HttpEndpoint;
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class LatencyHistogram;
+
+/// One flow's conformance score as of the latest check() that saw it.
+struct FlowConformance {
+  traffic::FlowId flow_id = 0;
+  std::uint32_t class_index = 0;
+  bool live = true;        ///< still registered with the recorder
+  bool violating = false;  ///< margin < threshold (frozen at release)
+  double margin = 1.0;     ///< 1 - worst_ratio, current
+  double worst_margin = 1.0;  ///< min margin over the flow's lifetime
+  double worst_ratio = 0.0;   ///< max_I Ê(I)/E(I), current
+  double observed_bps = 0.0;  ///< sustained rate over the largest window
+  double declared_bps = 0.0;  ///< the class ρ
+  std::int64_t first_seen_ns = 0;
+  std::int64_t last_check_ns = 0;
+};
+
+/// Observed load vs the verified share of one (server, class) budget.
+struct BudgetConformance {
+  std::uint32_t server = 0;
+  std::uint32_t class_index = 0;
+  double observed_bps = 0.0;  ///< sum of crossing flows' sustained rates
+  double share_bps = 0.0;     ///< verified α·C share (0 when not wired)
+  double ratio = 0.0;         ///< observed / share (0 when share unknown)
+};
+
+class ConformanceMonitor {
+ public:
+  struct Options {
+    /// `ubac_conformance_*` instruments land here (optional, not owned).
+    MetricsRegistry* metrics = nullptr;
+    /// Violation/clear transitions are mirrored here as kConformance
+    /// instants (optional, not owned).
+    EventTracer* tracer = nullptr;
+    /// A flow is violating when its margin drops below this. 0 is exact:
+    /// the estimator never overcounts, so a conformant flow sits at
+    /// margin ≥ 0 on every window.
+    double margin_threshold = 0.0;
+    /// Retained scores (live + released); released conformant flows are
+    /// pruned first, then the oldest released violators.
+    std::size_t max_retained = 8192;
+  };
+
+  /// `recorder` must outlive the monitor.
+  explicit ConformanceMonitor(const ArrivalRecorder& recorder)
+      : ConformanceMonitor(recorder, Options()) {}
+  ConformanceMonitor(const ArrivalRecorder& recorder, Options options);
+
+  /// Declared envelope of `class_index`: T and ρ from the class bucket;
+  /// `line_rate_bps` > 0 additionally applies the C·I peak-rate cap.
+  void set_class_envelope(std::uint32_t class_index,
+                          traffic::LeakyBucket bucket,
+                          double line_rate_bps = 0.0);
+
+  /// Placement callback for the per-(server, class) aggregation: fill
+  /// `servers` with the hops of `flow_id`'s route, return false for
+  /// unknown flows. Called under the monitor mutex on the check thread.
+  using PlacementFn =
+      std::function<bool(traffic::FlowId, std::vector<std::uint32_t>&)>;
+  void set_placement(PlacementFn placement);
+
+  /// Verified α·C share of (server, class), for the observed/declared
+  /// utilization ratio.
+  void set_share(std::uint32_t server, std::uint32_t class_index,
+                 double share_bps);
+
+  /// One conformance pass over every registered flow, evaluated at
+  /// `now_ns` (the recorder's clock domain). Runs under the monitor
+  /// mutex; wrapped in a "conformance.check" span.
+  void check(std::int64_t now_ns);
+
+  // -- queries (thread-safe) ---------------------------------------------
+
+  std::uint64_t checks() const;
+  /// Scores currently retained (live + released).
+  std::size_t flows_seen() const;
+  std::size_t live_flows() const;
+  std::size_t violating_count() const;
+  /// Worst margin across all retained flows (1.0 when none).
+  double worst_margin() const;
+
+  /// Violating flows, worst margin first. `threshold` overrides the
+  /// configured margin threshold for *live* flows (the misdeclaration
+  /// rule passes its live-tunable threshold through here); released
+  /// flows keep their frozen verdict.
+  std::vector<FlowConformance> violating_flows(
+      std::optional<double> threshold = std::nullopt) const;
+
+  /// The `top` worst-margin flows (all when top = 0), worst first.
+  std::vector<FlowConformance> flows(std::size_t top = 0) const;
+
+  /// Per-budget aggregation from the latest check().
+  std::vector<BudgetConformance> budgets() const;
+
+  /// JSON for GET /conformance: config, totals, worst margin, budgets.
+  std::string to_json() const;
+  /// JSON for GET /conformance/flows?top=k: worst-first flow scores.
+  std::string flows_to_json(std::size_t top = 0) const;
+
+ private:
+  struct ClassEnvelope {
+    traffic::LeakyBucket bucket{0.0, 1.0};  // placeholder until wired
+    double line_rate_bps = 0.0;
+  };
+
+  void prune_locked();
+
+  const ArrivalRecorder& recorder_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint32_t, ClassEnvelope> envelopes_;
+  PlacementFn placement_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> shares_;
+  std::unordered_map<traffic::FlowId, FlowConformance> scores_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, BudgetConformance>
+      budgets_;
+  std::uint64_t checks_ = 0;
+  std::vector<ArrivalRecorder::FlowWindows> scratch_;
+
+  // resolved once when metrics are wired
+  Gauge* flows_gauge_ = nullptr;
+  Gauge* live_gauge_ = nullptr;
+  Gauge* violating_gauge_ = nullptr;
+  Gauge* worst_margin_gauge_ = nullptr;
+  Gauge* dropped_gauge_ = nullptr;
+  Counter* checks_total_ = nullptr;
+  LatencyHistogram* worst_margin_hist_ = nullptr;
+};
+
+/// Wire GET /conformance and /conformance/flows?top=k onto `endpoint`.
+/// `monitor` must outlive the endpoint; add before start().
+void install_conformance_routes(HttpEndpoint& endpoint,
+                                const ConformanceMonitor& monitor);
+
+}  // namespace ubac::telemetry

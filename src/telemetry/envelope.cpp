@@ -1,0 +1,169 @@
+#include "telemetry/envelope.hpp"
+
+#include <cmath>
+
+namespace ubac::telemetry {
+namespace {
+
+/// Bounded linear-probe window: a registration scans at most this many
+/// slots before giving up (counted, never blocking).
+constexpr std::size_t kProbeWindow = 16;
+
+constexpr double kUnitsPerBit = 1024.0;  // 2^10 granules per bit
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// SplitMix64 finalizer — full-avalanche mix of the flow id so the
+/// controller's consecutive id blocks spread across the table.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::atomic<ArrivalRecorder*> ArrivalRecorder::g_active_{nullptr};
+
+void ArrivalRecorder::install(ArrivalRecorder* recorder) {
+  g_active_.store(recorder, std::memory_order_release);
+}
+
+ArrivalRecorder::ArrivalRecorder(Options options)
+    : capacity_(round_up_pow2(options.capacity < 2 ? 2 : options.capacity)),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+ArrivalRecorder::Slot* ArrivalRecorder::find(
+    traffic::FlowId flow_id) const noexcept {
+  const std::uint64_t key = flow_id + 1;
+  const std::size_t home = static_cast<std::size_t>(mix(flow_id)) & mask_;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = slots_[(home + i) & mask_];
+    if (slot.key.load(std::memory_order_acquire) == key) return &slot;
+  }
+  return nullptr;
+}
+
+void ArrivalRecorder::on_admit(traffic::FlowId flow_id,
+                               std::uint32_t class_index) noexcept {
+  const std::uint64_t key = flow_id + 1;
+  const std::size_t home = static_cast<std::size_t>(mix(flow_id)) & mask_;
+  // Full existence scan before claiming: a freed slot earlier in the
+  // probe path must not shadow a still-live registration further along
+  // (re-admit stays a no-op even after neighbour churn).
+  if (find(flow_id) != nullptr) return;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = slots_[(home + i) & mask_];
+    std::uint64_t expected = slot.key.load(std::memory_order_acquire);
+    if (expected == key) return;  // already registered
+    if (expected != 0) continue;
+    if (slot.key.compare_exchange_strong(expected, key,
+                                         std::memory_order_acq_rel)) {
+      // Slot claimed: scrub the previous occupant's state. Records for
+      // this id can only start after on_admit returns (the caller learns
+      // the id from the admit), so no writer races the scrub.
+      slot.class_index.store(class_index, std::memory_order_relaxed);
+      slot.registered_ns.store(0, std::memory_order_relaxed);
+      slot.total_units.store(0, std::memory_order_relaxed);
+      for (auto& scale : slot.buckets)
+        for (auto& bucket : scale) {
+          bucket.epoch.store(-1, std::memory_order_relaxed);
+          bucket.units.store(0, std::memory_order_relaxed);
+        }
+      live_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    if (expected == key) return;  // lost the race to ourselves
+  }
+  dropped_registrations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArrivalRecorder::on_release(traffic::FlowId flow_id) noexcept {
+  Slot* slot = find(flow_id);
+  if (!slot) return;
+  std::uint64_t expected = flow_id + 1;
+  if (slot->key.compare_exchange_strong(expected, 0,
+                                        std::memory_order_acq_rel))
+    live_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ArrivalRecorder::record(traffic::FlowId flow_id, double bits,
+                             std::int64_t t_ns) noexcept {
+  Slot* slot = find(flow_id);
+  if (!slot) {
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!(bits > 0.0)) return;
+  // Round DOWN to the 2^-10 grid: Ê never overcounts true arrivals.
+  const std::uint64_t units =
+      static_cast<std::uint64_t>(bits * kUnitsPerBit);
+  std::int64_t reg = slot->registered_ns.load(std::memory_order_relaxed);
+  if (reg == 0)  // first arrival stamps the observation epoch
+    slot->registered_ns.compare_exchange_strong(reg, t_ns,
+                                                std::memory_order_relaxed);
+  slot->total_units.fetch_add(units, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < kScales; ++s) {
+    const std::int64_t width =
+        kWindowNs[s] / static_cast<std::int64_t>(kBucketsPerScale);
+    const std::int64_t epoch = t_ns / width;
+    Bucket& bucket =
+        slot->buckets[s][static_cast<std::size_t>(epoch) % kBucketsPerScale];
+    std::int64_t seen = bucket.epoch.load(std::memory_order_acquire);
+    if (seen != epoch) {
+      if (seen > epoch) continue;  // late arrival into a recycled bucket
+      if (bucket.epoch.compare_exchange_strong(seen, epoch,
+                                               std::memory_order_acq_rel)) {
+        // A concurrent add between this CAS and the zeroing is lost:
+        // undercount, the conservative direction.
+        bucket.units.store(0, std::memory_order_relaxed);
+      } else if (seen != epoch) {
+        continue;  // someone advanced the bucket past us
+      }
+    }
+    bucket.units.fetch_add(units, std::memory_order_relaxed);
+  }
+}
+
+void ArrivalRecorder::collect(std::int64_t now_ns,
+                              std::vector<FlowWindows>& out) const {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t key = slot.key.load(std::memory_order_acquire);
+    if (key == 0) continue;
+    FlowWindows fw;
+    fw.flow_id = key - 1;
+    fw.class_index = slot.class_index.load(std::memory_order_relaxed);
+    fw.registered_ns = slot.registered_ns.load(std::memory_order_relaxed);
+    fw.total_bits =
+        static_cast<double>(slot.total_units.load(std::memory_order_relaxed)) /
+        kUnitsPerBit;
+    for (std::size_t s = 0; s < kScales; ++s) {
+      const std::int64_t width =
+          kWindowNs[s] / static_cast<std::int64_t>(kBucketsPerScale);
+      const std::int64_t newest = now_ns / width;
+      const std::int64_t oldest =
+          newest - static_cast<std::int64_t>(kBucketsPerScale) + 1;
+      std::uint64_t sum = 0;
+      for (const Bucket& bucket : slot.buckets[s]) {
+        const std::int64_t epoch =
+            bucket.epoch.load(std::memory_order_acquire);
+        if (epoch >= oldest && epoch <= newest)
+          sum += bucket.units.load(std::memory_order_relaxed);
+      }
+      fw.window_bits[s] = static_cast<double>(sum) / kUnitsPerBit;
+    }
+    // A slot released (or recycled) mid-read carries another flow's
+    // partial data: drop it, the next collect() sees a settled view.
+    if (slot.key.load(std::memory_order_acquire) != key) continue;
+    out.push_back(fw);
+  }
+}
+
+}  // namespace ubac::telemetry

@@ -1,0 +1,163 @@
+#pragma once
+
+/// \file envelope.hpp
+/// \brief Lock-free per-flow empirical arrival-envelope estimation.
+///
+/// An ArrivalRecorder maintains, for every registered flow, a set of
+/// multi-scale sliding arrival windows from which the ConformanceMonitor
+/// (conformance.hpp) derives empirical envelopes Ê(I) over
+/// I ∈ {10ms, 100ms, 1s, 10s} and checks them against the declared
+/// leaky-bucket envelope min{C·I, T + ρ·I} (paper §3).
+///
+/// Each scale I is a ring of kBucketsPerScale sub-buckets of width
+/// I / kBucketsPerScale; a bucket is an {epoch, units} atomic pair where
+/// `epoch` is the absolute bucket number floor(t / width) and `units`
+/// accumulates arrivals in 2^-10 bit granules — the same 2^-10 grid the
+/// integer admission fast path reserves rates on (traffic/flow.hpp), so a
+/// window sum divided by its span lands exactly on the RateUnits grid.
+/// Summing the kBucketsPerScale newest buckets covers an actual time span
+/// in (I - I/B, I], never more than I, so for traffic that satisfies
+/// A[s,t] ≤ T + ρ(t-s) the window sum can never exceed T + ρ·I: a
+/// conformant flow can never be falsely flagged. Arrivals are rounded
+/// DOWN to the unit grid and a bucket-reset race between concurrent
+/// writers may drop a few units — both err toward *under*-counting,
+/// again the conservative direction for false positives.
+///
+/// Registration follows the admission hot path through a SpanRecorder
+/// style global gate: `ArrivalRecorder::active()` is one acquire load,
+/// which is the entire cost of admit/release when no recorder is
+/// installed. Slots live in a fixed-size open-addressed table (bounded
+/// linear probe, no allocation, no locks); a full probe window counts a
+/// dropped registration rather than blocking the admit path.
+///
+/// A recorder is clock-domain agnostic but single-domain: feed it either
+/// wall-clock EventTracer::now_ns() stamps (PacedLoadDriver offered
+/// load) or sim-time nanoseconds (NetworkSim delivery), never both.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "traffic/flow.hpp"
+
+namespace ubac::telemetry {
+
+class ArrivalRecorder {
+ public:
+  /// Number of window scales maintained per flow.
+  static constexpr std::size_t kScales = 4;
+  /// Sub-buckets per scale; the sliding-window quantization error is one
+  /// bucket, i.e. the measured span is within I/kBucketsPerScale of I.
+  static constexpr std::size_t kBucketsPerScale = 16;
+  /// The envelope windows I, smallest first: 10ms, 100ms, 1s, 10s.
+  static constexpr std::int64_t kWindowNs[kScales] = {
+      10'000'000, 100'000'000, 1'000'000'000, 10'000'000'000};
+
+  struct Options {
+    /// Flow-slot table size (rounded up to a power of two). Flows beyond
+    /// capacity (or past the probe window) are dropped, not blocked on.
+    std::size_t capacity = 4096;
+  };
+
+  ArrivalRecorder() : ArrivalRecorder(Options()) {}
+  explicit ArrivalRecorder(Options options);
+
+  ArrivalRecorder(const ArrivalRecorder&) = delete;
+  ArrivalRecorder& operator=(const ArrivalRecorder&) = delete;
+
+  // -- global gate (same pattern as SpanRecorder) ------------------------
+
+  /// Install `recorder` as the process-wide active recorder (nullptr
+  /// disables conformance tracking). The recorder must outlive all
+  /// admit/release/record callers, i.e. stay alive until after
+  /// install(nullptr).
+  static void install(ArrivalRecorder* recorder);
+
+  /// The active recorder, or nullptr when conformance is off. This load
+  /// is the entire disabled-path cost on admit/release.
+  static ArrivalRecorder* active() noexcept {
+    return g_active_.load(std::memory_order_acquire);
+  }
+
+  // -- admission-path hooks (lock-free, never block) ---------------------
+
+  /// Claim a slot for a newly admitted flow. Safe to call concurrently
+  /// with record()/collect(); re-admitting an id already registered is a
+  /// no-op.
+  void on_admit(traffic::FlowId flow_id, std::uint32_t class_index) noexcept;
+
+  /// Release the flow's slot (no-op for unknown ids, e.g. flows admitted
+  /// before the recorder was installed).
+  void on_release(traffic::FlowId flow_id) noexcept;
+
+  /// Credit `bits` of arrivals to `flow_id` at time `t_ns`. Unknown ids
+  /// count as dropped records. Bits are rounded down to 2^-10 granules.
+  void record(traffic::FlowId flow_id, double bits,
+              std::int64_t t_ns) noexcept;
+
+  // -- inspection (monitor side; concurrent with writers) ----------------
+
+  /// One registered flow's live windows, evaluated at collect() time.
+  struct FlowWindows {
+    traffic::FlowId flow_id = 0;
+    std::uint32_t class_index = 0;
+    std::int64_t registered_ns = 0;
+    double total_bits = 0.0;  ///< lifetime arrivals since registration
+    /// Ê over the trailing kWindowNs[s] window, in bits.
+    double window_bits[kScales] = {0.0, 0.0, 0.0, 0.0};
+  };
+
+  /// Append one FlowWindows per live flow, windows evaluated at `now_ns`
+  /// (same clock domain as record()). Best effort under churn: a flow
+  /// admitted or released mid-scan may be missed or carry partial data.
+  void collect(std::int64_t now_ns, std::vector<FlowWindows>& out) const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Live registered flows (approximate under churn).
+  std::size_t flow_count() const noexcept {
+    return live_.load(std::memory_order_acquire);
+  }
+  /// Registrations refused because the probe window was full.
+  std::uint64_t dropped_registrations() const noexcept {
+    return dropped_registrations_.load(std::memory_order_relaxed);
+  }
+  /// record() calls for ids with no live slot.
+  std::uint64_t dropped_records() const noexcept {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One sub-bucket: absolute bucket number + arrival units in it.
+  /// A writer observing a stale epoch CASes it forward and zeroes the
+  /// units; a concurrent add between the CAS and the zeroing is lost
+  /// (undercount — conservative).
+  struct Bucket {
+    std::atomic<std::int64_t> epoch{-1};
+    std::atomic<std::uint64_t> units{0};
+  };
+
+  struct Slot {
+    /// Flow id + 1 ("key"); 0 = free. Offset by one so flow id 0 is
+    /// representable.
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint32_t> class_index{0};
+    std::atomic<std::int64_t> registered_ns{0};
+    std::atomic<std::uint64_t> total_units{0};
+    Bucket buckets[kScales][kBucketsPerScale];
+  };
+
+  Slot* find(traffic::FlowId flow_id) const noexcept;
+
+  static std::atomic<ArrivalRecorder*> g_active_;
+
+  std::size_t capacity_;  ///< power of two
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::uint64_t> dropped_registrations_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
+};
+
+}  // namespace ubac::telemetry

@@ -63,6 +63,7 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kSample: return "sample";
     case TraceEventKind::kAlert: return "alert";
     case TraceEventKind::kReconfig: return "reconfig";
+    case TraceEventKind::kConformance: return "conformance";
   }
   return "?";
 }

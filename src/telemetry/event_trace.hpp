@@ -49,6 +49,10 @@ enum class TraceEventKind : std::uint8_t {
   /// ("reconfig:research", "reconfig:apply", ...), `utilization` carries
   /// the alpha (or shed count) the phase produced.
   kReconfig,
+  /// ConformanceMonitor verdict transition; `reason` is
+  /// "conformance:violation" or "conformance:clear", `flow_id` names the
+  /// flow and `utilization` carries its conformance margin.
+  kConformance,
 };
 
 const char* to_string(TraceEventKind kind);

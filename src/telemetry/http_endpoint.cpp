@@ -318,14 +318,26 @@ void install_standard_routes(HttpEndpoint& endpoint,
       return HttpResponse::text("no sampler running\n", 404);
     const std::string name = request.query_get("name");
     if (name.empty()) {
-      // No name: list what can be asked for.
-      std::string out = "{\"series\":[";
-      const auto names = sampler->store().names();
-      for (std::size_t i = 0; i < names.size(); ++i) {
+      // No name: index of what can be asked for — every registered
+      // series name with its label-set count and ring geometry.
+      const TimeSeriesStore& store = sampler->store();
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"window_capacity\":%zu,\"ticks_per_window\":%zu,"
+                    "\"series\":[",
+                    store.window_capacity(), store.ticks_per_window());
+      std::string out = buf;
+      const auto idx = store.index();
+      for (std::size_t i = 0; i < idx.size(); ++i) {
         if (i) out += ",";
-        out += "\"" + json_escape(names[i]) + "\"";
+        out += "\n {\"name\":\"" + json_escape(idx[i].name) + "\"";
+        std::snprintf(buf, sizeof(buf),
+                      ",\"series\":%zu,\"windows_started\":%llu}",
+                      idx[i].series,
+                      static_cast<unsigned long long>(idx[i].windows_started));
+        out += buf;
       }
-      out += "]}\n";
+      out += "\n]}\n";
       return HttpResponse::json(std::move(out));
     }
     std::size_t window = 0;

@@ -180,6 +180,23 @@ std::vector<std::string> TimeSeriesStore::names() const {
   return out;
 }
 
+std::vector<TimeSeriesStore::SeriesIndexEntry> TimeSeriesStore::index()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SeriesIndexEntry> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, bucket] : by_name_) {  // map: already sorted
+    SeriesIndexEntry entry;
+    entry.name = name;
+    entry.series = bucket.size();
+    for (const auto& series : bucket)
+      entry.windows_started =
+          std::max(entry.windows_started, series->ring.windows_started());
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 std::string TimeSeriesStore::to_json(const std::string& name,
                                      std::size_t max_windows) const {
   const auto views = series(name, max_windows);

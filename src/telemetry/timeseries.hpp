@@ -130,6 +130,19 @@ class TimeSeriesStore {
   /// Distinct metric names with at least one series.
   std::vector<std::string> names() const;
 
+  /// Ring geometry every series is created with.
+  std::size_t window_capacity() const { return windows_; }
+  std::size_t ticks_per_window() const { return ticks_per_window_; }
+
+  /// One row of the /series index (the no-name form of the endpoint).
+  struct SeriesIndexEntry {
+    std::string name;
+    std::size_t series = 0;  ///< label sets registered under this name
+    std::uint64_t windows_started = 0;  ///< max across the name's rings
+  };
+  /// All registered names, sorted, with per-name series counts.
+  std::vector<SeriesIndexEntry> index() const;
+
   /// JSON for the /series endpoint: {"name": ..., "series": [...]}.
   /// Each series carries its labels, kind, and per-window
   /// start/end/min/max/avg/last/count (min/max/avg are per-second rates

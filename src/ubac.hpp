@@ -37,6 +37,8 @@
 #include "util/units.hpp"            // IWYU pragma: export
 
 #include "telemetry/alerts.hpp"         // IWYU pragma: export
+#include "telemetry/conformance.hpp"    // IWYU pragma: export
+#include "telemetry/envelope.hpp"       // IWYU pragma: export
 #include "telemetry/event_trace.hpp"    // IWYU pragma: export
 #include "telemetry/flight.hpp"         // IWYU pragma: export
 #include "telemetry/http_endpoint.hpp"  // IWYU pragma: export

@@ -1,0 +1,604 @@
+// Tests for the demand conformance plane, layer by layer:
+//  * ArrivalRecorder — multi-scale window sums on the 2^-10 grid,
+//    slot lifecycle (admit/release/re-admit), bounded-capacity drops,
+//    and round-down granularity.
+//  * ConformanceMonitor — the estimator's one-sided guarantee: traffic
+//    that satisfies the declared A[s,t] <= T + rho*(t-s) exactly is
+//    never flagged, while factor-scaled offenders are flagged precisely,
+//    worst margin first, with released violators retained frozen.
+//  * misdeclaration_rule — the full alert lifecycle: violation instant,
+//    hysteresis fire with kMisdeclaring actions carrying flow ids,
+//    flight snapshot, window drain, clear instant, resolve.
+//  * ReconfigurationActuator — a firing misdeclaration rule searches
+//    alpha downward and the ledger entry records the offending flows.
+//  * PacedLoadDriver — wall-clock churn with hash-seeded misdeclaration:
+//    zero false positives (hard), every mature live offender detected.
+//  * NetworkSim — the delivery-side feed scores a CBR flow conformant
+//    in the sim clock domain.
+//  * Churn test (run under TSan in CI): 8 admit/record/release threads
+//    racing a collector running collect() + check().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "admission/controller.hpp"
+#include "admission/load_driver.hpp"
+#include "analysis/engine.hpp"
+#include "net/shortest_path.hpp"
+#include "net/topology_factory.hpp"
+#include "reconfig/actuator.hpp"
+#include "sim/network_sim.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/conformance.hpp"
+#include "telemetry/envelope.hpp"
+#include "telemetry/event_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
+#include "traffic/workload.hpp"
+#include "util/units.hpp"
+
+namespace ubac {
+namespace {
+
+using admission::AdmissionController;
+using telemetry::ArrivalRecorder;
+using telemetry::ConformanceMonitor;
+using telemetry::FlowConformance;
+using traffic::ClassSet;
+using traffic::LeakyBucket;
+using units::kbps;
+using units::milliseconds;
+
+const LeakyBucket kVoice(640.0, kbps(32));
+const Seconds kDeadline = milliseconds(100.0);
+constexpr std::int64_t kNsPerSec = 1'000'000'000;
+
+/// Greedy token-bucket emitter on a synthetic clock: every feed() the
+/// bucket refills at `rate` (capped at `burst`) and drains whole 2^-10
+/// granules into the recorder, so the emitted stream satisfies
+/// A[s,t] <= burst + rate*(t-s) exactly — the conformant worst case.
+/// Scale both parameters to model a misdeclaring flow.
+struct GreedyFeeder {
+  traffic::FlowId id;
+  double burst;
+  double rate;
+  double tokens;
+  std::int64_t last_ns;
+
+  GreedyFeeder(traffic::FlowId id, double burst, double rate, std::int64_t t0)
+      : id(id), burst(burst), rate(rate), tokens(burst), last_ns(t0) {}
+
+  void feed(ArrivalRecorder& recorder, std::int64_t t_ns) {
+    const double dt = static_cast<double>(t_ns - last_ns) * 1e-9;
+    last_ns = t_ns;
+    if (dt > 0.0) tokens = std::min(burst, tokens + rate * dt);
+    const double emit = std::floor(tokens * 1024.0) / 1024.0;
+    if (emit <= 0.0) return;
+    recorder.record(id, emit, t_ns);
+    tokens -= emit;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ArrivalRecorder: window sums and slot lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Envelope, WindowsTrackMultiScaleArrivals) {
+  ArrivalRecorder recorder;
+  const std::int64_t t0 = 10 * kNsPerSec;
+
+  recorder.on_admit(7, 2);
+  EXPECT_EQ(recorder.flow_count(), 1u);
+  recorder.record(7, 1000.0, t0);
+  recorder.record(7, 500.0, t0 + kNsPerSec / 2);
+
+  std::vector<ArrivalRecorder::FlowWindows> out;
+  recorder.collect(t0 + kNsPerSec / 2, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].flow_id, 7u);
+  EXPECT_EQ(out[0].class_index, 2u);
+  EXPECT_DOUBLE_EQ(out[0].total_bits, 1500.0);
+  // 500 ms apart: the 10 ms and 100 ms windows hold only the newer
+  // arrival, the 1 s and 10 s windows hold both.
+  EXPECT_DOUBLE_EQ(out[0].window_bits[0], 500.0);
+  EXPECT_DOUBLE_EQ(out[0].window_bits[1], 500.0);
+  EXPECT_DOUBLE_EQ(out[0].window_bits[2], 1500.0);
+  EXPECT_DOUBLE_EQ(out[0].window_bits[3], 1500.0);
+
+  recorder.on_release(7);
+  EXPECT_EQ(recorder.flow_count(), 0u);
+  out.clear();
+  recorder.collect(t0 + kNsPerSec, out);
+  EXPECT_TRUE(out.empty());
+  // Records for a released id are dropped, not resurrected.
+  recorder.record(7, 640.0, t0 + kNsPerSec);
+  EXPECT_EQ(recorder.dropped_records(), 1u);
+}
+
+TEST(Envelope, RegistrationLimitsAndGranularity) {
+  ArrivalRecorder::Options options;
+  options.capacity = 4;
+  ArrivalRecorder small(options);
+  for (traffic::FlowId id = 100; id < 164; ++id) small.on_admit(id, 0);
+  EXPECT_LE(small.flow_count(), 4u);
+  EXPECT_GE(small.dropped_registrations(), 60u);
+
+  ArrivalRecorder recorder;
+  recorder.on_admit(5, 1);
+  recorder.on_admit(5, 1);  // re-admit is a no-op
+  EXPECT_EQ(recorder.flow_count(), 1u);
+
+  // Arrivals round DOWN to 2^-10 bit granules (undercount, never over).
+  const std::int64_t t0 = kNsPerSec;
+  recorder.record(5, 0.0005, t0);  // below one granule: nothing lands
+  recorder.record(5, 1.3, t0);
+  std::vector<ArrivalRecorder::FlowWindows> out;
+  recorder.collect(t0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].total_bits, std::floor(1.3 * 1024.0) / 1024.0);
+  EXPECT_LE(out[0].total_bits, 1.3);
+}
+
+// ---------------------------------------------------------------------------
+// ConformanceMonitor: the one-sided estimator guarantee
+// ---------------------------------------------------------------------------
+
+// Traffic that satisfies the declared (T, rho) exactly — greedy emission,
+// the tightest stream the envelope admits — must never be flagged on any
+// window at any point in its life, and the steady-state margin must
+// approach 0 from above.
+TEST(Conformance, ExactDeclaredTrafficNeverViolates) {
+  ArrivalRecorder recorder;
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, kVoice);
+
+  const std::int64_t t0 = kNsPerSec;
+  recorder.on_admit(1, 0);
+  GreedyFeeder feeder(1, kVoice.burst, kVoice.rate, t0);
+
+  constexpr std::int64_t kStepNs = 5'000'000;  // 5 ms
+  constexpr int kSteps = 2400;                 // 12 s: fills every window
+  std::int64_t t = t0;
+  for (int i = 0; i < kSteps; ++i) {
+    t += kStepNs;
+    feeder.feed(recorder, t);
+    if (i % 100 == 0) {
+      monitor.check(t);
+      ASSERT_EQ(monitor.violating_count(), 0u) << "at step " << i;
+    }
+  }
+  monitor.check(t);
+  EXPECT_EQ(monitor.violating_count(), 0u);
+  EXPECT_GE(monitor.worst_margin(), 0.0);
+
+  const auto flows = monitor.flows(1);
+  ASSERT_EQ(flows.size(), 1u);
+  // Steady state: the 1 s window carries ~rho of traffic against
+  // T + rho, so the margin sits just above 0 (window quantization may
+  // add up to 1/16 of slack).
+  EXPECT_GE(flows[0].margin, 0.0);
+  EXPECT_LE(flows[0].margin, 0.12);
+  EXPECT_NEAR(flows[0].observed_bps, kVoice.rate, kVoice.rate * 0.1);
+  EXPECT_DOUBLE_EQ(flows[0].declared_bps, kVoice.rate);
+}
+
+// 100 flows, 10 of them offering a 3x-scaled bucket: the violating set
+// is exactly the offenders (zero false positives, zero misses), ordered
+// worst margin first, and released violators stay visible while
+// released conformant flows are dropped.
+TEST(Conformance, PolarityFlagsExactlyTheScaledOffenders) {
+  ArrivalRecorder recorder;
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, kVoice);
+  monitor.set_placement([](traffic::FlowId, std::vector<std::uint32_t>& s) {
+    s.push_back(0);
+    return true;
+  });
+  monitor.set_share(0, 0, 1.0e6);
+
+  constexpr std::size_t kFlows = 100;
+  const auto offends = [](traffic::FlowId id) { return id % 10 == 0; };
+  const std::int64_t t0 = kNsPerSec;
+  std::vector<GreedyFeeder> feeders;
+  for (traffic::FlowId id = 0; id < kFlows; ++id) {
+    recorder.on_admit(id, 0);
+    const double factor = offends(id) ? 3.0 : 1.0;
+    feeders.emplace_back(id, factor * kVoice.burst, factor * kVoice.rate, t0);
+  }
+
+  constexpr std::int64_t kStepNs = 20'000'000;  // 20 ms feed cadence
+  std::int64_t t = t0;
+  for (int i = 0; i < 150; ++i) {  // 3 s
+    t += kStepNs;
+    for (auto& feeder : feeders) feeder.feed(recorder, t);
+  }
+  monitor.check(t);
+
+  EXPECT_EQ(monitor.flows_seen(), kFlows);
+  EXPECT_EQ(monitor.live_flows(), kFlows);
+  EXPECT_EQ(monitor.violating_count(), 10u);
+
+  const auto violating = monitor.violating_flows();
+  ASSERT_EQ(violating.size(), 10u);
+  for (std::size_t i = 0; i < violating.size(); ++i) {
+    EXPECT_TRUE(offends(violating[i].flow_id)) << violating[i].flow_id;
+    EXPECT_LT(violating[i].margin, 0.0);
+    if (i) EXPECT_GE(violating[i].margin, violating[i - 1].margin);
+  }
+  // flows(top) is worst-first too: the top 10 are exactly the offenders.
+  const auto worst = monitor.flows(10);
+  ASSERT_EQ(worst.size(), 10u);
+  for (const FlowConformance& f : worst) EXPECT_TRUE(offends(f.flow_id));
+  // The live-threshold override: nobody sits below margin -3.
+  EXPECT_TRUE(monitor.violating_flows(-3.0).empty());
+
+  // All flows cross server 0: one budget aggregate with the wired share.
+  const auto budgets = monitor.budgets();
+  ASSERT_EQ(budgets.size(), 1u);
+  EXPECT_EQ(budgets[0].server, 0u);
+  EXPECT_EQ(budgets[0].class_index, 0u);
+  EXPECT_GT(budgets[0].observed_bps, 0.0);
+  EXPECT_DOUBLE_EQ(budgets[0].share_bps, 1.0e6);
+  EXPECT_DOUBLE_EQ(budgets[0].ratio, budgets[0].observed_bps / 1.0e6);
+
+  // Churn: a released offender stays retained (frozen verdict), a
+  // released conformant flow is dropped at the next check.
+  recorder.on_release(0);
+  recorder.on_release(1);
+  monitor.check(t + kStepNs);
+  EXPECT_EQ(monitor.flows_seen(), kFlows - 1);
+  EXPECT_EQ(monitor.violating_count(), 10u);
+  bool saw_released_offender = false;
+  for (const FlowConformance& f : monitor.violating_flows())
+    if (f.flow_id == 0) {
+      saw_released_offender = true;
+      EXPECT_FALSE(f.live);
+    }
+  EXPECT_TRUE(saw_released_offender);
+}
+
+// ---------------------------------------------------------------------------
+// misdeclaration_rule: the alert lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Conformance, MisdeclarationRuleLifecycle) {
+  ArrivalRecorder recorder;
+  telemetry::MetricsRegistry registry;
+  telemetry::EventTracer tracer(512);
+  ConformanceMonitor::Options mopts;
+  mopts.metrics = &registry;
+  mopts.tracer = &tracer;
+  ConformanceMonitor monitor(recorder, mopts);
+  monitor.set_class_envelope(0, kVoice);
+
+  telemetry::AlertEngine::Options aopts;
+  aopts.tracer = &tracer;
+  aopts.metrics = &registry;
+  telemetry::AlertEngine alerts(aopts);
+  alerts.add_rule(telemetry::AlertEngine::misdeclaration_rule(
+      &monitor, /*margin_threshold=*/0.0, /*k=*/2, /*top_k=*/8));
+
+  const std::int64_t t0 = kNsPerSec;
+  recorder.on_admit(42, 0);
+  GreedyFeeder offender(42, 3.0 * kVoice.burst, 3.0 * kVoice.rate, t0);
+  std::int64_t t = t0;
+  for (int i = 0; i < 50; ++i) {  // 1 s of 3x traffic
+    t += 20'000'000;
+    offender.feed(recorder, t);
+  }
+  monitor.check(t);
+  ASSERT_EQ(monitor.violating_count(), 1u);
+
+  const auto count_instants = [&tracer](const char* reason) {
+    std::size_t n = 0;
+    for (const auto& ev : tracer.snapshot())
+      if (ev.kind == telemetry::TraceEventKind::kConformance &&
+          std::string(ev.reason) == reason)
+        ++n;
+    return n;
+  };
+  EXPECT_EQ(count_instants("conformance:violation"), 1u);
+
+  // Two breached ticks fire the rule (k = 2) with the offender's id in
+  // the actionable payload, and the first fire freezes a flight snapshot.
+  telemetry::MetricsSnapshot snapshot;
+  telemetry::TimeSeriesStore store{4, 1};
+  alerts.evaluate(snapshot, store, 1);
+  alerts.evaluate(snapshot, store, 2);
+  ASSERT_TRUE(alerts.any_firing());
+  bool saw_action = false;
+  for (const auto& status : alerts.status()) {
+    if (status.rule != "misdeclaration") continue;
+    EXPECT_EQ(status.state, telemetry::AlertState::kFiring);
+    ASSERT_EQ(status.actions.size(), 1u);
+    EXPECT_EQ(status.actions[0].kind,
+              telemetry::AlertAction::Kind::kMisdeclaring);
+    EXPECT_EQ(status.actions[0].flow_id, 42u);
+    EXPECT_LT(status.actions[0].value, 0.0);
+    saw_action = true;
+  }
+  EXPECT_TRUE(saw_action);
+  EXPECT_TRUE(alerts.has_fire_snapshot());
+
+  // The flow goes quiet: 11 s later every window has drained, the
+  // verdict clears (margin back to 1), and the rule resolves.
+  monitor.check(t + 11 * kNsPerSec);
+  EXPECT_EQ(monitor.violating_count(), 0u);
+  const auto flows = monitor.flows(1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0].margin, 1.0);
+  EXPECT_LT(flows[0].worst_margin, 0.0);  // lifetime minimum is sticky
+  EXPECT_EQ(count_instants("conformance:clear"), 1u);
+  alerts.evaluate(snapshot, store, 3);
+  alerts.evaluate(snapshot, store, 4);
+  EXPECT_FALSE(alerts.any_firing());
+}
+
+// ---------------------------------------------------------------------------
+// Actuator plumbing: offending flow ids reach the reconfig ledger
+// ---------------------------------------------------------------------------
+
+/// MCI backbone, shortest-path routes for every ordered pair (the same
+/// rig reconfig_test.cpp uses for the actuation chain).
+struct BackboneFixture {
+  net::Topology topo = net::mci_backbone();
+  net::ServerGraph graph{topo, 6u};
+  std::vector<traffic::Demand> demands = traffic::all_ordered_pairs(topo);
+  std::vector<net::ServerPath> routes;
+  admission::RoutingTable table;
+
+  BackboneFixture() {
+    for (const auto& d : demands)
+      routes.push_back(
+          graph.map_path(net::shortest_path(topo, d.src, d.dst).value()));
+    table = admission::RoutingTable(demands, routes);
+  }
+
+  ClassSet classes(double share) const {
+    return ClassSet::two_class(kVoice, kDeadline, share);
+  }
+};
+
+// A firing misdeclaration rule is a lower-direction trigger (the model
+// inputs were optimistic): the actuator searches alpha strictly down and
+// the actuation record carries the offending flow ids into /reconfig.
+TEST(Conformance, ActuatorRecordsOffendingFlowIds) {
+  BackboneFixture f;
+  const ClassSet classes = f.classes(0.30);
+  analysis::AnalysisEngine engine(f.graph, 0.30, kVoice, kDeadline);
+  for (const auto& route : f.routes) engine.add_route(route);
+  engine.solve();
+  AdmissionController ctl(f.graph, classes, f.table);
+  telemetry::EventTracer tracer(512);
+  telemetry::MetricsRegistry registry;
+  telemetry::AlertEngine alerts;
+
+  telemetry::AlertRule rule;
+  rule.name = "misdeclaration";
+  rule.description = "test-controlled";
+  rule.for_ticks = 1;
+  rule.resolve_ticks = 1;
+  rule.check = [](const telemetry::MetricsSnapshot&,
+                  const telemetry::TimeSeriesStore&, double)
+      -> std::optional<telemetry::AlertObservation> {
+    telemetry::AlertObservation obs;
+    obs.value = 2.0;
+    telemetry::AlertAction action;
+    action.kind = telemetry::AlertAction::Kind::kMisdeclaring;
+    action.flow_id = 11;
+    action.value = -1.5;
+    obs.actions.push_back(action);
+    action.flow_id = 22;
+    action.value = -0.4;
+    obs.actions.push_back(action);
+    return obs;
+  };
+  alerts.add_rule(rule);
+  telemetry::MetricsSnapshot snapshot;
+  telemetry::TimeSeriesStore store{4, 1};
+  for (std::int64_t t = 1; t <= 3; ++t) alerts.evaluate(snapshot, store, t);
+  ASSERT_TRUE(alerts.any_firing());
+
+  reconfig::ActuationPolicy policy;
+  policy.cooldown_ns = 0;
+  policy.max_step = 0.25;
+  reconfig::ReconfigurationActuator::Options options;
+  options.tracer = &tracer;
+  options.metrics = &registry;
+  reconfig::ReconfigurationActuator actuator(engine, ctl, alerts, policy,
+                                             options);
+  actuator.on_tick();
+
+  EXPECT_EQ(actuator.actuations(), 1u);
+  EXPECT_LT(actuator.current_alpha(), 0.30);
+  const std::string json = actuator.to_json();
+  EXPECT_NE(json.find("\"trigger\":\"misdeclaration\""), std::string::npos);
+  EXPECT_NE(json.find("\"flows\":[11,22]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// PacedLoadDriver: wall-clock polarity through the global gate
+// ---------------------------------------------------------------------------
+
+// Hash-seeded offenders offer a 4x-scaled bucket while everyone else
+// drains an exact greedy (T, rho): the monitor must flag a subset of the
+// seeded set (zero false positives — hard, the estimator never
+// overcounts) and every offender that has been live for over a second.
+TEST(Conformance, PacedDriverSeedsAndDetectsOffenders) {
+  BackboneFixture f;
+  const ClassSet classes = f.classes(0.30);
+  AdmissionController ctl(f.graph, classes, f.table);
+
+  ArrivalRecorder recorder;
+  // Admission hooks reach the recorder through the global gate; keep the
+  // install paired with uninstall even when an assertion bails out.
+  struct InstallGuard {
+    explicit InstallGuard(ArrivalRecorder* r) { ArrivalRecorder::install(r); }
+    ~InstallGuard() { ArrivalRecorder::install(nullptr); }
+  } guard(&recorder);
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, kVoice);
+
+  admission::PacedLoadDriver::Options options;
+  options.arrival_rate = 200.0;
+  options.mean_holding = 30.0;  // most flows outlive the run
+  options.seed = 7;
+  options.conformance = &recorder;
+  options.misdeclare_fraction = 0.5;
+  options.misdeclare_factor = 4.0;
+  admission::PacedLoadDriver driver(ctl, f.demands, options);
+  driver.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+
+  monitor.check(telemetry::EventTracer::now_ns());
+  const auto misdeclared = driver.misdeclared_flows();
+  const auto violating = monitor.violating_flows();
+  const admission::LoadStats stats = driver.stats();
+  driver.stop();
+
+  ASSERT_GT(stats.admitted, 0u);
+  EXPECT_GT(monitor.flows_seen(), 0u);
+  // The hash selects roughly half of the admitted flows.
+  EXPECT_GT(misdeclared.size(), stats.admitted / 5);
+  EXPECT_LT(misdeclared.size(), stats.admitted);
+
+  std::set<std::uint64_t> truth;
+  for (const auto& m : misdeclared) truth.insert(m.flow_id);
+  std::set<std::uint64_t> flagged;
+  for (const FlowConformance& v : violating) {
+    // Zero false positives: every violating flow was seeded.
+    EXPECT_EQ(truth.count(v.flow_id), 1u) << "flow " << v.flow_id;
+    flagged.insert(v.flow_id);
+  }
+  // Every offender that fed for over a second must have been caught.
+  std::size_t mature = 0, detected = 0;
+  for (const auto& m : misdeclared) {
+    if (!m.live || m.age_s < 1.0) continue;
+    ++mature;
+    detected += flagged.count(m.flow_id);
+  }
+  EXPECT_GT(mature, 0u);
+  EXPECT_EQ(detected, mature);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkSim: the delivery-side feed in the sim clock domain
+// ---------------------------------------------------------------------------
+
+// A single uncontended CBR flow (one 640-bit packet per 20 ms) delivers
+// exactly its declared envelope: checked mid-run from the delivery hook
+// (run() releases every slot at the end), it scores conformant on every
+// window with a non-negative margin.
+TEST(Conformance, NetworkSimDeliveryFeedScoresCbrFlow) {
+  const auto topo = net::line(2);
+  const net::ServerGraph graph(topo, 6u);
+  const auto classes = ClassSet::two_class(kVoice, milliseconds(100), 0.3);
+  sim::NetworkSim sim(graph, classes);
+  sim::SourceConfig src;
+  src.model = sim::SourceModel::kCbr;
+  src.packet_size = 640.0;
+  src.stop = sim::to_sim_time(4.0);
+  sim.add_flow(graph.map_path({0, 1}), 0, src);
+
+  ArrivalRecorder recorder;
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, kVoice);
+  sim::NetworkSim::TelemetryConfig telemetry;
+  telemetry.conformance = &recorder;
+  sim.attach_telemetry(telemetry);
+  std::uint64_t deliveries = 0;
+  sim.set_delivery_hook([&](const sim::NetworkSim::Delivery& d) {
+    // Delivery times are sim picoseconds; the recorder runs in sim ns.
+    if (++deliveries % 25 == 0) monitor.check(d.delivered / 1000);
+  });
+
+  const sim::SimResults results = sim.run(5.0);
+  ASSERT_GT(results.packets_delivered, 100u);
+  EXPECT_GE(monitor.checks(), 4u);
+  EXPECT_EQ(monitor.violating_count(), 0u);
+  EXPECT_GE(monitor.worst_margin(), 0.0);
+  ASSERT_EQ(monitor.flows_seen(), 1u);
+
+  const auto flows = monitor.flows(1);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].flow_id, 0u);
+  EXPECT_EQ(flows[0].class_index, 0u);
+  EXPECT_GT(flows[0].observed_bps, 0.0);
+  EXPECT_LE(flows[0].observed_bps, kVoice.rate * 1.01);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: recorder churn racing the collector (TSan target)
+// ---------------------------------------------------------------------------
+
+// 8 writer threads admit/record/release over private id ranges plus one
+// contended shared id (single admitter — the admission path admits each
+// flow id exactly once — but everyone records into it, racing its
+// release) while a collector loops collect() + check(). The invariants
+// at drain: no crash, no slot leak (every release lands), and the
+// monitor still answers queries.
+TEST(ConformanceConcurrent, RecorderChurnStaysCoherent) {
+  constexpr std::size_t kThreads = 8;
+  constexpr int kIters = 3000;
+  constexpr traffic::FlowId kShared = 500;
+
+  ArrivalRecorder::Options options;
+  options.capacity = 256;
+  ArrivalRecorder recorder(options);
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, kVoice);
+
+  std::atomic<bool> stop{false};
+  std::thread collector([&] {
+    std::vector<ArrivalRecorder::FlowWindows> out;
+    std::int64_t t = kNsPerSec;
+    while (!stop.load(std::memory_order_acquire)) {
+      out.clear();
+      recorder.collect(t, out);
+      monitor.check(t);
+      t += 1'000'000;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&recorder, w] {
+      const traffic::FlowId base = w * 16;
+      std::int64_t t = kNsPerSec;
+      if (w == 0) recorder.on_admit(kShared, 0);
+      for (int i = 0; i < kIters; ++i) {
+        const traffic::FlowId id = base + static_cast<traffic::FlowId>(i % 16);
+        recorder.on_admit(id, 0);
+        recorder.record(id, 640.0, t += 10'000);
+        recorder.record(kShared, 64.0, t);  // races the w0 release below
+        if (i % 3 == 0) recorder.on_release(id);
+        if (w == 0 && i % 97 == 0) {
+          recorder.on_release(kShared);
+          recorder.on_admit(kShared, 0);
+        }
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_release);
+  collector.join();
+
+  for (traffic::FlowId id = 0; id < kThreads * 16; ++id)
+    recorder.on_release(id);
+  recorder.on_release(kShared);
+  EXPECT_EQ(recorder.flow_count(), 0u);
+  monitor.check(2 * kNsPerSec);
+  EXPECT_EQ(monitor.live_flows(), 0u);
+  EXPECT_GT(monitor.checks(), 1u);
+}
+
+}  // namespace
+}  // namespace ubac

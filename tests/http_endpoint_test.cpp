@@ -22,6 +22,8 @@
 #include "net/shortest_path.hpp"
 #include "net/topology_factory.hpp"
 #include "telemetry/alerts.hpp"
+#include "telemetry/conformance.hpp"
+#include "telemetry/envelope.hpp"
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/timeseries.hpp"
@@ -145,10 +147,16 @@ TEST(HttpEndpoint, StandardRoutesServeTelemetry) {
   EXPECT_EQ(status_of(health), 200);
   EXPECT_NE(health.find("\"sampler_ticks\":1"), std::string::npos);
 
-  // /series without a name lists the ingested series names.
+  // /series without a name is the index: every registered series name
+  // with its label-set count plus the ring geometry.
   const std::string names = get(endpoint.port(), "/series");
   EXPECT_EQ(status_of(names), 200);
   EXPECT_NE(names.find("ubac_test_gauge"), std::string::npos);
+  EXPECT_NE(names.find("ubac_test_total"), std::string::npos);
+  EXPECT_NE(names.find("\"window_capacity\":"), std::string::npos);
+  EXPECT_NE(names.find("\"ticks_per_window\":1"), std::string::npos);
+  EXPECT_NE(names.find("\"windows_started\":1"), std::string::npos);
+  EXPECT_NE(names.find("\"series\":1"), std::string::npos);
   const std::string series =
       get(endpoint.port(), "/series?name=ubac_test_gauge");
   EXPECT_NE(series.find("\"last\":4.5"), std::string::npos);
@@ -160,6 +168,42 @@ TEST(HttpEndpoint, StandardRoutesServeTelemetry) {
   EXPECT_EQ(status_of(alerts_body), 200);
   EXPECT_NE(alerts_body.find("\"alerts\":["), std::string::npos);
 
+  endpoint.stop();
+}
+
+TEST(HttpEndpoint, ConformanceRoutesServeMonitorState) {
+  ArrivalRecorder recorder;
+  ConformanceMonitor monitor(recorder);
+  monitor.set_class_envelope(0, traffic::LeakyBucket(640.0, units::kbps(32)));
+
+  // One conformant flow, one offender at ~3x the declared envelope.
+  recorder.on_admit(7, 0);
+  recorder.on_admit(9, 0);
+  const std::int64_t t0 = 1'000'000'000;
+  recorder.record(7, 640.0, t0);
+  recorder.record(9, 3.0 * (640.0 + 32'000.0), t0);
+  monitor.check(t0 + 1);
+
+  HttpEndpoint endpoint;
+  install_conformance_routes(endpoint, monitor);
+  endpoint.start();
+
+  const std::string summary = get(endpoint.port(), "/conformance");
+  EXPECT_EQ(status_of(summary), 200);
+  EXPECT_NE(summary.find("\"checks\":1"), std::string::npos);
+  EXPECT_NE(summary.find("\"violating\":1"), std::string::npos);
+
+  // Worst-first ordering: the offender leads even with top=1.
+  const std::string worst = get(endpoint.port(), "/conformance/flows?top=1");
+  EXPECT_EQ(status_of(worst), 200);
+  EXPECT_NE(worst.find("\"flow\":9"), std::string::npos);
+  EXPECT_EQ(worst.find("\"flow\":7"), std::string::npos);
+  const std::string all = get(endpoint.port(), "/conformance/flows");
+  EXPECT_NE(all.find("\"flow\":7"), std::string::npos);
+  EXPECT_NE(all.find("\"flow\":9"), std::string::npos);
+
+  EXPECT_EQ(status_of(get(endpoint.port(), "/conformance/flows?top=-1")),
+            400);
   endpoint.stop();
 }
 

@@ -322,7 +322,7 @@ struct ActuatorRig {
       telemetry::AlertObservation obs;
       obs.value = 0.97;
       obs.actions.push_back(
-          {telemetry::AlertAction::Kind::kStarved, 0, 0, 0.97});
+          {telemetry::AlertAction::Kind::kStarved, 0, 0, 0, 0.97});
       return obs;
     };
     alerts.add_rule(rule);

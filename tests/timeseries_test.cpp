@@ -82,6 +82,32 @@ TEST(RollupRing, WraparoundKeepsNewestWindows) {
   EXPECT_EQ(after[1].count, 2u);
 }
 
+TEST(RollupRing, WindowBoundaryRolloverStartsFreshAggregates) {
+  // The tick that lands exactly on a window boundary must open the new
+  // window — and the new window's min/max/count must not inherit anything
+  // from the closed one.
+  RollupRing ring(/*capacity=*/4, /*ticks_per_window=*/3);
+  ring.observe(1 * kSecond, 100.0, 100.0);
+  ring.observe(2 * kSecond, 200.0, 200.0);
+  ring.observe(3 * kSecond, 300.0, 300.0);  // closes window 0
+  EXPECT_EQ(ring.windows_started(), 1u);
+
+  ring.observe(4 * kSecond, 1.0, 1.0);  // boundary tick -> window 1
+  EXPECT_EQ(ring.windows_started(), 2u);
+  const RollupWindow w = ring.latest();
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_EQ(w.start_ns, 4 * kSecond);
+  EXPECT_DOUBLE_EQ(w.min, 1.0);  // not 100 — no residue from window 0
+  EXPECT_DOUBLE_EQ(w.max, 1.0);
+
+  // The closed window is intact behind it.
+  const auto windows = ring.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].count, 3u);
+  EXPECT_DOUBLE_EQ(windows[0].max, 300.0);
+  EXPECT_EQ(windows[0].end_ns, 3 * kSecond);
+}
+
 TEST(RollupRing, MaxWindowsLimitsOutput) {
   RollupRing ring(8, 1);
   for (int tick = 0; tick < 5; ++tick)
@@ -164,6 +190,50 @@ TEST(TimeSeries, CounterResetClampsToZeroRate) {
   EXPECT_DOUBLE_EQ(w.min, 0.0);
   EXPECT_DOUBLE_EQ(w.max, 0.0);
   EXPECT_DOUBLE_EQ(w.last, 5.0);
+}
+
+TEST(TimeSeries, RateDerivationResumesAfterCounterReset) {
+  // The reset tick clamps to rate 0; later ticks must derive against the
+  // post-reset baseline, and no window may ever roll up a negative rate.
+  TimeSeriesStore store(/*windows=*/8, /*ticks_per_window=*/1);
+  MetricsRegistry registry_a;
+  registry_a.counter("c_total", "help").add(1000);
+  store.ingest(registry_a.snapshot(), 1 * kSecond);
+
+  MetricsRegistry registry_b;
+  Counter& reborn = registry_b.counter("c_total", "help");
+  reborn.add(40);
+  store.ingest(registry_b.snapshot(), 2 * kSecond);  // 40 < 1000: clamp
+  reborn.add(30);
+  store.ingest(registry_b.snapshot(), 3 * kSecond);  // (70-40)/1s = 30/s
+
+  const auto views = store.series("c_total");
+  ASSERT_EQ(views.size(), 1u);
+  ASSERT_EQ(views[0].windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(views[0].windows[1].max, 0.0);   // the clamped tick
+  EXPECT_DOUBLE_EQ(views[0].windows[2].max, 30.0);  // fresh baseline
+  for (const RollupWindow& w : views[0].windows) EXPECT_GE(w.min, 0.0);
+}
+
+TEST(TimeSeries, IndexListsNamesAndGeometry) {
+  TimeSeriesStore store(/*windows=*/4, /*ticks_per_window=*/2);
+  EXPECT_EQ(store.window_capacity(), 4u);
+  EXPECT_EQ(store.ticks_per_window(), 2u);
+  EXPECT_TRUE(store.index().empty());
+
+  MetricsRegistry registry;
+  registry.gauge("g", "help", {{"k", "a"}}).set(1.0);
+  registry.gauge("g", "help", {{"k", "b"}}).set(2.0);
+  registry.counter("c_total", "help").add(1);
+  store.ingest(registry.snapshot(), 1 * kSecond);
+
+  const auto index = store.index();
+  ASSERT_EQ(index.size(), 2u);  // sorted: c_total before g
+  EXPECT_EQ(index[0].name, "c_total");
+  EXPECT_EQ(index[0].series, 1u);
+  EXPECT_EQ(index[1].name, "g");
+  EXPECT_EQ(index[1].series, 2u);
+  EXPECT_EQ(index[1].windows_started, 1u);
 }
 
 TEST(TimeSeries, HistogramContributesCountRate) {

@@ -20,7 +20,12 @@ Checks the subset ChromeTraceWriter emits (and Perfetto requires):
     "reconfig:apply", "reconfig:shed", "reconfig:dry-run",
     "reconfig:infeasible" — an unknown reconfig phase fails the check;
   * "X" spans named "reconfig.*" come from the actuator's known span set
-    "reconfig.actuate", "reconfig.research", "reconfig.apply".
+    "reconfig.actuate", "reconfig.research", "reconfig.apply";
+  * "i" events named "conformance" (ConformanceMonitor verdict
+    transitions) carry an args.reason from the known phase set
+    "conformance:violation", "conformance:clear";
+  * "X" spans named "conformance.*" come from the monitor's known span
+    set "conformance.check".
 
 Usage: check_trace_schema.py <trace.json> [<trace.json> ...]
 Exit status 0 when every file conforms, 1 otherwise.
@@ -44,6 +49,15 @@ RECONFIG_SPAN_NAMES = frozenset({
     "reconfig.actuate",
     "reconfig.research",
     "reconfig.apply",
+})
+
+# Verdict taxonomy of the conformance monitor (src/telemetry/conformance.cpp).
+CONFORMANCE_INSTANT_PHASES = frozenset({
+    "conformance:violation",
+    "conformance:clear",
+})
+CONFORMANCE_SPAN_NAMES = frozenset({
+    "conformance.check",
 })
 
 
@@ -97,6 +111,21 @@ def check_event(path, index, event):
             fail(path, index,
                  f"unknown reconfig span {event['name']!r} "
                  f"(known: {sorted(RECONFIG_SPAN_NAMES)})")
+    if ph == "i" and event["name"] == "conformance":
+        args = event.get("args")
+        reason = args.get("reason") if isinstance(args, dict) else None
+        if not isinstance(reason, str) or not reason:
+            fail(path, index,
+                 "'conformance' instant needs non-empty args.reason")
+        if reason not in CONFORMANCE_INSTANT_PHASES:
+            fail(path, index,
+                 f"unknown conformance phase {reason!r} "
+                 f"(known: {sorted(CONFORMANCE_INSTANT_PHASES)})")
+    if ph == "X" and event["name"].startswith("conformance."):
+        if event["name"] not in CONFORMANCE_SPAN_NAMES:
+            fail(path, index,
+                 f"unknown conformance span {event['name']!r} "
+                 f"(known: {sorted(CONFORMANCE_SPAN_NAMES)})")
 
 
 def check_file(path):

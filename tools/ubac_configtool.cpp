@@ -502,6 +502,49 @@ int cmd_serve(const util::ArgParser& args) {
                                              actuator_options);
   sampler.add_post_alert_hook([&actuator] { actuator.on_tick(); });
 
+  // Demand conformance plane (docs/observability.md): an ArrivalRecorder
+  // installed behind the admission gate watches every held flow's offered
+  // load, and a ConformanceMonitor checks the empirical envelopes against
+  // the declared (T, rho) on each sampler tick. --misdeclare implies
+  // --conformance (a misdeclaration run without the monitor observes
+  // nothing).
+  const std::string misdeclare = args.get("misdeclare", "");
+  const bool conformance_on = args.has("conformance") || !misdeclare.empty();
+  std::unique_ptr<telemetry::ArrivalRecorder> recorder;
+  std::unique_ptr<telemetry::ConformanceMonitor> monitor;
+  if (conformance_on) {
+    telemetry::ArrivalRecorder::Options recorder_options;
+    recorder_options.capacity = 8192;
+    recorder =
+        std::make_unique<telemetry::ArrivalRecorder>(recorder_options);
+    telemetry::ConformanceMonitor::Options monitor_options;
+    monitor_options.metrics = &registry;
+    monitor_options.tracer = &tracer;
+    monitor = std::make_unique<telemetry::ConformanceMonitor>(
+        *recorder, monitor_options);
+    for (std::size_t c = 0; c < classes.size(); ++c)
+      if (classes.at(c).realtime)
+        monitor->set_class_envelope(static_cast<std::uint32_t>(c),
+                                    classes.at(c).bucket);
+    monitor->set_placement([&ctl](traffic::FlowId id,
+                                  std::vector<std::uint32_t>& servers) {
+      const auto view = ctl.find_flow(id);
+      if (!view || view->route == nullptr) return false;
+      servers.assign(view->route->begin(), view->route->end());
+      return true;
+    });
+    for (std::uint32_t s = 0; s < graph.size(); ++s)
+      for (std::size_t c = 0; c < classes.size(); ++c)
+        if (classes.at(c).realtime)
+          monitor->set_share(s, static_cast<std::uint32_t>(c),
+                             classes.at(c).share * graph.server(s).capacity);
+    telemetry::ConformanceMonitor* m = monitor.get();
+    sampler.add_tick_hook(
+        [m] { m->check(telemetry::EventTracer::now_ns()); });
+    alerts.add_rule(telemetry::AlertEngine::misdeclaration_rule(
+        m, /*margin_threshold=*/0.0, alert_k));
+  }
+
   admission::PacedLoadDriver::Options load_options;
   load_options.arrival_rate = args.get_double("load-rate", 50.0);
   load_options.mean_holding = args.get_double("load-holding-s", 10.0);
@@ -509,6 +552,22 @@ int cmd_serve(const util::ArgParser& args) {
       std::max<long>(1, args.get_long("load-seed", 1)));
   load_options.batch =
       static_cast<std::size_t>(std::max<long>(1, args.get_long("batch", 1)));
+  load_options.conformance = recorder.get();
+  if (!misdeclare.empty()) {
+    // --misdeclare=<fraction>,<factor>
+    char* end = nullptr;
+    load_options.misdeclare_fraction =
+        std::strtod(misdeclare.c_str(), &end);
+    if (end == misdeclare.c_str() || *end != ',') {
+      std::fprintf(stderr, "bad --misdeclare (want fraction,factor)\n");
+      return 2;
+    }
+    load_options.misdeclare_factor = std::strtod(end + 1, &end);
+    if (*end != '\0') {
+      std::fprintf(stderr, "bad --misdeclare (want fraction,factor)\n");
+      return 2;
+    }
+  }
   admission::PacedLoadDriver driver(ctl, demands, load_options);
 
   telemetry::HttpEndpoint::Options http_options;
@@ -535,14 +594,46 @@ int cmd_serve(const util::ArgParser& args) {
     }
     return telemetry::HttpResponse::json(actuator.to_json());
   });
+  if (conformance_on) {
+    telemetry::install_conformance_routes(http, *monitor);
+    // Ground truth for the polarity checks: which flow ids the
+    // misdeclaration hash actually selected (empty in conformant runs).
+    admission::PacedLoadDriver* d = &driver;
+    http.handle("/loadgen", [d, load_options](const telemetry::HttpRequest&) {
+      const auto misdeclared = d->misdeclared_flows();
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"misdeclare_fraction\":%.9g,"
+                    "\"misdeclare_factor\":%.9g,\"misdeclared\":[",
+                    load_options.misdeclare_fraction,
+                    load_options.misdeclare_factor);
+      std::string out = buf;
+      for (std::size_t i = 0; i < misdeclared.size(); ++i) {
+        if (i) out += ",";
+        std::snprintf(buf, sizeof(buf),
+                      "\n {\"flow\":%llu,\"live\":%s,\"age_s\":%.3f}",
+                      static_cast<unsigned long long>(misdeclared[i].flow_id),
+                      misdeclared[i].live ? "true" : "false",
+                      misdeclared[i].age_s);
+        out += buf;
+      }
+      out += "\n]}\n";
+      return telemetry::HttpResponse::json(std::move(out));
+    });
+    // Gate open before any churn: flows admitted pre-install would be
+    // invisible to the recorder.
+    telemetry::ArrivalRecorder::install(recorder.get());
+  }
 
   sampler.start();
   driver.start();
   http.start();
   std::printf("serve: listening on http://127.0.0.1:%u "
               "(/metrics /healthz /series /alerts /alerts/config "
-              "/reconfig)\n",
-              http.port());
+              "/reconfig%s)\n",
+              http.port(),
+              conformance_on ? " /conformance /conformance/flows /loadgen"
+                             : "");
   std::printf("serve: churn %.0f flows/s over %zu demands at alpha=%.2f; "
               "admission batch %zu; tick %ld ms; Ctrl-C to stop\n",
               load_options.arrival_rate, demands.size(), alpha,
@@ -588,15 +679,22 @@ int cmd_serve(const util::ArgParser& args) {
         alert_line += v;
       }
     }
+    std::string conf_line;
+    if (conformance_on) {
+      char v[64];
+      std::snprintf(v, sizeof(v), " viol=%zu worst-margin=%.3f",
+                    monitor->violating_count(), monitor->worst_margin());
+      conf_line = v;
+    }
     std::printf("\r\033[2K[%7.1fs] offered=%zu admit=%.1f%% active=%zu "
                 "worst-util=%.3f alpha=%.3f acts=%llu ticks=%llu "
-                "scrapes=%llu |%s",
+                "scrapes=%llu%s |%s",
                 elapsed, stats.offered, 100.0 * stats.admit_ratio(),
                 driver.active_flows(), worst_util, actuator.current_alpha(),
                 static_cast<unsigned long long>(actuator.actuations()),
                 static_cast<unsigned long long>(sampler.ticks()),
                 static_cast<unsigned long long>(http.requests_served()),
-                alert_line.c_str());
+                conf_line.c_str(), alert_line.c_str());
     std::fflush(stdout);
   }
   if (watch) std::printf("\n");
@@ -604,6 +702,9 @@ int cmd_serve(const util::ArgParser& args) {
   http.stop();
   driver.stop();
   sampler.stop();
+  // Close the conformance gate only after every producer thread has
+  // stopped — the recorder must outlive its last record()/on_release().
+  if (conformance_on) telemetry::ArrivalRecorder::install(nullptr);
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
 
@@ -633,6 +734,17 @@ int cmd_serve(const util::ArgParser& args) {
               static_cast<unsigned long long>(actuator.infeasible()),
               static_cast<unsigned long long>(actuator.cooldown_blocked()),
               actuator.current_alpha());
+  if (conformance_on) {
+    const std::size_t misdeclared_seeded = driver.misdeclared_flows().size();
+    std::printf("serve: conformance — %llu checks, %zu flows scored "
+                "(%zu violating, worst margin %.4f), %zu misdeclaring "
+                "seeded, %llu registrations dropped\n",
+                static_cast<unsigned long long>(monitor->checks()),
+                monitor->flows_seen(), monitor->violating_count(),
+                monitor->worst_margin(), misdeclared_seeded,
+                static_cast<unsigned long long>(
+                    recorder->dropped_registrations()));
+  }
 
   if (g_chrome != nullptr) {
     // Bridge the admission + reconfig event ring into the shared Chrome
@@ -760,7 +872,14 @@ int main(int argc, char** argv) {
                 "serve: lower bound of the alpha re-search (default 0.01)")
       .describe("reconfig-hi",
                 "serve: upper bound of the alpha re-search (default 0.95)")
-      .describe("watch", "serve: live one-line ASCII dashboard on stdout");
+      .describe("watch", "serve: live one-line ASCII dashboard on stdout")
+      .describe("conformance",
+                "serve: demand conformance plane — per-flow arrival "
+                "envelopes, /conformance routes, misdeclaration alert")
+      .describe("misdeclare",
+                "serve: <fraction>,<factor> — hash-selected fraction of "
+                "flows offer factor x their declared rate (implies "
+                "--conformance)");
   try {
     args.validate();
     const auto& pos = args.positional();
